@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures: the paper-scale workloads, built once.
+
+Every benchmark regenerates a specific table or figure of the paper at
+the paper's own workload scale (1024 pulses x 1001 range bins; the
+default autofocus candidate grid).  Expensive artefacts (the FFBP plan
+and the three machine runs) are session-scoped.
+
+Run with ``pytest benchmarks/ --benchmark-only`` and add ``-s`` to see
+the paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.table1 import Table1, autofocus_table, ffbp_table
+from repro.kernels.ffbp_common import FfbpPlan, plan_ffbp
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.sar.config import RadarConfig
+
+
+@pytest.fixture(scope="session")
+def paper_cfg() -> RadarConfig:
+    return RadarConfig.paper()
+
+
+@pytest.fixture(scope="session")
+def paper_plan(paper_cfg) -> FfbpPlan:
+    return plan_ffbp(paper_cfg)
+
+
+@pytest.fixture(scope="session")
+def paper_ffbp_table(paper_plan) -> Table1:
+    return ffbp_table(plan=paper_plan)
+
+
+@pytest.fixture(scope="session")
+def paper_autofocus_table() -> Table1:
+    return autofocus_table(AutofocusWorkload())
+
+
+@pytest.fixture(scope="session")
+def paper_workload() -> AutofocusWorkload:
+    return AutofocusWorkload()

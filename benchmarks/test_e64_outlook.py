@@ -1,0 +1,74 @@
+"""The paper's conclusion, simulated: what changes on a 64-core chip?
+
+"This will be even more significant when new, much more parallel
+versions of the Epiphany and other architectures appear (a 64-core
+Epiphany chip is now available)."
+
+Projection on the modelled E64 (8x8 mesh at 800 MHz, same shared
+external channel):
+
+- FFBP, already memory-bound at 16 cores, gains *nothing* from 4x the
+  cores -- the shared channel is the wall;
+- the compute-bound autofocus keeps scaling, best by *replicating*
+  pipelines (independent criterion units) rather than widening one.
+"""
+
+import pytest
+
+from repro.eval.report import format_table
+from repro.kernels.autofocus_mpmd import run_autofocus_mpmd, run_autofocus_scaled
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.machine.chip import EpiphanyChip
+from repro.machine.specs import EpiphanySpec
+
+
+def test_ffbp_hits_the_memory_wall_on_e64(benchmark, paper_plan):
+    def run():
+        t16 = run_ffbp_spmd(EpiphanyChip(), paper_plan, 16).seconds
+        chip64 = EpiphanyChip(EpiphanySpec.e64())
+        r64 = run_ffbp_spmd(chip64, paper_plan, 64)
+        return t16, r64.seconds, chip64.ext.utilization(r64.cycles)
+
+    t16, t64, util = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nFFBP: E16 {t16 * 1e3:.0f} ms vs E64 {t64 * 1e3:.0f} ms "
+        f"(channel utilisation {util:.2f})"
+    )
+    # 4x cores buy essentially nothing: the run is channel-limited.
+    assert t64 > 0.7 * t16
+    assert util > 0.9
+
+
+def test_autofocus_scales_by_replication_on_e64(benchmark, paper_workload):
+    w = paper_workload
+
+    def run():
+        base = run_autofocus_mpmd(EpiphanyChip(), w)
+        out = {"E16 / 13 cores": w.pixels / base.seconds}
+        for lanes, units in ((3, 1), (6, 1), (3, 2), (3, 4)):
+            chip = EpiphanyChip(EpiphanySpec.e64())
+            res = run_autofocus_scaled(chip, w, lanes=lanes, units=units)
+            label = f"E64 / {units} unit(s) x {4 * lanes + 1} cores"
+            out[label] = units * w.pixels / res.seconds
+        return out
+
+    tput = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["configuration", "throughput (px/s)"],
+            [[k, f"{v:.0f}"] for k, v in tput.items()],
+        )
+    )
+    base = tput["E16 / 13 cores"]
+    one = tput["E64 / 1 unit(s) x 13 cores"]
+    four = tput["E64 / 4 unit(s) x 13 cores"]
+    wide = tput["E64 / 1 unit(s) x 25 cores"]
+    # One unit at 800 MHz trails the 1 GHz E16 (clock-limited)...
+    assert one == pytest.approx(base * 0.8, rel=0.1)
+    # ...replication recovers nearly linearly...
+    assert four == pytest.approx(4 * one, rel=0.1)
+    assert four > 2.5 * base
+    # ...and widening lanes helps less than replicating units
+    # (the single correlator bounds the pipe).
+    assert wide < 1.5 * one

@@ -1,0 +1,61 @@
+"""Section VI-A: energy-efficiency ratios (38x FFBP, 78x autofocus).
+
+"The throughput per watt figure for the parallel autofocus
+implementation on Epiphany is 78x higher than the figure for the
+sequential implementation on the Intel processor, and the parallel FFBP
+implementation is 38x more energy-efficient."
+"""
+
+from repro.eval.energy import (
+    PAPER_AUTOFOCUS_EFFICIENCY_RATIO,
+    PAPER_FFBP_EFFICIENCY_RATIO,
+    energy_efficiency_ratios,
+)
+from repro.eval.report import Comparison, format_comparisons
+
+
+def test_energy_efficiency_ratios(
+    benchmark, paper_ffbp_table, paper_autofocus_table
+):
+    def compute():
+        fb = energy_efficiency_ratios(
+            paper_ffbp_table, "ffbp_epi_par", "ffbp_cpu"
+        )
+        af = energy_efficiency_ratios(
+            paper_autofocus_table, "af_epi_par", "af_cpu"
+        )
+        return fb, af
+
+    fb, af = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        Comparison("FFBP throughput/W ratio", PAPER_FFBP_EFFICIENCY_RATIO, fb.estimated, "x"),
+        Comparison("autofocus throughput/W ratio", PAPER_AUTOFOCUS_EFFICIENCY_RATIO, af.estimated, "x"),
+        Comparison("power ratio (i7 core / chip)", 8.75, fb.power_ratio_estimated, "x"),
+    ]
+    print()
+    print(format_comparisons("Section VI-A energy efficiency", rows))
+    print(
+        f"\nactivity-model cross-check: FFBP {fb.modeled:.0f}x, "
+        f"autofocus {af.modeled:.0f}x (paper method uses datasheet powers)"
+    )
+
+    # Shape: both ratios are tens-of-x; autofocus > FFBP.
+    assert 25.0 < fb.estimated < 55.0  # paper: ~38x
+    assert 55.0 < af.estimated < 105.0  # paper: ~78x
+    assert af.estimated > fb.estimated
+    # The activity model agrees on the direction and magnitude class.
+    assert fb.modeled > 20.0
+    assert af.modeled > 40.0
+
+
+def test_epiphany_chip_power_anchor(benchmark, paper_autofocus_table):
+    """The modelled average power of a busy chip stays near the 2 W
+    datasheet anchor the paper uses."""
+
+    def power():
+        return paper_autofocus_table.row("af_epi_par").modeled_power_w
+
+    p = benchmark.pedantic(power, rounds=1, iterations=1)
+    print(f"\nmodeled parallel-autofocus chip power: {p:.2f} W (datasheet 2 W)")
+    assert 0.8 < p < 2.5

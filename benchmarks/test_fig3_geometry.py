@@ -1,0 +1,80 @@
+"""Fig. 3 analogue: the subaperture factorisation geometry as numbers.
+
+Fig. 3a shows subapertures doubling in length and angular resolution
+per iteration; Fig. 3b the element-combining geometry of eqs. 1-4.
+This bench regenerates the per-stage table and checks the geometric
+invariants that drive the memory behaviour of the parallel kernel.
+"""
+
+import numpy as np
+
+from repro.eval.figures import fig3_geometry
+from repro.eval.report import format_table
+from repro.geometry.apertures import SubapertureTree
+from repro.geometry.cosine import combine_geometry, exact_child_geometry
+
+
+def test_fig3_stage_table(benchmark, paper_cfg):
+    stats = benchmark.pedantic(
+        lambda: fig3_geometry(paper_cfg), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            str(s.level),
+            str(s.n_subapertures),
+            f"{s.length_m:.0f}",
+            str(s.beams),
+            f"{s.max_range_shift_bins:.1f}",
+            f"{s.max_angle_spread_child_beams:.0f}",
+        ]
+        for s in stats
+    ]
+    print()
+    print(
+        format_table(
+            ["stage", "subaps", "length(m)", "beams", "max dr(bins)", "beam spread"],
+            rows,
+        )
+    )
+
+    assert len(stats) == 10
+    # Dyadic halving/doubling (Fig. 3a).
+    for a, b in zip(stats, stats[1:]):
+        assert b.n_subapertures * 2 == a.n_subapertures
+        assert b.length_m == 2 * a.length_m
+        assert b.beams == 2 * a.beams
+    # The index-curve spread grows with subaperture length -- the
+    # geometric reason the prefetch window fails at late stages.
+    assert stats[-1].max_angle_spread_child_beams > 4 * max(
+        1.0, stats[3].max_angle_spread_child_beams
+    )
+    # Range deviation bounded by half the child length.
+    for s in stats:
+        assert s.max_range_shift_bins * paper_cfg.dr <= s.length_m / 4 + paper_cfg.dr
+
+
+def test_eq14_cross_validation_at_paper_geometry(benchmark, paper_cfg):
+    """Eqs. 1-4 vs the exact transform over the paper's actual grids."""
+    tree = SubapertureTree(paper_cfg.n_pulses, paper_cfg.spacing)
+
+    def check():
+        worst = 0.0
+        for level in (1, 5, 10):
+            child = tree.stage(level - 1)
+            r = paper_cfg.range_axis()[None, ::50]
+            th = paper_cfg.theta_axis(tree.stage(level).beams)[::17, None]
+            geom = combine_geometry(r, th, l=child.length)
+            e1 = exact_child_geometry(r, th, -child.length / 2)
+            e2 = exact_child_geometry(r, th, +child.length / 2)
+            worst = max(
+                worst,
+                float(np.abs(geom.first.r - e1.r).max()),
+                float(np.abs(geom.second.r - e2.r).max()),
+                float(np.abs(geom.first.theta - e1.theta).max()),
+                float(np.abs(geom.second.theta - e2.theta).max()),
+            )
+        return worst
+
+    worst = benchmark.pedantic(check, rounds=1, iterations=1)
+    print(f"\nworst eq.1-4 vs exact-transform deviation: {worst:.2e}")
+    assert worst < 1e-6

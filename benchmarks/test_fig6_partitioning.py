@@ -1,0 +1,61 @@
+"""Fig. 6 analogue: coarse-grained data partitioning and its scaling.
+
+Fig. 6 shows the resulting image divided into independent slices, one
+per core.  This bench regenerates the slice table at paper scale and
+measures the "natural scalability" the paper claims for the SPMD
+scheme: a core-count sweep of the parallel FFBP simulation.
+"""
+
+from repro.eval.figures import fig6_partitioning
+from repro.eval.report import format_table
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.machine.chip import EpiphanyChip
+
+
+def test_fig6_slice_table(benchmark, paper_cfg):
+    table = benchmark.pedantic(
+        lambda: fig6_partitioning(paper_cfg, 16), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["core", "first row", "rows", "samples"],
+            [
+                [str(e["core"]), str(e["first_row"]), str(e["rows"]), str(e["samples"])]
+                for e in table
+            ],
+        )
+    )
+    assert len(table) == 16
+    assert all(e["rows"] == 64 for e in table)  # perfectly balanced
+    assert sum(e["samples"] for e in table) == 1024 * 1001
+
+
+def test_core_count_scaling(benchmark, paper_plan):
+    """Speedup vs core count: near-linear until the shared external
+    channel saturates, then flat -- the Fig. 6 scalability story meets
+    the Section VI memory-bound reality."""
+
+    def sweep():
+        out = {}
+        for n in (1, 2, 4, 8, 16):
+            res = run_ffbp_spmd(EpiphanyChip(), paper_plan, n)
+            out[n] = res.cycles
+        return out
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = cycles[1]
+    rows = [
+        [str(n), f"{base / c:.2f}", f"{(base / c) / n:.2f}"]
+        for n, c in cycles.items()
+    ]
+    print()
+    print(format_table(["cores", "speedup", "efficiency"], rows))
+
+    speedups = {n: base / c for n, c in cycles.items()}
+    # Monotone increase.
+    assert speedups[2] > 1.5
+    assert speedups[4] > speedups[2]
+    assert speedups[16] > speedups[8]
+    # Sub-linear at 16 cores: the memory wall.
+    assert speedups[16] < 14.0

@@ -1,0 +1,85 @@
+"""The paper's memory arithmetic, reproduced exactly.
+
+Section V-B: "We use the two upper data banks of the co-located
+memories with each Epiphany core to store the subaperture data
+corresponding to two pulses, which is equal to 16,016 bytes."  That
+number is pure configuration arithmetic -- two 1001-sample complex64
+rows -- and every byte of the budget must be derivable from our specs.
+"""
+
+import pytest
+
+from repro.eval.report import format_table
+from repro.kernels.ffbp_common import PREFETCH_WINDOW_BYTES
+from repro.machine.memory import LocalMemory
+from repro.machine.specs import EpiphanySpec
+from repro.sar.config import RadarConfig
+
+
+def test_16016_bytes(benchmark, paper_cfg):
+    def compute():
+        two_pulses = 2 * paper_cfg.n_ranges * 8
+        return two_pulses
+
+    two_pulses = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print(f"\ntwo pulses of subaperture data: {two_pulses} bytes (paper: 16,016)")
+    assert two_pulses == 16016
+    assert PREFETCH_WINDOW_BYTES == 16016
+
+
+def test_memory_hierarchy_budget(benchmark, paper_cfg):
+    """Why the data set lives off-chip, and why two banks hold the
+    prefetch window -- the whole Section V-B memory plan as numbers."""
+    spec = EpiphanySpec()
+
+    def compute():
+        dataset = paper_cfg.data_bytes()
+        onchip = spec.n_cores * spec.local_mem_bytes
+        window = 2 * spec.bank_bytes
+        return dataset, onchip, window
+
+    dataset, onchip, window = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["level", "bytes", "holds"],
+            [
+                ["full data set (SDRAM)", f"{dataset:,}", "1024 x 1001 pixels"],
+                ["total on-chip (16 x 32 KB)", f"{onchip:,}", f"{onchip / dataset:.1%} of the data set"],
+                ["2 banks per core (window)", f"{window:,}", "two pulses + slack"],
+            ],
+        )
+    )
+    # The data set exceeds on-chip storage ~16x: SDRAM is forced.
+    assert dataset > 10 * onchip
+    # The paper's window fits the two banks with room to spare.
+    assert 16016 <= window
+    lm = LocalMemory(spec)
+    lm.allocate(16016)  # must not raise
+    # And the rest of the scratchpad still holds code + stack + row
+    # buffers (the paper's lower two banks).
+    assert spec.local_mem_bytes - 16016 >= 16 * 1024
+
+
+def test_local_memory_cannot_hold_a_subaperture_pair_at_late_stages(
+    benchmark, paper_cfg
+):
+    """Stage >= 3 children exceed the window -- the arithmetic behind
+    the external-read spill."""
+    from repro.geometry.apertures import SubapertureTree
+
+    def compute():
+        tree = SubapertureTree(paper_cfg.n_pulses, paper_cfg.spacing)
+        sizes = {}
+        for level in range(1, tree.n_stages + 1):
+            child = tree.stage(level - 1)
+            sizes[level] = child.beams * paper_cfg.n_ranges * 8
+        return sizes
+
+    sizes = benchmark.pedantic(compute, rounds=1, iterations=1)
+    # Stages 1-2: a child fits the per-child window half (8,008 B).
+    assert sizes[1] <= 8008
+    assert sizes[2] <= 16016
+    # From stage 3 on, one child alone outgrows the whole window.
+    assert sizes[3] > 16016
+    assert sizes[10] > EpiphanySpec().local_mem_bytes * 100

@@ -1,0 +1,93 @@
+"""Section III bandwidth claims, measured on the simulated fabric.
+
+"Operating at a frequency of 1 GHz with a throughput of one transaction
+per clock cycle, the eGrid NoC provides a cross-section bandwidth of
+64 GB/sec and a total on-chip bandwidth of 512 GB/sec, whereas the
+total off-chip bandwidth is 8 GB/sec" -- and Section VI: "the on-chip
+bandwidth is 64 times higher than the off-chip bandwidth".
+"""
+
+import pytest
+
+from repro.eval.report import Comparison, format_comparisons
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.machine.noc import Mesh
+from repro.machine.specs import EpiphanySpec
+
+
+def test_spec_level_bandwidths(benchmark):
+    def compute():
+        s = EpiphanySpec()
+        return (
+            s.bisection_bandwidth_bytes_per_s(),
+            s.total_onchip_bandwidth_bytes_per_s(),
+            s.offchip_bandwidth_bytes_per_s(),
+        )
+
+    bisect, onchip, offchip = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        Comparison("bisection bandwidth", 64e9, bisect, "B/s"),
+        Comparison("total on-chip bandwidth", 512e9, onchip, "B/s"),
+        Comparison("off-chip bandwidth", 8e9, offchip, "B/s"),
+        Comparison("on/off-chip ratio", 64.0, onchip / offchip, "x"),
+    ]
+    print()
+    print(format_comparisons("Section III bandwidth claims", rows))
+    for c in rows:
+        assert c.within(1e-9)
+
+
+def test_measured_bisection_bandwidth(benchmark):
+    """Saturate all row links across the vertical cut with traffic and
+    measure delivered bytes/cycle: must approach 8 links x 8 B."""
+
+    def run():
+        mesh = Mesh(4, 4)
+        total = 0.0
+        horizon = 0
+        for burst in range(200):
+            for r in range(4):
+                # Both directions across the (col 1 | col 2) cut.
+                a = mesh.transfer(burst * 100, (r, 0), (r, 3), 800, "on_chip_write")
+                b = mesh.transfer(burst * 100, (r, 3), (r, 0), 800, "read")
+                total += 1600
+                horizon = max(horizon, a.finish_cycle, b.finish_cycle)
+        return total / horizon
+
+    bpc = benchmark.pedantic(run, rounds=1, iterations=1)
+    spec_bpc = 4 * 8.0 * 2  # rows x link rate x duplex
+    print(f"\nmeasured bisection throughput: {bpc:.1f} B/cycle (spec {spec_bpc})")
+    assert bpc == pytest.approx(spec_bpc, rel=0.15)
+
+
+def test_measured_offchip_bandwidth(benchmark):
+    """16 cores streaming posted writes saturate the 8 B/cycle e-link."""
+
+    def run():
+        chip = EpiphanyChip()
+
+        def prog(ctx):
+            from repro.machine.context import store
+
+            for _ in range(20):
+                yield from ctx.work(OpBlock(int_ops=10), [store(8192)])
+
+        res = chip.run({i: prog for i in range(16)})
+        return chip.ext.write_bytes / res.cycles
+
+    bpc = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nmeasured off-chip write throughput: {bpc:.2f} B/cycle (spec 8)")
+    assert bpc == pytest.approx(8.0, rel=0.15)
+
+
+def test_neighbour_latency_single_cycle_per_hop(benchmark):
+    """Quoted: 'a single cycle routing latency per node'."""
+
+    def run():
+        mesh = Mesh(4, 4)
+        res = mesh.transfer(0, (0, 0), (0, 1), 8, "on_chip_write")
+        return res.finish_cycle
+
+    t = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert t == 1 + 1  # one hop + one 8-byte flit

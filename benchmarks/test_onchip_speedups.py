@@ -1,0 +1,64 @@
+"""Section VI text: on-chip scalings.
+
+"The parallel implementation of the FFBP algorithm utilizing all the 16
+cores of the Epiphany chip is 11.7x faster than the sequential Epiphany
+implementation", and "the throughput of the parallel implementation
+using 13 processors is 10.9x higher than the sequential implementation
+on a single Epiphany core".
+"""
+
+from repro.eval.report import Comparison, format_comparisons
+from repro.eval.table1 import PAPER_TABLE1
+
+
+def test_onchip_speedups(benchmark, paper_ffbp_table, paper_autofocus_table):
+    def compute():
+        f = paper_ffbp_table
+        a = paper_autofocus_table
+        ffbp_par_vs_seq = (
+            f.row("ffbp_epi_seq").time_ms / f.row("ffbp_epi_par").time_ms
+        )
+        af_par_vs_seq = (
+            a.row("af_epi_par").throughput_px_s
+            / a.row("af_epi_seq").throughput_px_s
+        )
+        return ffbp_par_vs_seq, af_par_vs_seq
+
+    ffbp_x, af_x = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        Comparison("FFBP 16-core vs 1-core", PAPER_TABLE1["ffbp_par_vs_seq"]["speedup"], ffbp_x, "x"),
+        Comparison("autofocus 13-core vs 1-core", PAPER_TABLE1["af_par_vs_seq"]["speedup"], af_x, "x"),
+    ]
+    print()
+    print(format_comparisons("Section VI on-chip speedups", rows))
+
+    # FFBP scales sub-linearly (memory-bound): well below 16.
+    assert 8.0 < ffbp_x < 14.5
+    # Autofocus streams on-chip: close to the 13-core pipeline width.
+    assert 9.0 < af_x < 13.0
+    # Autofocus scales closer to its core count than FFBP does.
+    assert af_x / 13 > ffbp_x / 16
+
+
+def test_arithmetic_intensity_explains_the_gap(benchmark, paper_plan, paper_workload):
+    """Paper conclusion: 'the ratio of the amount of computations
+    performed on the input data to the number of memory operations is
+    much higher in the autofocus algorithm as compared to the FFBP'."""
+    from repro.kernels.autofocus_seq import run_autofocus_seq_epiphany
+    from repro.kernels.ffbp_seq import run_ffbp_seq_epiphany
+    from repro.machine.chip import EpiphanyChip
+
+    def compute():
+        f = run_ffbp_seq_epiphany(EpiphanyChip(), paper_plan)
+        a = run_autofocus_seq_epiphany(EpiphanyChip(), paper_workload)
+        return (
+            f.trace.arithmetic_intensity(),
+            a.trace.arithmetic_intensity(),
+        )
+
+    ffbp_ai, af_ai = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print(
+        f"\narithmetic intensity (flops / external byte): "
+        f"FFBP {ffbp_ai:.1f}, autofocus {af_ai:.1f}"
+    )
+    assert af_ai > 10 * ffbp_ai

@@ -1,0 +1,103 @@
+"""Section VI quality discussion, quantified.
+
+"The resulting images from the FFBP algorithm ... when compared with
+the computed image from the GBP algorithm, there is a degradation in
+quality.  The main reason is the approximations made in the simplified
+interpolations performed in each iteration ... the quality of the FFBP
+processed images could be considerably improved by using more complex
+interpolation kernels."
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import default_scene
+from repro.eval.report import format_table
+from repro.sar.config import RadarConfig
+from repro.sar.ffbp import FfbpOptions, ffbp
+from repro.sar.gbp import gbp_polar
+from repro.sar.quality import image_entropy, normalized_rmse, peak_to_background_db
+from repro.sar.simulate import simulate_compressed
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = RadarConfig.small(n_pulses=256, n_ranges=257)
+    data = simulate_compressed(cfg, default_scene(cfg))
+    ref = gbp_polar(np.asarray(data, np.complex128), cfg)
+    return cfg, data, ref
+
+
+def test_interpolation_quality_ladder(benchmark, setup):
+    cfg, data, ref = setup
+
+    def run():
+        variants = {
+            "ffbp nearest (paper)": FfbpOptions(),
+            "ffbp nearest + phase corr": FfbpOptions(phase_correction=True),
+            "ffbp bilinear": FfbpOptions(interpolation="bilinear"),
+            "ffbp cubic range": FfbpOptions(interpolation="cubic_range"),
+        }
+        out = {}
+        for name, opts in variants.items():
+            img = ffbp(data, cfg, opts)
+            out[name] = {
+                "rmse": normalized_rmse(img.data, ref.data),
+                "entropy": image_entropy(img.data),
+                "pbr_db": peak_to_background_db(img.data),
+            }
+        out["gbp (reference)"] = {
+            "rmse": 0.0,
+            "entropy": image_entropy(ref.data),
+            "pbr_db": peak_to_background_db(ref.data),
+        }
+        return out
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["variant", "rmse vs GBP", "entropy", "peak/bg (dB)"],
+            [
+                [k, f"{v['rmse']:.4f}", f"{v['entropy']:.2f}", f"{v['pbr_db']:.1f}"]
+                for k, v in metrics.items()
+            ],
+        )
+    )
+
+    nn = metrics["ffbp nearest (paper)"]
+    pc = metrics["ffbp nearest + phase corr"]
+    bl = metrics["ffbp bilinear"]
+    cu = metrics["ffbp cubic range"]
+    gbp = metrics["gbp (reference)"]
+
+    # The paper's degradation claim: NN-FFBP is noisier than GBP.
+    assert nn["entropy"] > gbp["entropy"]
+    assert nn["pbr_db"] < gbp["pbr_db"]
+    # And its improvement claim: better kernels close the gap --
+    # including the cubic kernel it names explicitly.
+    assert bl["rmse"] < nn["rmse"]
+    assert pc["rmse"] < nn["rmse"]
+    assert cu["rmse"] < nn["rmse"]
+
+
+def test_quality_cost_tradeoff(benchmark, setup):
+    """Better interpolation costs arithmetic: bilinear needs 4 lookups
+    and the blend where NN needs one -- measured as wall time of the
+    numerical kernels (the machine-model cost ratio mirrors it)."""
+    import time
+
+    cfg, data, _ref = setup
+
+    def run():
+        t0 = time.perf_counter()
+        ffbp(data, cfg, FfbpOptions())
+        t_nn = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ffbp(data, cfg, FfbpOptions(interpolation="bilinear"))
+        t_bl = time.perf_counter() - t0
+        return t_nn, t_bl
+
+    t_nn, t_bl = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nnumerical kernel wall time: nearest {t_nn:.3f}s, bilinear {t_bl:.3f}s")
+    assert t_bl > t_nn

@@ -1,0 +1,83 @@
+"""Table I, autofocus rows: two 6x6 blocks, Neville cubic, 3 iterations.
+
+Paper reference (Table I):
+
+    Sequential on Intel i7 @ 2.67 GHz : 21,600 px/s, speedup 1,    17.5 W
+    Sequential on Epiphany @ 1 GHz    : 17,668 px/s, speedup 0.8,   2 W
+    Parallel   on Epiphany @ 1 GHz    : 192,857 px/s, speedup 8.93, 2 W
+"""
+
+import pytest
+
+from repro.eval.report import Comparison, format_comparisons
+from repro.eval.table1 import PAPER_TABLE1
+from repro.kernels.autofocus_mpmd import run_autofocus_mpmd
+from repro.kernels.autofocus_seq import run_autofocus_seq_epiphany
+from repro.kernels.cpu_ref import run_autofocus_cpu
+from repro.machine.chip import EpiphanyChip
+from repro.machine.cpu import CpuMachine
+
+
+def test_table1_autofocus_rows(benchmark, paper_autofocus_table, paper_workload):
+    table = paper_autofocus_table
+    cpu = table.row("af_cpu")
+    seq = table.row("af_epi_seq")
+    par = table.row("af_epi_par")
+
+    rows = [
+        Comparison("cpu throughput", PAPER_TABLE1["af_cpu"]["tput"], cpu.throughput_px_s, "px/s"),
+        Comparison("epi seq throughput", PAPER_TABLE1["af_epi_seq"]["tput"], seq.throughput_px_s, "px/s"),
+        Comparison("epi par throughput", PAPER_TABLE1["af_epi_par"]["tput"], par.throughput_px_s, "px/s"),
+        Comparison("epi seq speedup", PAPER_TABLE1["af_epi_seq"]["speedup"], seq.speedup),
+        Comparison("epi par speedup", PAPER_TABLE1["af_epi_par"]["speedup"], par.speedup),
+    ]
+    print()
+    print(format_comparisons("Table I / Autofocus criterion calculation", rows))
+    print()
+    print(table.format())
+
+    # Shape: sequential rows comparable; parallel ~9x on 13 cores.
+    assert 0.6 < seq.speedup < 1.1  # paper: 0.8
+    assert 7.0 < par.speedup < 12.0  # paper: 8.93
+    for c in rows:
+        assert c.within(0.25), f"{c.name}: measured {c.measured} vs paper {c.paper}"
+
+    benchmark.pedantic(
+        lambda: run_autofocus_mpmd(EpiphanyChip(), paper_workload),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_autofocus_seq_epiphany_simulation(benchmark, paper_workload):
+    res = benchmark.pedantic(
+        lambda: run_autofocus_seq_epiphany(EpiphanyChip(), paper_workload),
+        rounds=3,
+        iterations=1,
+    )
+    tput = paper_workload.pixels / res.seconds
+    assert tput == pytest.approx(17668.0, rel=0.25)
+
+
+def test_autofocus_cpu_simulation(benchmark, paper_workload):
+    res = benchmark.pedantic(
+        lambda: run_autofocus_cpu(CpuMachine(), paper_workload),
+        rounds=3,
+        iterations=1,
+    )
+    tput = paper_workload.pixels / res.seconds
+    assert tput == pytest.approx(21600.0, rel=0.25)
+
+
+def test_autofocus_is_compute_bound_on_chip(benchmark, paper_workload):
+    """Paper Section VI: the working set fits on-die, so the parallel
+    autofocus never touches the external channel in steady state."""
+
+    def run():
+        chip = EpiphanyChip()
+        res = run_autofocus_mpmd(chip, paper_workload)
+        return chip.ext.utilization(res.cycles)
+
+    util = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nexternal channel utilisation (parallel autofocus): {util:.4f}")
+    assert util < 0.05

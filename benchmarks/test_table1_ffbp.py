@@ -1,0 +1,107 @@
+"""Table I, FFBP rows: 1024x1001 pixels, merge base 2, ten iterations.
+
+Paper reference (Table I):
+
+    Sequential on Intel i7 @ 2.67 GHz : 1295 ms, speedup 1,    17.5 W
+    Sequential on Epiphany @ 1 GHz    : 3582 ms, speedup 0.36,  2 W
+    Parallel   on Epiphany @ 1 GHz    :  305 ms, speedup 4.25,  2 W
+
+Absolute milliseconds come from our calibrated models; the *shape*
+assertions (orderings and speedup bands) are the reproduction claims.
+"""
+
+import pytest
+
+from repro.eval.report import Comparison, format_comparisons
+from repro.eval.table1 import PAPER_TABLE1
+from repro.kernels.cpu_ref import run_ffbp_cpu
+from repro.kernels.ffbp_seq import run_ffbp_seq_epiphany
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.machine.chip import EpiphanyChip
+from repro.machine.cpu import CpuMachine
+
+
+def test_table1_ffbp_rows(benchmark, paper_plan, paper_ffbp_table):
+    table = paper_ffbp_table
+    cpu = table.row("ffbp_cpu")
+    seq = table.row("ffbp_epi_seq")
+    par = table.row("ffbp_epi_par")
+
+    rows = [
+        Comparison("cpu time", PAPER_TABLE1["ffbp_cpu"]["time_ms"], cpu.time_ms, "ms"),
+        Comparison("epi seq time", PAPER_TABLE1["ffbp_epi_seq"]["time_ms"], seq.time_ms, "ms"),
+        Comparison("epi par time", PAPER_TABLE1["ffbp_epi_par"]["time_ms"], par.time_ms, "ms"),
+        Comparison("epi seq speedup", PAPER_TABLE1["ffbp_epi_seq"]["speedup"], seq.speedup),
+        Comparison("epi par speedup", PAPER_TABLE1["ffbp_epi_par"]["speedup"], par.speedup),
+    ]
+    print()
+    print(format_comparisons("Table I / FFBP implementations", rows))
+    print()
+    print(table.format())
+
+    # Shape assertions: who wins and by roughly what factor.
+    assert seq.speedup < 0.6  # seq Epiphany well behind the i7
+    assert 3.0 < par.speedup < 6.0  # paper: 4.25x
+    for c in rows:
+        assert c.within(0.35), f"{c.name}: measured {c.measured} vs paper {c.paper}"
+
+    # Benchmark the parallel simulation itself.
+    benchmark.pedantic(
+        lambda: run_ffbp_spmd(EpiphanyChip(), paper_plan, 16),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_ffbp_seq_epiphany_simulation(benchmark, paper_plan):
+    res = benchmark.pedantic(
+        lambda: run_ffbp_seq_epiphany(EpiphanyChip(), paper_plan),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.cycles == pytest.approx(3.582e9, rel=0.35)
+
+
+def test_ffbp_cpu_simulation(benchmark, paper_plan):
+    res = benchmark.pedantic(
+        lambda: run_ffbp_cpu(CpuMachine(), paper_plan), rounds=1, iterations=1
+    )
+    assert res.seconds * 1e3 == pytest.approx(1295.0, rel=0.35)
+
+
+def test_parallel_ffbp_timeline(benchmark, paper_plan):
+    """Where the 305 ms go, core by core: the activity Gantt of the
+    paper-scale parallel run (compute # vs memory-stall m)."""
+    from repro.machine.profile import profile_run
+    from repro.machine.tracing import ActivityRecorder
+
+    def run():
+        chip = EpiphanyChip()
+        chip.recorder = ActivityRecorder()
+        res = run_ffbp_spmd(chip, paper_plan, 16)
+        return chip, res
+
+    chip, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(chip.recorder.ascii_timeline(width=72))
+    prof = profile_run(res)
+    print(f"\nmean compute {prof.mean_compute_fraction:.0%}, "
+          f"mean stall {prof.mean_stall_fraction:.0%}, "
+          f"verdict: {prof.classify()}")
+    kinds = chip.recorder.total_by_kind()
+    assert prof.classify() == "memory-bound"
+    assert kinds["mem"] > kinds["compute"]
+
+
+def test_parallel_ffbp_is_memory_bound(benchmark, paper_plan):
+    """The paper's limiter: 'the frequent off-chip memory accesses ...
+    limits the speedup'.  The shared channel must be the bottleneck."""
+
+    def run():
+        chip = EpiphanyChip()
+        res = run_ffbp_spmd(chip, paper_plan, 16)
+        return chip.ext.utilization(res.cycles)
+
+    util = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nexternal channel utilisation (parallel FFBP): {util:.2f}")
+    assert util > 0.75

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Autofocus: recover focus when the flight path is not linear.
+
+The scenario motivating the paper's second case study (Section II-A):
+the platform deviates from the nominal track, GPS knowledge of the
+deviation is missing, and processing with the assumed linear track
+defocuses the image.  The autofocus criterion (eq. 6) tests candidate
+flight-path compensations on 6x6 blocks of the contributing
+subaperture images before each merge and applies the winner.
+
+Usage::
+
+    python examples/autofocus_recovery.py
+"""
+
+import numpy as np
+
+import repro
+from repro.eval.figures import ascii_image
+from repro.sar.autofocus import default_candidates
+from repro.sar.quality import image_entropy
+
+
+def main() -> None:
+    cfg = repro.RadarConfig.small(n_pulses=128, n_ranges=257)
+    cx, cy = cfg.scene_center()
+    scene = repro.Scene.single(cx, cy)
+
+    # The true track deviates smoothly from the nominal straight line.
+    true_track = repro.PerturbedTrajectory(
+        base=repro.LinearTrajectory(spacing=cfg.spacing),
+        amplitude=1.5,
+        wavelength=200.0,
+    )
+    dev = true_track.deviation(cfg.n_pulses)
+    print(
+        f"cross-track path error: +-{np.abs(dev).max():.2f} m "
+        f"({np.abs(dev).max() / cfg.wavelength:.2f} wavelengths)"
+    )
+
+    # Data collected on the true track, processed assuming the nominal.
+    data = repro.simulate_compressed(cfg, scene, trajectory=true_track)
+
+    img_plain = repro.ffbp(data, cfg)
+    final, results = repro.ffbp_with_autofocus(
+        data, cfg, candidates=default_candidates(max_range_shift=2.0, n=9)
+    )
+
+    print("\nchosen compensation per merge (range-shift pixels):")
+    for level, res in enumerate(results, start=1):
+        curve = ", ".join(f"{c:.2e}" for c in res.criteria[:: max(1, len(res.criteria) // 5)])
+        print(f"  merge {level}: shift {res.best.range_shift:+.2f}  "
+              f"(criterion samples: {curve})")
+
+    e0 = image_entropy(img_plain.data)
+    e1 = image_entropy(final[0])
+    p0 = np.abs(img_plain.data).max()
+    p1 = np.abs(final[0]).max()
+    print(f"\nwithout autofocus: peak {p0:.1f}, entropy {e0:.2f}")
+    print(f"with    autofocus: peak {p1:.1f}, entropy {e1:.2f}")
+    print(f"peak recovery {100 * (p1 / p0 - 1):+.1f}%, "
+          f"entropy change {e1 - e0:+.2f}")
+
+    print("\ndefocused image:")
+    print(ascii_image(np.abs(img_plain.data), 64, 14))
+    print("\nautofocused image:")
+    print(ascii_image(np.abs(final[0]), 64, 14))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Frequency-domain vs time-domain SAR processing.
+
+Paper Section I in one experiment: the FFT-based range-Doppler
+algorithm (RDA) is arithmetically far cheaper, but it *requires* a
+linear constant-speed track; back-projection costs more but tolerates
+track errors -- and with autofocus, recovers them.
+
+Usage::
+
+    python examples/frequency_vs_time.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.eval.figures import ascii_image
+from repro.sar.rda import range_doppler_image, rda_flop_estimate
+from repro.geometry.apertures import SubapertureTree
+
+
+def focus_metric(mag_clean: float, mag_disturbed: float) -> str:
+    pct = 100.0 * mag_disturbed / mag_clean
+    return f"{pct:5.1f}% of clean-track focus"
+
+
+def main() -> None:
+    cfg = repro.RadarConfig.small(n_pulses=128, n_ranges=257)
+    cx, cy = cfg.scene_center()
+    scene = repro.Scene.single(cx, cy)
+
+    # Arithmetic budgets.
+    tree = SubapertureTree(cfg.n_pulses, cfg.spacing)
+    print("arithmetic per image (order of magnitude):")
+    print(f"  RDA  : ~{rda_flop_estimate(cfg):,.0f} flops (FFT-based)")
+    print(f"  FFBP : ~{tree.ffbp_merges() * cfg.n_pulses * cfg.n_ranges * 40:,.0f} flops")
+    print(f"  GBP  : ~{tree.gbp_equivalent_merges() * cfg.n_pulses * cfg.n_ranges * 15:,.0f} flops")
+
+    clean = repro.simulate_compressed(cfg, scene, dtype=np.complex128)
+    true_track = repro.PerturbedTrajectory(
+        base=repro.LinearTrajectory(spacing=cfg.spacing),
+        amplitude=1.5,
+        wavelength=200.0,
+    )
+    disturbed = repro.simulate_compressed(
+        cfg, scene, trajectory=true_track, dtype=np.complex128
+    )
+
+    # --- linear track: both focus ------------------------------------
+    t0 = time.perf_counter()
+    rda_clean = range_doppler_image(clean, cfg)
+    t_rda = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    ffbp_clean = repro.ffbp(clean.astype(np.complex64), cfg)
+    t_ffbp = time.perf_counter() - t0
+    print(f"\nlinear track (wall time RDA {t_rda * 1e3:.0f} ms, "
+          f"FFBP {t_ffbp * 1e3:.0f} ms):")
+    print("  RDA image:")
+    print(ascii_image(rda_clean.magnitude, 56, 10))
+
+    # --- perturbed track: RDA degrades, FFBP+autofocus recovers ------
+    rda_bad = range_doppler_image(disturbed, cfg)
+    ffbp_bad = repro.ffbp(disturbed.astype(np.complex64), cfg)
+    af_final, _ = repro.ffbp_with_autofocus(
+        disturbed.astype(np.complex64), cfg
+    )
+
+    print("\nperturbed track (+-1.5 m cross-track error):")
+    print(
+        "  RDA               : "
+        + focus_metric(rda_clean.magnitude.max(), rda_bad.magnitude.max())
+    )
+    print(
+        "  FFBP (no autofocus): "
+        + focus_metric(
+            ffbp_clean.magnitude.max(), np.abs(ffbp_bad.data).max()
+        )
+    )
+    print(
+        "  FFBP + autofocus   : "
+        + focus_metric(ffbp_clean.magnitude.max(), np.abs(af_final[0]).max())
+    )
+    print("\n  RDA image on the perturbed track (defocused):")
+    print(ascii_image(rda_bad.magnitude, 56, 10))
+    print("\n  FFBP+autofocus image on the perturbed track:")
+    print(ascii_image(np.abs(af_final[0]), 56, 10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Physics validation: the simulated system against textbook theory.
+
+The strongest check that the signal chain is wired right: the measured
+impulse response of the end-to-end system (waveform -> echo -> matched
+filter -> back-projection) must hit the analytic limits --
+
+- range -3 dB width:       0.886 x c / (2 B)
+- cross-range -3 dB width: 0.886 x lambda / (2 theta_int)
+- peak sidelobe ratio:     -13.3 dB (unweighted), improved by tapering
+
+Usage::
+
+    python examples/physics_validation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.sar.analysis import (
+    impulse_response,
+    theoretical_cross_range_resolution,
+    theoretical_range_resolution,
+)
+from repro.signal.windows import taylor_window
+
+SINC_3DB = 0.886
+
+
+def main() -> None:
+    cfg = repro.RadarConfig.small(n_pulses=128, n_ranges=257)
+    cx, cy = cfg.scene_center()
+    data = repro.simulate_compressed(
+        cfg, repro.Scene.single(cx, cy), dtype=np.complex128
+    )
+    r = float(np.hypot(cx - cfg.aperture_center()[0], cy))
+
+    print("configuration:")
+    print(f"  carrier {cfg.chirp.center_frequency / 1e6:.0f} MHz, "
+          f"bandwidth {cfg.chirp.bandwidth / 1e6:.0f} MHz, "
+          f"aperture {cfg.aperture_length:.0f} m at {r:.0f} m range")
+
+    img = repro.gbp_polar(data, cfg)
+    ir = impulse_response(img, cfg)
+    want_r = SINC_3DB * theoretical_range_resolution(cfg)
+    want_x = SINC_3DB * theoretical_cross_range_resolution(cfg, r)
+
+    print("\nimpulse response (GBP, unweighted):")
+    print(f"  range resolution      {ir.range_resolution_m:6.2f} m   "
+          f"(theory {want_r:.2f} m, "
+          f"{100 * (ir.range_resolution_m / want_r - 1):+.1f}%)")
+    print(f"  cross-range resolution {ir.cross_range_resolution_m:5.2f} m   "
+          f"(theory {want_x:.2f} m, "
+          f"{100 * (ir.cross_range_resolution_m / want_x - 1):+.1f}%)")
+    print(f"  range PSLR            {ir.range_cut.pslr_db:6.1f} dB  "
+          f"(sinc limit -13.3 dB)")
+    print(f"  beam  PSLR            {ir.beam_cut.pslr_db:6.1f} dB")
+
+    # Taylor weighting: trade resolution for sidelobes.
+    w = taylor_window(cfg.n_pulses, sll_db=-30.0)
+    tapered = impulse_response(
+        repro.gbp_polar(data, cfg, aperture_weights=w), cfg
+    )
+    print("\nwith -30 dB Taylor aperture weighting:")
+    print(f"  beam PSLR             {tapered.beam_cut.pslr_db:6.1f} dB  "
+          f"(was {ir.beam_cut.pslr_db:.1f})")
+    print(f"  cross-range resolution {tapered.cross_range_resolution_m:5.2f} m "
+          f"(was {ir.cross_range_resolution_m:.2f}: the classic trade)")
+
+    # FFBP's nearest-neighbour cost, in the same currency.
+    f_ir = impulse_response(repro.ffbp(data.astype(np.complex64), cfg), cfg)
+    print("\nFFBP (paper's nearest-neighbour kernel):")
+    print(f"  range resolution      {f_ir.range_resolution_m:6.2f} m")
+    print(f"  range PSLR            {f_ir.range_cut.pslr_db:6.1f} dB  "
+          "(interpolation noise raises the floor)")
+
+
+if __name__ == "__main__":
+    main()

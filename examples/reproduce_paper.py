@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Reproduce every quantitative result of the paper in one run.
+
+Regenerates, at the paper's workload scale:
+
+- Table I (both case studies, all rows),
+- the Section VI on-chip speedups (11.7x, 10.9x),
+- the Section VI-A energy-efficiency ratios (38x, 78x),
+- the Section III bandwidth figures,
+- the Fig. 7 image set (reduced scale for GBP; pass ``--full`` for
+  the full 1024x1001 panels),
+- the Fig. 3 / 6 / 9 computational analogues.
+
+This script is what EXPERIMENTS.md is generated from.
+
+Usage::
+
+    python examples/reproduce_paper.py [--full]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.eval.energy import energy_efficiency_ratios
+from repro.eval.figures import (
+    ascii_image,
+    fig3_geometry,
+    fig6_partitioning,
+    fig7_images,
+    fig9_mapping,
+)
+from repro.eval.report import Comparison, format_comparisons, format_table
+from repro.eval.table1 import PAPER_TABLE1, autofocus_table, ffbp_table
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.machine.specs import EpiphanySpec
+from repro.sar.config import RadarConfig
+from repro.sar.quality import image_entropy, normalized_rmse
+
+
+def table1() -> tuple:
+    print("=" * 72)
+    print("TABLE I -- Resources, Performance, and Estimated Power")
+    print("=" * 72)
+    cfg = RadarConfig.paper()
+    plan = plan_ffbp(cfg)
+    f = ffbp_table(plan=plan)
+    a = autofocus_table()
+
+    rows = [
+        Comparison("FFBP cpu time", PAPER_TABLE1["ffbp_cpu"]["time_ms"], f.row("ffbp_cpu").time_ms, "ms"),
+        Comparison("FFBP epi seq time", PAPER_TABLE1["ffbp_epi_seq"]["time_ms"], f.row("ffbp_epi_seq").time_ms, "ms"),
+        Comparison("FFBP epi par time", PAPER_TABLE1["ffbp_epi_par"]["time_ms"], f.row("ffbp_epi_par").time_ms, "ms"),
+        Comparison("FFBP epi seq speedup", PAPER_TABLE1["ffbp_epi_seq"]["speedup"], f.row("ffbp_epi_seq").speedup),
+        Comparison("FFBP epi par speedup", PAPER_TABLE1["ffbp_epi_par"]["speedup"], f.row("ffbp_epi_par").speedup),
+        Comparison("AF cpu throughput", PAPER_TABLE1["af_cpu"]["tput"], a.row("af_cpu").throughput_px_s, "px/s"),
+        Comparison("AF epi seq throughput", PAPER_TABLE1["af_epi_seq"]["tput"], a.row("af_epi_seq").throughput_px_s, "px/s"),
+        Comparison("AF epi par throughput", PAPER_TABLE1["af_epi_par"]["tput"], a.row("af_epi_par").throughput_px_s, "px/s"),
+        Comparison("AF epi seq speedup", PAPER_TABLE1["af_epi_seq"]["speedup"], a.row("af_epi_seq").speedup),
+        Comparison("AF epi par speedup", PAPER_TABLE1["af_epi_par"]["speedup"], a.row("af_epi_par").speedup),
+    ]
+    print(format_comparisons("paper vs measured", rows))
+    print()
+    print(f.format())
+    print()
+    print(a.format())
+    return f, a
+
+
+def section6(f, a) -> None:
+    print()
+    print("=" * 72)
+    print("SECTION VI -- on-chip speedups and energy efficiency")
+    print("=" * 72)
+    ffbp_x = f.row("ffbp_epi_seq").time_ms / f.row("ffbp_epi_par").time_ms
+    af_x = (
+        a.row("af_epi_par").throughput_px_s / a.row("af_epi_seq").throughput_px_s
+    )
+    fb = energy_efficiency_ratios(f, "ffbp_epi_par", "ffbp_cpu")
+    af = energy_efficiency_ratios(a, "af_epi_par", "af_cpu")
+    rows = [
+        Comparison("FFBP 16-core vs 1-core Epiphany", 11.7, ffbp_x, "x"),
+        Comparison("AF 13-core vs 1-core Epiphany", 10.9, af_x, "x"),
+        Comparison("FFBP throughput/W vs i7", 38.0, fb.estimated, "x"),
+        Comparison("AF throughput/W vs i7", 78.0, af.estimated, "x"),
+    ]
+    print(format_comparisons("paper vs measured", rows))
+
+
+def section3() -> None:
+    print()
+    print("=" * 72)
+    print("SECTION III -- eMesh bandwidth figures")
+    print("=" * 72)
+    s = EpiphanySpec()
+    rows = [
+        Comparison("bisection bandwidth", 64e9, s.bisection_bandwidth_bytes_per_s(), "B/s"),
+        Comparison("total on-chip bandwidth", 512e9, s.total_onchip_bandwidth_bytes_per_s(), "B/s"),
+        Comparison("off-chip bandwidth", 8e9, s.offchip_bandwidth_bytes_per_s(), "B/s"),
+    ]
+    print(format_comparisons("paper vs measured", rows))
+
+
+def fig7(full: bool) -> None:
+    print()
+    print("=" * 72)
+    scale = "1024x1001 (paper scale)" if full else "256x257 (reduced)"
+    print(f"FIG. 7 -- validation images, {scale}")
+    print("=" * 72)
+    cfg = (
+        RadarConfig.paper()
+        if full
+        else RadarConfig.small(n_pulses=256, n_ranges=257)
+    )
+    panels = fig7_images(cfg)
+    print("\n(a) pulse-compressed radar data:")
+    print(ascii_image(np.abs(panels.raw), 64, 16))
+    print("\n(b) GBP processed image:")
+    print(ascii_image(panels.gbp.magnitude, 64, 16))
+    print("\n(c) FFBP on the Intel path / (d) Epiphany path "
+          "(identical to float32 precision):")
+    print(ascii_image(panels.ffbp_epiphany.magnitude, 64, 16))
+    print(
+        f"\nquality: entropy GBP {image_entropy(panels.gbp.data):.2f} vs "
+        f"FFBP {image_entropy(panels.ffbp_epiphany.data):.2f}; "
+        f"rmse(FFBP, GBP) {normalized_rmse(panels.ffbp_epiphany.data, panels.gbp.data):.4f}"
+    )
+
+
+def figure_analogues() -> None:
+    print()
+    print("=" * 72)
+    print("FIG. 3 / 6 / 9 -- computational analogues")
+    print("=" * 72)
+    stats = fig3_geometry(RadarConfig.paper())
+    print("\nFig. 3: factorisation stages (paper scale):")
+    print(
+        format_table(
+            ["stage", "subapertures", "length(m)", "beams"],
+            [
+                [str(s.level), str(s.n_subapertures), f"{s.length_m:.0f}", str(s.beams)]
+                for s in stats
+            ],
+        )
+    )
+    part = fig6_partitioning(RadarConfig.paper(), 16)
+    print(
+        f"\nFig. 6: output partitioned into {len(part)} slices of "
+        f"{part[0]['rows']} beam rows ({part[0]['samples']:,} samples) each"
+    )
+    m = fig9_mapping()
+    print(
+        f"\nFig. 9: custom mapping {m.paper_weighted_hops:.0f} weighted "
+        f"byte-hops/candidate vs naive {m.naive_weighted_hops:.0f} "
+        f"({m.hop_improvement:.2f}x better)"
+    )
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    f, a = table1()
+    section6(f, a)
+    section3()
+    fig7(full)
+    figure_analogues()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Scaling study: all the sweeps, as ASCII charts.
+
+Regenerates the scaling behaviours behind the paper's analysis at the
+paper workload scale: FFBP strong scaling into the memory wall, the
+prefetch-window trade-off, the board-vs-spec clock line, autofocus
+workload sensitivity, and the forward-looking E64 unit scaling.
+
+Usage::
+
+    python examples/scaling_study.py
+"""
+
+from repro.eval.sweeps import (
+    autofocus_unit_sweep,
+    candidate_sweep,
+    clock_sweep,
+    ffbp_core_sweep,
+    ffbp_window_sweep,
+)
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.sar.config import RadarConfig
+
+
+def main() -> None:
+    plan = plan_ffbp(RadarConfig.paper())
+
+    print(ffbp_core_sweep(plan).chart())
+    print("\n" + ffbp_window_sweep().chart())
+    print("\n" + clock_sweep(plan).chart())
+    print("\n" + candidate_sweep().chart())
+    print("\n" + autofocus_unit_sweep().chart())
+
+    s = ffbp_core_sweep(plan)
+    eff16 = s.y[-1] / s.x[-1] * s.x[0]
+    print(
+        f"\n16-core FFBP efficiency {eff16:.0%}: the shared external "
+        "channel is the wall (paper Section VI)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro: Energy-Efficient SAR Processing on a Manycore Architecture.
+
+A from-scratch reproduction of Zain-ul-Abdin, Åhlander & Svensson,
+"Energy-Efficient Synthetic-Aperture Radar Processing on a Manycore
+Architecture" (ICPP 2013): fast factorized back-projection (FFBP) and
+autofocus criterion calculation for stripmap SAR, evaluated on a
+discrete-event model of a 16-core Epiphany-like manycore against an
+i7-like sequential reference.
+
+Layers (bottom up):
+
+- :mod:`repro.geometry`, :mod:`repro.signal` -- SAR/DSP substrates,
+- :mod:`repro.sar` -- the algorithms (GBP, FFBP, autofocus, quality),
+- :mod:`repro.machine` -- the architecture simulator (the hardware
+  substitute; see DESIGN.md),
+- :mod:`repro.runtime` -- SPMD / MPMD programming models,
+- :mod:`repro.kernels` -- the paper's implementations on the machines,
+- :mod:`repro.eval` -- the Table I / figure reproduction harness.
+
+Quickstart::
+
+    import repro
+
+    cfg = repro.RadarConfig.small()
+    scene = repro.Scene.single(*cfg.scene_center())
+    data = repro.simulate_compressed(cfg, scene)
+    image = repro.ffbp(data, cfg)
+    print(image.peak_pixel())
+"""
+
+from repro.eval.table1 import autofocus_table, ffbp_table, full_table1
+from repro.geometry.antenna import (
+    IsotropicAntenna,
+    SpotlightAntenna,
+    StripmapAntenna,
+)
+from repro.geometry.scene import PointTarget, Scene
+from repro.geometry.trajectory import LinearTrajectory, PerturbedTrajectory
+from repro.machine.chip import EpiphanyChip
+from repro.machine.cpu import CpuMachine
+from repro.machine.profile import profile_run
+from repro.machine.specs import CpuSpec, EpiphanySpec
+from repro.machine.tracing import ActivityRecorder
+from repro.runtime.dataflow import DataflowGraph
+from repro.sar.analysis import impulse_response
+from repro.sar.autofocus import autofocus_search, ffbp_with_autofocus
+from repro.sar.chain import ProcessingChain
+from repro.sar.config import RadarConfig
+from repro.sar.ffbp import FfbpOptions, ffbp
+from repro.sar.gbp import gbp_cartesian, gbp_polar
+from repro.sar.grids import CartesianGrid, PolarGrid
+from repro.sar.rda import range_doppler_image
+from repro.sar.simulate import simulate_compressed, simulate_raw
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autofocus_table",
+    "ffbp_table",
+    "full_table1",
+    "IsotropicAntenna",
+    "SpotlightAntenna",
+    "StripmapAntenna",
+    "profile_run",
+    "ActivityRecorder",
+    "DataflowGraph",
+    "impulse_response",
+    "ProcessingChain",
+    "range_doppler_image",
+    "PointTarget",
+    "Scene",
+    "LinearTrajectory",
+    "PerturbedTrajectory",
+    "EpiphanyChip",
+    "CpuMachine",
+    "CpuSpec",
+    "EpiphanySpec",
+    "autofocus_search",
+    "ffbp_with_autofocus",
+    "RadarConfig",
+    "FfbpOptions",
+    "ffbp",
+    "gbp_cartesian",
+    "gbp_polar",
+    "CartesianGrid",
+    "PolarGrid",
+    "simulate_compressed",
+    "simulate_raw",
+    "__version__",
+]

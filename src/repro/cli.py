@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives shell access to the main entry points so the reproduction can be
+driven without writing Python:
+
+- ``table1``      regenerate Table I (both case studies),
+- ``speedups``    the Section VI on-chip speedups and energy ratios,
+- ``fig7``        render the Fig. 7 panels as ASCII art,
+- ``image``       simulate a scene and form an image (ffbp/gbp/rda),
+- ``profile``     cycle breakdown of a kernel on the simulated chip,
+- ``specs``       dump the machine models' constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _add_scale_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--pulses", type=int, default=256, help="aperture pulse count"
+    )
+    p.add_argument(
+        "--ranges", type=int, default=257, help="range bins per pulse"
+    )
+    p.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's 1024x1001 workload",
+    )
+
+
+def _config(args: argparse.Namespace):
+    from repro.sar.config import RadarConfig
+
+    if getattr(args, "paper_scale", False):
+        return RadarConfig.paper()
+    return RadarConfig.small(n_pulses=args.pulses, n_ranges=args.ranges)
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.eval.table1 import autofocus_table, ffbp_table
+    from repro.kernels.ffbp_common import plan_ffbp
+    from repro.sar.config import RadarConfig
+
+    cfg = RadarConfig.paper() if args.paper_scale else _config(args)
+    print(ffbp_table(plan=plan_ffbp(cfg)).format())
+    print()
+    print(autofocus_table().format())
+    return 0
+
+
+def cmd_speedups(args: argparse.Namespace) -> int:
+    from repro.eval.energy import energy_efficiency_ratios
+    from repro.eval.table1 import autofocus_table, ffbp_table
+    from repro.kernels.ffbp_common import plan_ffbp
+
+    cfg = _config(args)
+    f = ffbp_table(plan=plan_ffbp(cfg))
+    a = autofocus_table()
+    fb = energy_efficiency_ratios(f, "ffbp_epi_par", "ffbp_cpu")
+    af = energy_efficiency_ratios(a, "af_epi_par", "af_cpu")
+    print(f"FFBP  parallel speedup vs i7: {fb.speedup:6.2f}x   "
+          f"throughput/W ratio: {fb.estimated:6.1f}x")
+    print(f"AF    parallel speedup vs i7: {af.speedup:6.2f}x   "
+          f"throughput/W ratio: {af.estimated:6.1f}x")
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.eval.figures import ascii_image, fig7_images
+
+    panels = fig7_images(_config(args))
+    for name, mag in (
+        ("(a) pulse-compressed data", np.abs(panels.raw)),
+        ("(b) GBP", panels.gbp.magnitude),
+        ("(c) FFBP [Intel path]", panels.ffbp_intel.magnitude),
+        ("(d) FFBP [Epiphany path]", panels.ffbp_epiphany.magnitude),
+    ):
+        print(f"\nFig. 7{name}:")
+        print(ascii_image(mag, args.width, args.height))
+    return 0
+
+
+def cmd_image(args: argparse.Namespace) -> int:
+    from repro.eval.figures import ascii_image, default_scene
+    from repro.sar.ffbp import FfbpOptions, ffbp
+    from repro.sar.gbp import gbp_polar
+    from repro.sar.rda import range_doppler_image
+    from repro.sar.simulate import simulate_compressed
+
+    cfg = _config(args)
+    scene = default_scene(cfg)
+    data = simulate_compressed(cfg, scene)
+    if args.algorithm == "ffbp":
+        img = ffbp(data, cfg, FfbpOptions(interpolation=args.interpolation))
+        mag = img.magnitude
+    elif args.algorithm == "gbp":
+        mag = gbp_polar(np.asarray(data, np.complex128), cfg).magnitude
+    else:
+        mag = range_doppler_image(
+            np.asarray(data, np.complex128), cfg
+        ).magnitude
+    print(ascii_image(mag, args.width, args.height))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.kernels.autofocus_mpmd import run_autofocus_mpmd
+    from repro.kernels.ffbp_common import plan_ffbp
+    from repro.kernels.ffbp_spmd import run_ffbp_spmd
+    from repro.kernels.opcounts import AutofocusWorkload
+    from repro.machine.chip import EpiphanyChip
+    from repro.machine.profile import profile_run
+    from repro.machine.tracing import ActivityRecorder
+
+    chip = EpiphanyChip()
+    if args.timeline or args.trace_json:
+        chip.recorder = ActivityRecorder()
+    if args.kernel == "ffbp":
+        res = run_ffbp_spmd(chip, plan_ffbp(_config(args)), 16)
+    else:
+        res = run_autofocus_mpmd(chip, AutofocusWorkload())
+    print(profile_run(res).format())
+    if args.timeline:
+        print()
+        print(chip.recorder.ascii_timeline(width=72))
+    if args.trace_json:
+        with open(args.trace_json, "w") as fh:
+            fh.write(chip.recorder.chrome_trace(chip.spec.clock_hz))
+        print(f"\nChrome trace written to {args.trace_json}")
+    return 0
+
+
+def cmd_specs(_args: argparse.Namespace) -> int:
+    from dataclasses import fields
+
+    from repro.machine.specs import CpuSpec, EpiphanySpec
+
+    for name, spec in (("Epiphany", EpiphanySpec()), ("CPU", CpuSpec())):
+        print(f"[{name}]")
+        for f in fields(spec):
+            print(f"  {f.name} = {getattr(spec, f.name)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    _add_scale_args(p)
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("speedups", help="Section VI speedups + energy ratios")
+    _add_scale_args(p)
+    p.set_defaults(fn=cmd_speedups)
+
+    p = sub.add_parser("fig7", help="render the Fig. 7 panels")
+    _add_scale_args(p)
+    p.add_argument("--width", type=int, default=64)
+    p.add_argument("--height", type=int, default=16)
+    p.set_defaults(fn=cmd_fig7)
+
+    p = sub.add_parser("image", help="simulate and image a scene")
+    _add_scale_args(p)
+    p.add_argument(
+        "--algorithm", choices=("ffbp", "gbp", "rda"), default="ffbp"
+    )
+    p.add_argument(
+        "--interpolation", choices=("nearest", "bilinear"), default="nearest"
+    )
+    p.add_argument("--width", type=int, default=64)
+    p.add_argument("--height", type=int, default=20)
+    p.set_defaults(fn=cmd_image)
+
+    p = sub.add_parser("profile", help="cycle breakdown of a kernel")
+    _add_scale_args(p)
+    p.add_argument("--kernel", choices=("ffbp", "autofocus"), default="ffbp")
+    p.add_argument(
+        "--timeline", action="store_true", help="print an ASCII Gantt chart"
+    )
+    p.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome/Perfetto trace file",
+    )
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("specs", help="dump machine-model constants")
+    p.set_defaults(fn=cmd_specs)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

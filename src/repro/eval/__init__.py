@@ -1,0 +1,31 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+- :mod:`repro.eval.table1` -- Table I (both case studies, all rows),
+- :mod:`repro.eval.energy` -- the Section VI-A energy-efficiency ratios,
+- :mod:`repro.eval.figures` -- Fig. 7 image set and the computational
+  analogues of Figs. 3, 6 and 9,
+- :mod:`repro.eval.report` -- paper-vs-measured formatting.
+"""
+
+from repro.eval.energy import energy_efficiency_ratios
+from repro.eval.report import Comparison, format_comparisons
+from repro.eval.table1 import (
+    PAPER_TABLE1,
+    Table1,
+    Table1Row,
+    autofocus_table,
+    ffbp_table,
+    full_table1,
+)
+
+__all__ = [
+    "energy_efficiency_ratios",
+    "Comparison",
+    "format_comparisons",
+    "PAPER_TABLE1",
+    "Table1",
+    "Table1Row",
+    "autofocus_table",
+    "ffbp_table",
+    "full_table1",
+]

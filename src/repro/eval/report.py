@@ -1,0 +1,57 @@
+"""Paper-vs-measured reporting utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One reported quantity next to the paper's value."""
+
+    name: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper; 1.0 is a perfect reproduction."""
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+    def within(self, rel_tol: float) -> bool:
+        """True if the measured value is within ``rel_tol`` of paper's."""
+        return abs(self.ratio - 1.0) <= rel_tol
+
+
+def format_comparisons(title: str, rows: list[Comparison]) -> str:
+    """Render comparisons as a fixed-width table."""
+    name_w = max([len(r.name) for r in rows] + [len("quantity")])
+    lines = [
+        title,
+        "-" * len(title),
+        f"{'quantity':<{name_w}}  {'paper':>12}  {'measured':>12}  {'ratio':>7}  unit",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name:<{name_w}}  {r.paper:>12.4g}  {r.measured:>12.4g}  "
+            f"{r.ratio:>7.3f}  {r.unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a generic fixed-width table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

@@ -1,0 +1,149 @@
+"""Section II system-requirement analysis.
+
+Paper Section II: "The integration time may be several minutes, which
+means that the memory requirement for the data set is from 10 GBytes up
+to 1 TBytes.  The computational performance demands are between
+10 GFLOPS and 50 GFLOPS [4]."
+
+This module derives those brackets from first principles for
+representative next-generation operating points, so the claim is a
+computation rather than a quotation: given wavelength, resolution,
+swath, stand-off range and platform speed, compute the aperture the
+resolution demands, the integration time, the data-set size, and the
+sustained FLOP rate real-time FFBP (and, for contrast, GBP) would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+FLOPS_PER_FFBP_COMBINE = 20.0
+"""Flops per element combining (geometry + lookup + add; the
+:data:`repro.kernels.opcounts.FFBP_SAMPLE` mix, per child)."""
+
+FLOPS_PER_GBP_CONTRIB = 10.0
+"""Flops per pulse contribution in direct back-projection."""
+
+CHAIN_FACTOR = 2.0
+"""Whole-chain overhead over bare image formation (autofocus criterion
+calculations before each merge, compensation passes)."""
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One radar operating point (all SI units)."""
+
+    name: str
+    wavelength: float
+    resolution: float
+    """Required resolution, range and cross-range alike (metres)."""
+    swath: float
+    """Imaged range depth (metres)."""
+    stand_off: float
+    """Distance to the middle of the swath (metres)."""
+    velocity: float
+    """Platform speed (m/s)."""
+    oversample: float = 1.2
+    """Grid oversampling relative to the resolution."""
+
+    # -- geometry the resolution demands --------------------------------
+    @property
+    def integration_angle(self) -> float:
+        """``lambda / (2 delta)``: the angle that buys the resolution."""
+        return self.wavelength / (2.0 * self.resolution)
+
+    @property
+    def aperture_length(self) -> float:
+        return self.stand_off * self.integration_angle
+
+    @property
+    def integration_time_s(self) -> float:
+        """Time to fly one synthetic aperture -- the paper's
+        "integration time may be several minutes"."""
+        return self.aperture_length / self.velocity
+
+    @property
+    def pulse_spacing(self) -> float:
+        return self.resolution / self.oversample
+
+    @property
+    def n_pulses(self) -> int:
+        return int(np.ceil(self.aperture_length / self.pulse_spacing))
+
+    @property
+    def n_ranges(self) -> int:
+        return int(np.ceil(self.swath * self.oversample / self.resolution))
+
+    # -- memory ----------------------------------------------------------
+    @property
+    def dataset_bytes(self) -> float:
+        """One integration interval of complex64 data -- the paper's
+        10 GB .. 1 TB bracket."""
+        return float(self.n_pulses) * self.n_ranges * 8.0
+
+    # -- compute ----------------------------------------------------------
+    @property
+    def output_pixel_rate(self) -> float:
+        """Image pixels per second real-time stripmap must sustain:
+        the strip advances ``v / dx`` columns of ``swath / dr`` pixels."""
+        dx = self.pulse_spacing
+        return (self.velocity / dx) * self.n_ranges
+
+    @property
+    def ffbp_gflops(self) -> float:
+        """Sustained rate for real-time FFBP: ``2 log2 N`` combinings
+        per output pixel."""
+        combines = 2.0 * np.log2(max(self.n_pulses, 2))
+        return self.output_pixel_rate * combines * FLOPS_PER_FFBP_COMBINE / 1e9
+
+    @property
+    def gbp_gflops(self) -> float:
+        """Same for direct GBP: ``N`` contributions per pixel."""
+        return (
+            self.output_pixel_rate * self.n_pulses * FLOPS_PER_GBP_CONTRIB / 1e9
+        )
+
+    @property
+    def realtime_gflops(self) -> float:
+        """Whole-chain rate: image formation plus the autofocus
+        criterion calculations before each merge (several candidate
+        compensations tested) roughly doubles the back-projection
+        arithmetic -- the bracket paper ref. [4] reports."""
+        return CHAIN_FACTOR * self.ffbp_gflops
+
+
+def paper_operating_points() -> tuple[OperatingPoint, ...]:
+    """Representative low-frequency UWB stripmap operating points.
+
+    Chosen to span the envelope of paper ref. [4] (the authors' own
+    requirements study): metre-class resolution, tens-of-km swaths and
+    stand-offs, ~100 m/s platforms.
+    """
+    return (
+        OperatingPoint(
+            name="surveillance / coarse",
+            wavelength=6.0,
+            resolution=1.8,
+            swath=30e3,
+            stand_off=60e3,
+            velocity=120.0,
+        ),
+        OperatingPoint(
+            name="mapping / fine",
+            wavelength=6.0,
+            resolution=1.0,
+            swath=40e3,
+            stand_off=80e3,
+            velocity=100.0,
+        ),
+        OperatingPoint(
+            name="wide-area / very fine",
+            wavelength=3.0,
+            resolution=0.5,
+            swath=60e3,
+            stand_off=120e3,
+            velocity=100.0,
+        ),
+    )

@@ -1,0 +1,146 @@
+"""Parameter sweeps: the data series behind the scaling figures.
+
+Packages the experiments the ablation benchmarks run into reusable
+series producers (core count, prefetch window, clock, candidate grid,
+chip generation), each returning a :class:`Series` that the report
+helpers can render as an ASCII chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.kernels.autofocus_mpmd import run_autofocus_mpmd, run_autofocus_scaled
+from repro.kernels.ffbp_common import FfbpPlan, plan_ffbp
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.machine.chip import EpiphanyChip
+from repro.machine.specs import EpiphanySpec
+from repro.sar.config import RadarConfig
+
+
+@dataclass(frozen=True)
+class Series:
+    """One swept quantity: ``(x, y)`` pairs plus axis labels."""
+
+    name: str
+    x_label: str
+    y_label: str
+    x: tuple
+    y: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have equal lengths")
+
+    def chart(self, width: int = 48) -> str:
+        """Render as a horizontal ASCII bar chart."""
+        if not self.y:
+            return f"{self.name}: (empty)"
+        peak = max(self.y)
+        lines = [f"{self.name}  [{self.y_label} vs {self.x_label}]"]
+        label_w = max(len(str(xv)) for xv in self.x)
+        for xv, yv in zip(self.x, self.y):
+            bar = "#" * max(1, int(round(width * yv / peak))) if peak > 0 else ""
+            lines.append(f"  {str(xv):>{label_w}} | {bar} {yv:.3g}")
+        return "\n".join(lines)
+
+
+def ffbp_core_sweep(
+    plan: FfbpPlan | None = None,
+    cores: Sequence[int] = (1, 2, 4, 8, 16),
+    spec: EpiphanySpec | None = None,
+) -> Series:
+    """Parallel-FFBP speedup versus core count (Fig. 6 scalability)."""
+    plan = plan or plan_ffbp(RadarConfig.paper())
+    spec = spec or EpiphanySpec()
+    cycles = [run_ffbp_spmd(EpiphanyChip(spec), plan, n).cycles for n in cores]
+    base = cycles[0]
+    speedups = tuple(round(base / c, 3) for c in cycles)
+    return Series(
+        name="FFBP strong scaling",
+        x_label="cores",
+        y_label=f"speedup vs {cores[0]} core(s)",
+        x=tuple(cores),
+        y=speedups,
+    )
+
+
+def ffbp_window_sweep(
+    cfg: RadarConfig | None = None,
+    windows: Sequence[int] = (8, 8008, 16016, 32032, 64064),
+    n_cores: int = 16,
+) -> Series:
+    """Parallel-FFBP time versus prefetch-window bytes."""
+    cfg = cfg or RadarConfig.paper()
+    ys = []
+    for w in windows:
+        plan = plan_ffbp(cfg, window_bytes=w)
+        ys.append(run_ffbp_spmd(EpiphanyChip(), plan, n_cores).seconds * 1e3)
+    return Series(
+        name="FFBP vs prefetch window",
+        x_label="window bytes",
+        y_label="time (ms)",
+        x=tuple(windows),
+        y=tuple(round(v, 2) for v in ys),
+    )
+
+
+def autofocus_unit_sweep(
+    work: AutofocusWorkload | None = None,
+    units: Sequence[int] = (1, 2, 3, 4),
+    lanes: int = 3,
+) -> Series:
+    """Autofocus throughput versus replicated pipeline units (E64)."""
+    w = work or AutofocusWorkload()
+    ys = []
+    for u in units:
+        chip = EpiphanyChip(EpiphanySpec.e64())
+        res = run_autofocus_scaled(chip, w, lanes=lanes, units=u)
+        ys.append(u * w.pixels / res.seconds)
+    return Series(
+        name="autofocus unit scaling (E64)",
+        x_label="pipeline units",
+        y_label="pixels/s",
+        x=tuple(units),
+        y=tuple(round(v) for v in ys),
+    )
+
+
+def clock_sweep(
+    plan: FfbpPlan | None = None,
+    clocks_hz: Sequence[float] = (400e6, 600e6, 800e6, 1e9),
+    n_cores: int = 16,
+) -> Series:
+    """Parallel-FFBP wall time versus core clock (board vs spec)."""
+    plan = plan or plan_ffbp(RadarConfig.paper())
+    ys = []
+    for clk in clocks_hz:
+        spec = EpiphanySpec().with_clock(clk)
+        ys.append(run_ffbp_spmd(EpiphanyChip(spec), plan, n_cores).seconds * 1e3)
+    return Series(
+        name="FFBP vs clock",
+        x_label="clock (Hz)",
+        y_label="time (ms)",
+        x=tuple(int(c) for c in clocks_hz),
+        y=tuple(round(v, 1) for v in ys),
+    )
+
+
+def candidate_sweep(
+    candidates: Sequence[int] = (27, 54, 108, 216, 432),
+) -> Series:
+    """Autofocus throughput versus candidate-grid size."""
+    ys = []
+    for n in candidates:
+        w = AutofocusWorkload(n_candidates=n)
+        res = run_autofocus_mpmd(EpiphanyChip(), w)
+        ys.append(w.pixels / res.seconds)
+    return Series(
+        name="autofocus vs candidate grid",
+        x_label="candidates",
+        y_label="pixels/s",
+        x=tuple(candidates),
+        y=tuple(round(v) for v in ys),
+    )

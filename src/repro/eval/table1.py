@@ -1,0 +1,215 @@
+"""Table I: resources, performance, and estimated power.
+
+Regenerates every row of the paper's Table I for both case studies:
+core counts, execution time, throughput (autofocus), speedup over the
+sequential i7 reference, and estimated power -- plus, beyond the paper,
+the activity model's measured average power.
+
+The paper's reference numbers are kept in :data:`PAPER_TABLE1` so
+benchmarks can assert the reproduction's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.autofocus_mpmd import run_autofocus_mpmd
+from repro.kernels.autofocus_seq import run_autofocus_seq_epiphany
+from repro.kernels.cpu_ref import run_autofocus_cpu, run_ffbp_cpu
+from repro.kernels.ffbp_common import FfbpPlan, plan_ffbp
+from repro.kernels.ffbp_seq import run_ffbp_seq_epiphany
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.machine.chip import EpiphanyChip
+from repro.machine.cpu import CpuMachine
+from repro.machine.specs import CpuSpec, EpiphanySpec
+from repro.sar.config import RadarConfig
+
+PAPER_TABLE1: dict[str, dict[str, float]] = {
+    # FFBP implementations (execution time in ms).
+    "ffbp_cpu": {"cores": 1, "time_ms": 1295.0, "speedup": 1.0, "power_w": 17.5},
+    "ffbp_epi_seq": {"cores": 1, "time_ms": 3582.0, "speedup": 0.36, "power_w": 2.0},
+    "ffbp_epi_par": {"cores": 16, "time_ms": 305.0, "speedup": 4.25, "power_w": 2.0},
+    # Autofocus implementations (throughput in pixels/s).
+    "af_cpu": {"cores": 1, "tput": 21600.0, "speedup": 1.0, "power_w": 17.5},
+    "af_epi_seq": {"cores": 1, "tput": 17668.0, "speedup": 0.8, "power_w": 2.0},
+    "af_epi_par": {"cores": 13, "tput": 192857.0, "speedup": 8.93, "power_w": 2.0},
+    # Section VI text figures.
+    "ffbp_par_vs_seq": {"speedup": 11.7},
+    "af_par_vs_seq": {"speedup": 10.9},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One implementation row of Table I."""
+
+    name: str
+    cores: int
+    time_ms: float
+    throughput_px_s: float | None
+    speedup: float
+    estimated_power_w: float
+    modeled_power_w: float
+    energy_j: float
+
+    def efficiency(self) -> float:
+        """Throughput per watt (the paper's energy-efficiency metric).
+
+        For FFBP (no throughput column) the rate is 1/time; the ratio
+        between implementations is what matters.
+        """
+        rate = (
+            self.throughput_px_s
+            if self.throughput_px_s is not None
+            else 1000.0 / self.time_ms
+        )
+        return rate / self.estimated_power_w
+
+
+@dataclass(frozen=True)
+class Table1:
+    """A reproduced case-study table."""
+
+    rows: tuple[Table1Row, ...]
+
+    def row(self, name: str) -> Table1Row:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def format(self) -> str:
+        from repro.eval.report import format_table
+
+        body = []
+        for r in self.rows:
+            body.append(
+                [
+                    r.name,
+                    str(r.cores),
+                    f"{r.time_ms:.1f}",
+                    f"{r.throughput_px_s:.0f}" if r.throughput_px_s else "-",
+                    f"{r.speedup:.2f}",
+                    f"{r.estimated_power_w:.1f}",
+                    f"{r.modeled_power_w:.2f}",
+                ]
+            )
+        return format_table(
+            ["implementation", "cores", "time(ms)", "px/s", "speedup", "P_est(W)", "P_model(W)"],
+            body,
+        )
+
+
+def ffbp_table(
+    cfg: RadarConfig | None = None,
+    plan: FfbpPlan | None = None,
+    n_cores: int = 16,
+    epiphany_spec: EpiphanySpec | None = None,
+    cpu_spec: CpuSpec | None = None,
+) -> Table1:
+    """Reproduce the three FFBP rows of Table I."""
+    espec = epiphany_spec or EpiphanySpec()
+    cspec = cpu_spec or CpuSpec()
+    if plan is None:
+        plan = plan_ffbp(cfg or RadarConfig.paper())
+
+    r_cpu = run_ffbp_cpu(CpuMachine(cspec), plan)
+    chip_seq = EpiphanyChip(espec)
+    r_seq = run_ffbp_seq_epiphany(chip_seq, plan)
+    chip_par = EpiphanyChip(espec)
+    r_par = run_ffbp_spmd(chip_par, plan, n_cores)
+
+    rows = (
+        Table1Row(
+            name="ffbp_cpu",
+            cores=1,
+            time_ms=r_cpu.seconds * 1e3,
+            throughput_px_s=None,
+            speedup=1.0,
+            estimated_power_w=cspec.power_w,
+            modeled_power_w=cspec.power_w,
+            energy_j=r_cpu.energy_joules,
+        ),
+        Table1Row(
+            name="ffbp_epi_seq",
+            cores=1,
+            time_ms=r_seq.seconds * 1e3,
+            throughput_px_s=None,
+            speedup=r_cpu.seconds / r_seq.seconds,
+            estimated_power_w=espec.datasheet_chip_power_w,
+            modeled_power_w=r_seq.average_power_w,
+            energy_j=r_seq.energy_joules,
+        ),
+        Table1Row(
+            name="ffbp_epi_par",
+            cores=n_cores,
+            time_ms=r_par.seconds * 1e3,
+            throughput_px_s=None,
+            speedup=r_cpu.seconds / r_par.seconds,
+            estimated_power_w=espec.datasheet_chip_power_w,
+            modeled_power_w=r_par.average_power_w,
+            energy_j=r_par.energy_joules,
+        ),
+    )
+    return Table1(rows)
+
+
+def autofocus_table(
+    work: AutofocusWorkload | None = None,
+    epiphany_spec: EpiphanySpec | None = None,
+    cpu_spec: CpuSpec | None = None,
+) -> Table1:
+    """Reproduce the three autofocus rows of Table I."""
+    w = work or AutofocusWorkload()
+    espec = epiphany_spec or EpiphanySpec()
+    cspec = cpu_spec or CpuSpec()
+
+    r_cpu = run_autofocus_cpu(CpuMachine(cspec), w)
+    r_seq = run_autofocus_seq_epiphany(EpiphanyChip(espec), w)
+    r_par = run_autofocus_mpmd(EpiphanyChip(espec), w)
+
+    def tput(seconds: float) -> float:
+        return w.pixels / seconds
+
+    rows = (
+        Table1Row(
+            name="af_cpu",
+            cores=1,
+            time_ms=r_cpu.seconds * 1e3,
+            throughput_px_s=tput(r_cpu.seconds),
+            speedup=1.0,
+            estimated_power_w=cspec.power_w,
+            modeled_power_w=cspec.power_w,
+            energy_j=r_cpu.energy_joules,
+        ),
+        Table1Row(
+            name="af_epi_seq",
+            cores=1,
+            time_ms=r_seq.seconds * 1e3,
+            throughput_px_s=tput(r_seq.seconds),
+            speedup=r_cpu.seconds / r_seq.seconds,
+            estimated_power_w=espec.datasheet_chip_power_w,
+            modeled_power_w=r_seq.average_power_w,
+            energy_j=r_seq.energy_joules,
+        ),
+        Table1Row(
+            name="af_epi_par",
+            cores=13,
+            time_ms=r_par.seconds * 1e3,
+            throughput_px_s=tput(r_par.seconds),
+            speedup=r_cpu.seconds / r_par.seconds,
+            estimated_power_w=espec.datasheet_chip_power_w,
+            modeled_power_w=r_par.average_power_w,
+            energy_j=r_par.energy_joules,
+        ),
+    )
+    return Table1(rows)
+
+
+def full_table1(
+    cfg: RadarConfig | None = None,
+    work: AutofocusWorkload | None = None,
+) -> tuple[Table1, Table1]:
+    """Both halves of Table I at the paper's workload scale."""
+    return ffbp_table(cfg), autofocus_table(work)

@@ -1,0 +1,45 @@
+"""SAR geometry substrate.
+
+Provides the geometric building blocks the paper's algorithms rest on:
+
+- :mod:`repro.geometry.trajectory` -- platform flight paths (ideal linear
+  stripmap tracks and perturbed tracks that motivate autofocus),
+- :mod:`repro.geometry.scene` -- point-target scenes and ground grids,
+- :mod:`repro.geometry.apertures` -- the dyadic subaperture factorisation
+  tree used by fast factorized back-projection (paper Fig. 3a),
+- :mod:`repro.geometry.cosine` -- the cosine-theorem index equations
+  (paper eqs. 1-4) that map a parent polar sample onto its two
+  contributing child subaperture samples (paper Fig. 3b).
+"""
+
+from repro.geometry.antenna import (
+    Antenna,
+    IsotropicAntenna,
+    SpotlightAntenna,
+    StripmapAntenna,
+)
+from repro.geometry.apertures import ApertureStage, SubapertureTree
+from repro.geometry.cosine import child_angles, child_ranges, combine_geometry
+from repro.geometry.scene import PointTarget, Scene
+from repro.geometry.trajectory import (
+    LinearTrajectory,
+    PerturbedTrajectory,
+    Trajectory,
+)
+
+__all__ = [
+    "Antenna",
+    "IsotropicAntenna",
+    "SpotlightAntenna",
+    "StripmapAntenna",
+    "ApertureStage",
+    "SubapertureTree",
+    "child_angles",
+    "child_ranges",
+    "combine_geometry",
+    "PointTarget",
+    "Scene",
+    "LinearTrajectory",
+    "PerturbedTrajectory",
+    "Trajectory",
+]

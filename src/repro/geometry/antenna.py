@@ -1,0 +1,100 @@
+"""Antenna beam patterns and pointing modes.
+
+Paper Fig. 2 / Section II: stripmap SAR "transmits a relatively wide
+beam to the ground, illuminating each resolution cell over a long
+period of time"; the related work (Przytula et al.) covers "both
+stripmap and spotlight modes of operation".  The antenna model supplies
+the two-way gain each pulse applies to each target:
+
+- :class:`StripmapAntenna` -- fixed broadside pointing, so a target is
+  illuminated only while the platform passes it (the finite beamwidth
+  is what truncates the synthetic aperture in real systems),
+- :class:`SpotlightAntenna` -- steered at a fixed scene point, keeping
+  the patch illuminated for the whole collection,
+- :class:`IsotropicAntenna` -- the idealisation the rest of the test
+  suite uses (unit gain everywhere).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Antenna(abc.ABC):
+    """Two-way amplitude gain versus geometry."""
+
+    @abc.abstractmethod
+    def gain(
+        self, antenna_pos: np.ndarray, target_pos: np.ndarray
+    ) -> np.ndarray:
+        """Two-way amplitude gain for ``(P, 2)`` antenna positions
+        against ``(T, 2)`` target positions; returns ``(P, T)``."""
+
+    @staticmethod
+    def _angles(antenna_pos: np.ndarray, target_pos: np.ndarray) -> np.ndarray:
+        d = target_pos[None, :, :] - antenna_pos[:, None, :]
+        return np.arctan2(d[..., 1], d[..., 0])
+
+
+@dataclass(frozen=True)
+class IsotropicAntenna(Antenna):
+    """Unit gain in every direction (the idealised default)."""
+
+    def gain(self, antenna_pos, target_pos):
+        antenna_pos = np.asarray(antenna_pos, dtype=np.float64)
+        target_pos = np.asarray(target_pos, dtype=np.float64)
+        return np.ones((antenna_pos.shape[0], target_pos.shape[0]))
+
+
+def _pattern(offset: np.ndarray, beamwidth: float) -> np.ndarray:
+    """Two-way power-normalised amplitude pattern vs angular offset.
+
+    A cosine-tapered mainlobe with the -3 dB (two-way) point at
+    ``beamwidth / 2``; zero outside the first null.  A deliberately
+    simple shape -- the experiments depend on the *support*, not the
+    exact taper.
+    """
+    x = np.abs(offset) / (beamwidth / 2.0)
+    amp = np.cos(np.pi / 4.0 * np.minimum(x, 2.0)) ** 2
+    return np.where(x <= 2.0, amp, 0.0)
+
+
+@dataclass(frozen=True)
+class StripmapAntenna(Antenna):
+    """Broadside-fixed beam of a given azimuth beamwidth (radians)."""
+
+    beamwidth: float
+    boresight: float = np.pi / 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.beamwidth < np.pi:
+            raise ValueError(f"beamwidth must be in (0, pi), got {self.beamwidth}")
+
+    def gain(self, antenna_pos, target_pos):
+        antenna_pos = np.asarray(antenna_pos, dtype=np.float64)
+        target_pos = np.asarray(target_pos, dtype=np.float64)
+        angles = self._angles(antenna_pos, target_pos)
+        return _pattern(angles - self.boresight, self.beamwidth)
+
+
+@dataclass(frozen=True)
+class SpotlightAntenna(Antenna):
+    """Beam steered at a fixed scene point for the whole collection."""
+
+    beamwidth: float
+    focus_point: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if not 0 < self.beamwidth < np.pi:
+            raise ValueError(f"beamwidth must be in (0, pi), got {self.beamwidth}")
+
+    def gain(self, antenna_pos, target_pos):
+        antenna_pos = np.asarray(antenna_pos, dtype=np.float64)
+        target_pos = np.asarray(target_pos, dtype=np.float64)
+        fp = np.asarray(self.focus_point, dtype=np.float64)
+        steer = self._angles(antenna_pos, fp[None, :])[:, 0]  # (P,)
+        angles = self._angles(antenna_pos, target_pos)  # (P, T)
+        return _pattern(angles - steer[:, None], self.beamwidth)

@@ -1,0 +1,175 @@
+"""Dyadic subaperture factorisation (paper Fig. 3a).
+
+FFBP starts from many single-pulse subapertures with low angular
+resolution and iteratively merges groups of ``merge_base`` neighbours
+into longer subapertures with proportionally higher angular resolution,
+until one full aperture remains.  This module computes the static
+geometry of that tree: how many subapertures each stage has, where
+their phase centres sit, their lengths, and how many beams each carries.
+
+The paper uses merge base 2 and 1024 pulses, giving ten merge
+iterations; the classes here support any integer base >= 2 so the
+merge-base ablation can be expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def num_stages(n_pulses: int, merge_base: int) -> int:
+    """Number of merge iterations to reach the full aperture.
+
+    ``n_pulses`` must be an exact power of ``merge_base`` (the paper's
+    1024 = 2**10); anything else would leave a ragged final merge the
+    paper does not define.
+    """
+    if merge_base < 2:
+        raise ValueError(f"merge base must be >= 2, got {merge_base}")
+    if n_pulses < 1:
+        raise ValueError(f"n_pulses must be positive, got {n_pulses}")
+    stages = 0
+    n = n_pulses
+    while n > 1:
+        if n % merge_base != 0:
+            raise ValueError(
+                f"n_pulses={n_pulses} is not a power of merge_base={merge_base}"
+            )
+        n //= merge_base
+        stages += 1
+    return stages
+
+
+@dataclass(frozen=True)
+class ApertureStage:
+    """Geometry of one factorisation stage.
+
+    Stage ``level`` 0 is the initial state (one subaperture per pulse,
+    one beam each); stage ``level == num_stages`` is the full aperture.
+
+    Attributes
+    ----------
+    level:
+        Merge iterations applied so far.
+    n_subapertures:
+        Number of subapertures at this stage.
+    pulses_per_subaperture:
+        Pulses contributing to each subaperture.
+    beams:
+        Angular samples each subaperture carries.  Beams multiply by
+        the merge base at every level so that angular sampling keeps
+        pace with the growing aperture length.
+    length:
+        Subaperture length in metres (pulses_per_subaperture * spacing).
+    centers:
+        ``(n_subapertures,)`` along-track phase-centre coordinates.
+    """
+
+    level: int
+    n_subapertures: int
+    pulses_per_subaperture: int
+    beams: int
+    length: float
+    centers: np.ndarray
+
+    def center_of(self, index: int) -> float:
+        """Phase-centre x coordinate of subaperture ``index``."""
+        return float(self.centers[index])
+
+
+class SubapertureTree:
+    """The full factorisation schedule for an aperture.
+
+    Parameters
+    ----------
+    n_pulses:
+        Total pulses in the aperture (a power of ``merge_base``).
+    spacing:
+        Along-track pulse spacing in metres.
+    merge_base:
+        Number of children merged per parent (paper: 2).
+    x0:
+        Along-track coordinate of the first pulse.
+    """
+
+    def __init__(
+        self,
+        n_pulses: int,
+        spacing: float,
+        merge_base: int = 2,
+        x0: float = 0.0,
+    ) -> None:
+        if spacing <= 0:
+            raise ValueError(f"spacing must be positive, got {spacing}")
+        self.n_pulses = int(n_pulses)
+        self.spacing = float(spacing)
+        self.merge_base = int(merge_base)
+        self.x0 = float(x0)
+        self.n_stages = num_stages(self.n_pulses, self.merge_base)
+        self._stages = [self._build_stage(k) for k in range(self.n_stages + 1)]
+
+    def _build_stage(self, level: int) -> ApertureStage:
+        per = self.merge_base**level
+        n_sub = self.n_pulses // per
+        # Phase centre = mean position of the contributing pulses.
+        first_pulse = per * np.arange(n_sub, dtype=np.float64)
+        centers = self.x0 + self.spacing * (first_pulse + (per - 1) / 2.0)
+        return ApertureStage(
+            level=level,
+            n_subapertures=n_sub,
+            pulses_per_subaperture=per,
+            beams=per,
+            length=per * self.spacing,
+            centers=centers,
+        )
+
+    def stage(self, level: int) -> ApertureStage:
+        """Stage geometry after ``level`` merge iterations."""
+        return self._stages[level]
+
+    @property
+    def stages(self) -> list[ApertureStage]:
+        return list(self._stages)
+
+    @property
+    def final(self) -> ApertureStage:
+        """The full-aperture stage (a single subaperture)."""
+        return self._stages[-1]
+
+    def child_offsets(self, parent_level: int) -> np.ndarray:
+        """Child phase-centre offsets from the parent phase centre.
+
+        For merge base ``b``, a parent at ``parent_level`` is formed
+        from ``b`` children of stage ``parent_level - 1``; the offsets
+        are symmetric about zero and spaced by the child length.  For
+        base 2 this is ``[-l/2, +l/2]`` with ``l`` the child length --
+        the configuration of paper eqs. 1-4.
+        """
+        if parent_level < 1 or parent_level > self.n_stages:
+            raise ValueError(
+                f"parent_level must be in [1, {self.n_stages}], got {parent_level}"
+            )
+        child = self.stage(parent_level - 1)
+        b = self.merge_base
+        k = np.arange(b, dtype=np.float64)
+        return child.length * (k - (b - 1) / 2.0)
+
+    def gbp_equivalent_merges(self) -> int:
+        """Element combinings global back-projection would need.
+
+        GBP integrates every pulse into every output sample; FFBP's
+        saving (the paper's motivation) is the ratio between this and
+        :meth:`ffbp_merges`.
+        """
+        return self.n_pulses
+
+    def ffbp_merges(self) -> int:
+        """Per-output-sample combinings summed over all FFBP stages.
+
+        Each stage touches every output sample once per child, so the
+        count is ``merge_base * n_stages`` -- logarithmic in the pulse
+        count instead of linear.
+        """
+        return self.merge_base * self.n_stages

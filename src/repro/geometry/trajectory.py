@@ -1,0 +1,123 @@
+"""Platform flight trajectories.
+
+Stripmap SAR (paper Fig. 2) assumes the platform moves along a nominally
+linear track while transmitting pulses at uniform along-track spacing.
+Time-domain back-projection can compensate non-linear tracks; the
+autofocus case study exists precisely because the real track deviates
+from the assumed one.  We therefore model both:
+
+- :class:`LinearTrajectory` -- the ideal track the processor assumes,
+- :class:`PerturbedTrajectory` -- the true track with a smooth
+  cross-track deviation (the "path error" of paper Section II-A, whose
+  effect on a small subimage is approximately a linear shift).
+
+Coordinates are 2-D ground coordinates ``(x, y)`` in metres: ``x`` is
+along-track, ``y`` is cross-track (range direction).  A 2-D geometry is
+sufficient for every computation in the paper (the paper's own stimulus
+is a flat 2-D scene).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Trajectory(abc.ABC):
+    """A platform track sampled at the pulse transmission instants.
+
+    Concrete trajectories expose ``positions(n)``: the antenna phase
+    centre position for each of the ``n`` transmitted pulses, as an
+    ``(n, 2)`` float array.
+    """
+
+    @abc.abstractmethod
+    def positions(self, n_pulses: int) -> np.ndarray:
+        """Return the ``(n_pulses, 2)`` antenna positions in metres."""
+
+    def aperture_length(self, n_pulses: int) -> float:
+        """Along-track extent of the synthetic aperture in metres."""
+        pos = self.positions(n_pulses)
+        return float(pos[-1, 0] - pos[0, 0])
+
+    def center(self, n_pulses: int) -> np.ndarray:
+        """Mean antenna position: the full-aperture phase centre."""
+        return self.positions(n_pulses).mean(axis=0)
+
+
+@dataclass(frozen=True)
+class LinearTrajectory(Trajectory):
+    """Ideal straight, constant-speed track along the x axis.
+
+    Parameters
+    ----------
+    spacing:
+        Along-track distance between consecutive pulses (metres).
+    y:
+        Constant cross-track offset of the track (metres); normally 0.
+    x0:
+        Along-track position of the first pulse (metres).
+    """
+
+    spacing: float = 1.0
+    y: float = 0.0
+    x0: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.spacing <= 0:
+            raise ValueError(f"pulse spacing must be positive, got {self.spacing}")
+
+    def positions(self, n_pulses: int) -> np.ndarray:
+        if n_pulses <= 0:
+            raise ValueError(f"n_pulses must be positive, got {n_pulses}")
+        x = self.x0 + self.spacing * np.arange(n_pulses, dtype=np.float64)
+        y = np.full(n_pulses, float(self.y))
+        return np.stack([x, y], axis=1)
+
+
+@dataclass(frozen=True)
+class PerturbedTrajectory(Trajectory):
+    """A linear track plus a smooth cross-track deviation.
+
+    The deviation is a sum of low-order sinusoids, a standard surrogate
+    for slow uncompensated platform motion.  Over the extent of a single
+    small subaperture the deviation is locally well approximated by a
+    linear function of along-track position -- which is exactly the
+    "path error ~ linear shift in the data set" approximation the
+    paper's autofocus criterion relies on.
+
+    Parameters
+    ----------
+    base:
+        The nominal linear trajectory.
+    amplitude:
+        Peak cross-track deviation (metres).
+    wavelength:
+        Along-track wavelength of the dominant deviation (metres).
+    phase:
+        Phase offset of the deviation (radians).
+    """
+
+    base: LinearTrajectory = LinearTrajectory()
+    amplitude: float = 1.0
+    wavelength: float = 512.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wavelength <= 0:
+            raise ValueError(f"wavelength must be positive, got {self.wavelength}")
+
+    def positions(self, n_pulses: int) -> np.ndarray:
+        pos = self.base.positions(n_pulses)
+        dev = self.amplitude * np.sin(
+            2.0 * np.pi * pos[:, 0] / self.wavelength + self.phase
+        )
+        out = pos.copy()
+        out[:, 1] += dev
+        return out
+
+    def deviation(self, n_pulses: int) -> np.ndarray:
+        """Cross-track deviation from the nominal track, per pulse."""
+        return self.positions(n_pulses)[:, 1] - self.base.positions(n_pulses)[:, 1]

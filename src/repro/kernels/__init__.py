@@ -1,0 +1,43 @@
+"""The paper's kernel implementations on the modelled machines.
+
+Each case study exists in the paper's three configurations:
+
+========================  =====================================  ==========================
+Implementation            Module                                 Machine
+========================  =====================================  ==========================
+FFBP sequential           :mod:`repro.kernels.ffbp_seq`          1 Epiphany core
+FFBP parallel (SPMD)      :mod:`repro.kernels.ffbp_spmd`         16 Epiphany cores
+FFBP reference            :mod:`repro.kernels.cpu_ref`           1 i7 core
+Autofocus sequential      :mod:`repro.kernels.autofocus_seq`     1 Epiphany core
+Autofocus parallel (MPMD) :mod:`repro.kernels.autofocus_mpmd`    13 Epiphany cores
+Autofocus reference       :mod:`repro.kernels.cpu_ref`           1 i7 core
+========================  =====================================  ==========================
+
+The shared per-sample operation mixes and workload definitions live in
+:mod:`repro.kernels.opcounts`; every kernel describes its work with the
+same mixes, so machine comparisons are apples-to-apples.
+"""
+
+from repro.kernels.application import run_focused_image
+from repro.kernels.autofocus_mpmd import run_autofocus_mpmd, run_autofocus_scaled
+from repro.kernels.autofocus_seq import run_autofocus_seq_epiphany
+from repro.kernels.cpu_ref import run_autofocus_cpu, run_ffbp_cpu
+from repro.kernels.ffbp_seq import run_ffbp_seq_epiphany
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.kernels.gbp_ref import run_gbp_cpu, run_gbp_spmd
+from repro.kernels.opcounts import AutofocusWorkload, FfbpWorkload
+
+__all__ = [
+    "run_focused_image",
+    "run_autofocus_scaled",
+    "run_autofocus_mpmd",
+    "run_autofocus_seq_epiphany",
+    "run_autofocus_cpu",
+    "run_ffbp_cpu",
+    "run_ffbp_seq_epiphany",
+    "run_ffbp_spmd",
+    "run_gbp_cpu",
+    "run_gbp_spmd",
+    "AutofocusWorkload",
+    "FfbpWorkload",
+]

@@ -1,0 +1,174 @@
+"""Shared FFBP kernel planning.
+
+The machine kernels charge costs at *output-row* granularity (one
+parent beam row of ``n_ranges`` samples).  Everything they need --
+valid-sample fractions (the skip-zero optimisation), how many child
+lookups fall inside the prefetched local-memory window versus going to
+external memory, and how much data the window prefetch itself moves --
+is derived here from the **actual index maps** of each merge stage
+(:func:`repro.sar.ffbp.stage_maps`), not from hand-waved locality
+assumptions.
+
+A key structural fact keeps plans small: the index maps depend only on
+the stage geometry, never on which parent is being merged, so per-row
+statistics are computed once per stage for the ``K`` parent beams and
+hold for every parent subaperture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.apertures import SubapertureTree
+from repro.sar.config import RadarConfig
+from repro.sar.ffbp import stage_maps
+
+PREFETCH_WINDOW_BYTES = 16016
+"""The paper's prefetch budget: "the two upper data banks ... to store
+the subaperture data corresponding to two pulses, which is equal to
+16,016 bytes" (two 1001-sample complex64 rows)."""
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Cost-relevant statistics of one merge stage.
+
+    All per-row arrays have shape ``(K,)`` where ``K`` is the parent
+    beam count; they apply identically to every parent of the stage.
+
+    Attributes
+    ----------
+    level:
+        Merge level (1-based).
+    n_parents, beams, n_ranges:
+        Stage dimensions.
+    valid_frac:
+        Mean in-range fraction of child lookups per parent row.
+    reads_row_total:
+        Valid child lookups per row (what the *sequential* kernel
+        fetches from external memory one word at a time).
+    reads_row_ext:
+        Valid lookups per row that fall *outside* the prefetch window
+        (what the *parallel* kernel still fetches word-wise).
+    med_row:
+        ``(n_children, K)`` median child beam row of each parent row's
+        lookups -- the centre the prefetch window tracks.
+    window_rows:
+        Child beam rows the per-child window holds.
+    child_beams:
+        Beam rows in each child subaperture.
+    """
+
+    level: int
+    n_parents: int
+    beams: int
+    n_ranges: int
+    valid_frac: np.ndarray
+    reads_row_total: np.ndarray
+    reads_row_ext: np.ndarray
+    med_row: np.ndarray
+    window_rows: int
+    child_beams: int
+
+    @property
+    def rows(self) -> int:
+        """Total output rows of the stage (parents x beams)."""
+        return self.n_parents * self.beams
+
+    def prefetch_rows_for_span(self, k0: int, k1: int) -> int:
+        """Distinct child beam rows a window sweep over rows
+        ``[k0, k1)`` of one parent must fetch, summed over children.
+
+        The window tracks the per-row median; the distinct rows covered
+        are the span of medians plus the window width, clipped to the
+        child's extent.
+        """
+        if not 0 <= k0 < k1 <= self.beams:
+            raise ValueError(f"bad beam span [{k0}, {k1}) for {self.beams} beams")
+        if self.window_rows == 0:
+            return 0
+        total = 0
+        half = self.window_rows // 2
+        for c in range(self.med_row.shape[0]):
+            med = self.med_row[c, k0:k1]
+            lo = max(0, int(med.min()) - half)
+            hi = min(self.child_beams - 1, int(med.max()) + half)
+            total += hi - lo + 1
+        return total
+
+
+@dataclass(frozen=True)
+class FfbpPlan:
+    """Per-stage plans for a full FFBP run."""
+
+    cfg: RadarConfig
+    stages: tuple[StagePlan, ...]
+    window_bytes: int
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(s.rows * s.n_ranges for s in self.stages)
+
+
+def plan_stage(
+    cfg: RadarConfig,
+    tree: SubapertureTree,
+    level: int,
+    window_bytes: int = PREFETCH_WINDOW_BYTES,
+) -> StagePlan:
+    """Build the cost plan of one merge stage from its index maps."""
+    maps = stage_maps(cfg, tree, level)
+    parent = tree.stage(level)
+    child = tree.stage(level - 1)
+    n_children, beams, n_ranges = maps.valid.shape
+
+    row_bytes = n_ranges * 8
+    per_child_window = window_bytes // max(1, n_children)
+    window_rows = per_child_window // row_bytes  # 0 = no prefetch at all
+
+    valid_frac = maps.valid.mean(axis=(0, 2))
+    reads_total = maps.valid.sum(axis=(0, 2)).astype(np.int64)
+
+    med = np.median(maps.beam_idx, axis=2).astype(np.int64)  # (C, K)
+    if window_rows == 0:
+        in_window = np.zeros_like(maps.valid)
+    else:
+        half = window_rows // 2
+        in_window = np.abs(maps.beam_idx - med[:, :, None]) <= half
+    reads_ext = (maps.valid & ~in_window).sum(axis=(0, 2)).astype(np.int64)
+
+    return StagePlan(
+        level=level,
+        n_parents=parent.n_subapertures,
+        beams=beams,
+        n_ranges=n_ranges,
+        valid_frac=valid_frac,
+        reads_row_total=reads_total,
+        reads_row_ext=reads_ext,
+        med_row=med,
+        window_rows=window_rows,
+        child_beams=child.beams,
+    )
+
+
+def plan_ffbp(
+    cfg: RadarConfig, window_bytes: int = PREFETCH_WINDOW_BYTES
+) -> FfbpPlan:
+    """Build the full multi-stage plan for a configuration.
+
+    The plan is machine-independent; the same plan feeds the Epiphany
+    sequential, Epiphany SPMD and CPU reference kernels, which is what
+    makes their comparison a controlled experiment.
+    """
+    tree = SubapertureTree(cfg.n_pulses, cfg.spacing, cfg.merge_base)
+    stages = tuple(
+        plan_stage(cfg, tree, level, window_bytes)
+        for level in range(1, tree.n_stages + 1)
+    )
+    return FfbpPlan(cfg=cfg, stages=stages, window_bytes=window_bytes)

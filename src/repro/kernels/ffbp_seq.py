@@ -1,0 +1,53 @@
+"""Sequential FFBP on one Epiphany core.
+
+Paper Section V-B: "In the sequential version the complete algorithm is
+executed on a single core of Epiphany."  The image data lives in
+off-chip SDRAM; without caches, every child-sample lookup is a blocking
+word read over the e-link ("the image data is stored in the off-chip
+SDRAM whose access time is much longer"), while the result rows are
+posted writes.  This is the configuration the paper measures at
+3582 ms (Table I) -- ~3x slower than the i7 reference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
+from repro.machine.context import store
+from repro.machine.core import OpBlock
+from repro.machine.event import Waitable
+from repro.kernels.ffbp_common import FfbpPlan
+from repro.kernels.opcounts import COMPLEX_BYTES, row_op_block
+
+
+def ffbp_seq_kernel(plan: FfbpPlan):
+    """Build the single-core kernel generator for a plan."""
+
+    def kernel(ctx: EpiphanyContext) -> Iterator[Waitable]:
+        for stage in plan.stages:
+            row_bytes = stage.n_ranges * COMPLEX_BYTES
+            for _parent in range(stage.n_parents):
+                for k in range(stage.beams):
+                    # Geometry + combining for one output row; the
+                    # child lookups go word-by-word to external memory.
+                    yield from ctx.ext_scatter_read(int(stage.reads_row_total[k]))
+                    block = row_op_block(stage.valid_frac[k], stage.n_ranges)
+                    # Lookups were external, not local.
+                    block = OpBlock(
+                        flops=block.flops,
+                        fmas=block.fmas,
+                        sqrts=block.sqrts,
+                        specials=block.specials,
+                        int_ops=block.int_ops,
+                        local_loads=0.0,
+                        local_stores=block.local_stores,
+                    )
+                    yield from ctx.work(block, [store(row_bytes)])
+
+    return kernel
+
+
+def run_ffbp_seq_epiphany(chip: EpiphanyChip, plan: FfbpPlan) -> RunResult:
+    """Run the sequential FFBP timing model on one Epiphany core."""
+    return chip.run({0: ffbp_seq_kernel(plan)})

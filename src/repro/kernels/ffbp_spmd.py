@@ -1,0 +1,102 @@
+"""Parallel SPMD FFBP on 16 Epiphany cores.
+
+Paper Section V-B: the same program runs on every core; the resulting
+image is divided into independent slices (paper Fig. 6); the
+contributing subaperture data is prefetched into the two upper local
+banks (16,016 bytes); result rows are posted to external SDRAM
+("its effect is less pronounced because ... the write operation is
+performed without stalling"); and a barrier separates merge iterations
+(the next iteration reads what this one wrote).
+
+During the first merges the prefetched window covers all contributing
+data; at later stages the contributing samples spread over more child
+beam rows than the window holds, and the spill becomes blocking
+word-granular external reads -- "in the later iterations it still
+requires contributing data to be read from the external memory".  The
+split between the two is computed from the real index maps by
+:mod:`repro.kernels.ffbp_common`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
+from repro.machine.context import store
+
+from repro.machine.event import Waitable
+from repro.kernels.ffbp_common import FfbpPlan, StagePlan
+from repro.kernels.opcounts import COMPLEX_BYTES, row_op_block
+from repro.runtime.spmd import partition
+
+
+def _core_row_spans(
+    stage: StagePlan, core_id: int, n_cores: int
+) -> list[tuple[int, int, int]]:
+    """This core's share of a stage as ``(parent, k0, k1)`` spans.
+
+    Rows are ordered parent-major; each core receives a balanced
+    contiguous block, which maps to at most a few partial-parent spans.
+    """
+    sl = partition(stage.rows, n_cores)[core_id]
+    spans: list[tuple[int, int, int]] = []
+    row = sl.start
+    while row < sl.stop:
+        parent = row // stage.beams
+        k0 = row % stage.beams
+        k1 = min(stage.beams, k0 + (sl.stop - row))
+        spans.append((parent, k0, k1))
+        row += k1 - k0
+    return spans
+
+
+def ffbp_spmd_kernel(plan: FfbpPlan, n_cores: int, interpolation: str = "nearest"):
+    """Build the per-core SPMD kernel generator for a plan."""
+
+    def kernel(ctx: EpiphanyContext) -> Iterator[Waitable]:
+        core = ctx.core_id
+        for stage in plan.stages:
+            row_bytes = stage.n_ranges * COMPLEX_BYTES
+            spans = _core_row_spans(stage, core, n_cores)
+            n_rows = sum(k1 - k0 for _p, k0, k1 in spans)
+            if n_rows == 0:
+                yield from ctx.barrier()
+                continue
+            # Total window traffic this core needs this stage, spread
+            # evenly across its rows and double-buffered with compute.
+            prefetch_bytes = sum(
+                stage.prefetch_rows_for_span(k0, k1) * row_bytes
+                for _p, k0, k1 in spans
+            )
+            per_row_prefetch = prefetch_bytes / n_rows
+            token = ctx.dma_prefetch(per_row_prefetch)
+            for _parent, k0, k1 in spans:
+                for k in range(k0, k1):
+                    yield from ctx.dma_wait(token)
+                    token = ctx.dma_prefetch(per_row_prefetch)
+                    # Window spill: word-granular blocking reads.
+                    yield from ctx.ext_scatter_read(int(stage.reads_row_ext[k]))
+                    block = row_op_block(
+                        stage.valid_frac[k], stage.n_ranges, interpolation
+                    )
+                    yield from ctx.work(block, [store(row_bytes)])
+            yield from ctx.dma_wait(token)
+            # Merge iterations are bulk-synchronous: the next stage
+            # reads this stage's output from external memory.
+            yield from ctx.barrier()
+
+    return kernel
+
+
+def run_ffbp_spmd(
+    chip: EpiphanyChip,
+    plan: FfbpPlan,
+    n_cores: int | None = None,
+    interpolation: str = "nearest",
+) -> RunResult:
+    """Run the parallel FFBP timing model on ``n_cores`` cores."""
+    cores = n_cores if n_cores is not None else chip.spec.n_cores
+    if not 1 <= cores <= chip.spec.n_cores:
+        raise ValueError(f"n_cores must be in 1..{chip.spec.n_cores}")
+    kernel = ffbp_spmd_kernel(plan, cores, interpolation)
+    return chip.run({c: kernel for c in range(cores)})

@@ -1,0 +1,212 @@
+"""Shared operation mixes and workload definitions.
+
+The machine models consume *work descriptions*; this module is the
+single source of truth for how many operations each algorithmic step
+costs, derived from the arithmetic the NumPy implementations actually
+perform (see :mod:`repro.sar.ffbp` and :mod:`repro.sar.autofocus`).
+Both machines receive the same mixes -- the paper applies the same
+source-level optimisations to both architectures ("the said
+optimization is applied in the case of both architectures").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.core import OpBlock
+from repro.sar.config import RadarConfig
+
+COMPLEX_BYTES = 8
+"""One image pixel: two 32-bit floats (paper Section V-B)."""
+
+
+# ---------------------------------------------------------------------------
+# FFBP element combining (paper eqs. 1-5), per parent output sample
+# ---------------------------------------------------------------------------
+#
+# Per sample, per child:
+#   ranges   (eqs. 1-2): r^2 and (l/2)^2 terms fold into 2 FMAs once the
+#            per-beam cos(theta) is hoisted; then one square root.
+#   angles   (eqs. 3-4): one FMA for the arccos argument plus one
+#            libm-class arccos (the division folds into it).
+#   indexing: ~7 integer ops (scale, round, clamp, bounds tests --
+#            the paper's "skip the additions with zero" check).
+#   lookup   one local load (or an external read, charged separately).
+# Per sample (both children):
+#   combine  (eq. 5): one complex add = 2 flops; one local store.
+FFBP_SAMPLE = OpBlock(
+    flops=2.0,
+    fmas=4.0,
+    sqrts=2.0,
+    specials=2.0,
+    int_ops=14.0,
+    local_loads=2.0,
+    local_stores=1.0,
+)
+
+FFBP_SAMPLE_INVALID = OpBlock(
+    # Out-of-range samples still pay the geometry (the test needs the
+    # indices) but skip the loads and the add.
+    flops=0.0,
+    fmas=4.0,
+    sqrts=2.0,
+    specials=2.0,
+    int_ops=14.0,
+    local_loads=0.0,
+    local_stores=1.0,
+)
+
+# Per-sample *additional* cost of the richer interpolation kernels the
+# paper suggests, relative to nearest-neighbour (per child: extra taps,
+# weight arithmetic, extra addressing).
+FFBP_INTERP_EXTRA = {
+    "nearest": OpBlock(),
+    "bilinear": OpBlock(
+        # 3 extra taps + 4 real-weight blends per child, complex data.
+        flops=8.0, fmas=8.0, int_ops=8.0, local_loads=6.0
+    ),
+    "cubic_range": OpBlock(
+        # 3 extra range taps per child + Neville weight evaluation.
+        flops=24.0, fmas=16.0, int_ops=6.0, local_loads=6.0
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Autofocus criterion (paper eq. 6 + Neville interpolation), per pixel
+# ---------------------------------------------------------------------------
+#
+# One cubic interpolation of a complex pixel on the uniform grid
+# (:func:`repro.signal.interpolation.neville_weights` + 4-tap dot):
+#   weights: ~12 flops of polynomial evaluation in t,
+#   dot:     4 taps x complex pixel = 8 FMAs,
+#   address: ~6 integer ops, 4 complex local loads (8 scalar words).
+AUTOFOCUS_INTERP = OpBlock(
+    flops=12.0,
+    fmas=8.0,
+    int_ops=6.0,
+    local_loads=8.0,
+    local_stores=2.0,
+)
+
+# One correlation pixel: |f-|^2 (1 FMA + 1 mul), |f+|^2 (same),
+# product (1 mul), accumulate (1 add).
+AUTOFOCUS_CORR = OpBlock(
+    flops=4.0,
+    fmas=2.0,
+    int_ops=2.0,
+    local_loads=4.0,
+)
+
+
+@dataclass(frozen=True)
+class FfbpWorkload:
+    """The FFBP case-study workload (paper Section V-B)."""
+
+    cfg: RadarConfig
+
+    @property
+    def n_stages(self) -> int:
+        from repro.geometry.apertures import num_stages
+
+        return num_stages(self.cfg.n_pulses, self.cfg.merge_base)
+
+    @property
+    def samples_per_stage(self) -> int:
+        """Output samples per merge stage (constant across stages)."""
+        return self.cfg.n_pulses * self.cfg.n_ranges
+
+    @property
+    def total_samples(self) -> int:
+        return self.samples_per_stage * self.n_stages
+
+    @property
+    def image_bytes(self) -> int:
+        return self.samples_per_stage * COMPLEX_BYTES
+
+    @classmethod
+    def paper(cls) -> "FfbpWorkload":
+        return cls(RadarConfig.paper())
+
+
+@dataclass(frozen=True)
+class AutofocusWorkload:
+    """The autofocus case-study workload (paper Section V-C).
+
+    Two 6x6 pixel blocks; cubic (Neville) interpolation in range then
+    beam; three pipeline iterations cover the block; a grid of
+    candidate flight-path compensations is scored per criterion
+    calculation.  The paper does not state its candidate count ("the
+    criterion calculations are carried out many times for each merge");
+    ``n_candidates = 216`` -- a 6x6x6 grid over (range shift, range
+    tilt, beam shift) -- is calibrated so the reference model's
+    throughput matches the paper's measured 21,600 pixels/s.
+    """
+
+    block_beams: int = 6
+    block_ranges: int = 6
+    n_candidates: int = 216
+    iterations: int = 3
+
+    def __post_init__(self) -> None:
+        if self.block_beams < 4 or self.block_ranges < 4:
+            raise ValueError("cubic interpolation needs blocks of >= 4 pixels")
+        if self.n_candidates < 1 or self.iterations < 1:
+            raise ValueError("need at least one candidate and one iteration")
+
+    @property
+    def pixels(self) -> int:
+        """Criterion output pixels per calculation (the throughput unit)."""
+        return self.block_beams * self.block_ranges
+
+    @property
+    def interps_per_candidate(self) -> int:
+        """Interpolations per candidate: 2 blocks x 2 passes x pixels."""
+        return 2 * 2 * self.pixels
+
+    @property
+    def corr_pixels_per_candidate(self) -> int:
+        return self.pixels
+
+    @property
+    def block_bytes(self) -> int:
+        return self.pixels * COMPLEX_BYTES
+
+    def total_interp_ops(self) -> OpBlock:
+        """All interpolation work of one criterion calculation."""
+        n = self.interps_per_candidate * self.n_candidates * self.iterations
+        return AUTOFOCUS_INTERP.scaled(n)
+
+    def total_corr_ops(self) -> OpBlock:
+        n = self.corr_pixels_per_candidate * self.n_candidates * self.iterations
+        return AUTOFOCUS_CORR.scaled(n)
+
+
+def row_op_block(
+    valid_fraction: np.ndarray | float,
+    n_ranges: int,
+    interpolation: str = "nearest",
+) -> OpBlock:
+    """Op mix of one FFBP output row given its valid-sample fraction.
+
+    Mixes :data:`FFBP_SAMPLE` and :data:`FFBP_SAMPLE_INVALID` by the
+    fraction of in-range lookups, implementing the paper's skip-zero
+    optimisation at row granularity.  ``interpolation`` adds the extra
+    per-sample cost of the richer kernels (the price side of the
+    paper's "could be considerably improved" remark).
+    """
+    try:
+        extra = FFBP_INTERP_EXTRA[interpolation]
+    except KeyError:
+        raise ValueError(
+            f"unknown interpolation {interpolation!r}; "
+            f"choose from {sorted(FFBP_INTERP_EXTRA)}"
+        ) from None
+    f = float(np.mean(valid_fraction))
+    f = min(1.0, max(0.0, f))
+    block = FFBP_SAMPLE.scaled(f * n_ranges) + FFBP_SAMPLE_INVALID.scaled(
+        (1.0 - f) * n_ranges
+    )
+    return block + extra.scaled(f * n_ranges)

@@ -1,0 +1,47 @@
+"""Manycore architecture simulator (the hardware substitute).
+
+The paper measures cycle counts on a 16-core Epiphany E16G3 and a
+single core of an Intel i7-M620; neither is available here, so this
+package provides discrete-event timing and energy models of both (see
+DESIGN.md, "Substitutions").  The models operate at *work-block*
+granularity: kernels describe batches of homogeneous operations
+(:class:`~repro.machine.core.OpBlock`) plus explicit memory traffic and
+communication, and the simulator resolves cycles, contention and
+energy.
+
+Modules
+-------
+- :mod:`repro.machine.event` -- discrete-event engine (processes,
+  resources, flags, barriers),
+- :mod:`repro.machine.specs` -- datasheet constants with provenance,
+- :mod:`repro.machine.core` -- Epiphany core issue/timing model,
+- :mod:`repro.machine.noc` -- the three-plane 2-D mesh (eMesh),
+- :mod:`repro.machine.memory` -- local banks and external SDRAM,
+- :mod:`repro.machine.dma` -- per-core DMA engines,
+- :mod:`repro.machine.energy` -- activity-based energy accounting,
+- :mod:`repro.machine.chip` -- the assembled Epiphany chip,
+- :mod:`repro.machine.cpu` -- the i7-like reference model,
+- :mod:`repro.machine.trace` -- operation counters.
+"""
+
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.machine.cpu import CpuMachine
+from repro.machine.event import Engine
+from repro.machine.loader import LoadPlan, ProgramImage
+from repro.machine.profile import profile_run
+from repro.machine.specs import CpuSpec, EpiphanySpec
+from repro.machine.tracing import ActivityRecorder
+
+__all__ = [
+    "EpiphanyChip",
+    "OpBlock",
+    "CpuMachine",
+    "Engine",
+    "LoadPlan",
+    "ProgramImage",
+    "profile_run",
+    "CpuSpec",
+    "EpiphanySpec",
+    "ActivityRecorder",
+]

@@ -1,0 +1,122 @@
+"""The program/machine interface.
+
+Kernels are generator functions ``def kernel(ctx): yield from ...``
+written against the abstract :class:`Context`.  A context supplies the
+cost of each abstract operation on its machine; kernels do their real
+NumPy arithmetic inline and *describe* that work to the context, so one
+kernel run yields both the numerical result and the machine timing.
+
+The same interface is implemented by the Epiphany core contexts
+(:mod:`repro.machine.chip`) and by the single-core CPU reference model
+(:mod:`repro.machine.cpu`), which is what makes "same algorithm, two
+machines" comparisons honest: the kernels emit identical work
+descriptions to both.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.machine.core import OpBlock
+from repro.machine.event import Waitable
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """One memory transfer performed alongside a compute block.
+
+    Attributes
+    ----------
+    kind:
+        ``"load"`` or ``"store"``.
+    nbytes:
+        Transfer size in bytes.
+    pattern:
+        ``"stream"`` (sequential, prefetchable) or ``"random"``
+        (data-dependent gathers, e.g. FFBP's child sample lookups).
+    working_set:
+        Bytes of the data structure being accessed; decides which cache
+        level backs the access on the CPU model.  ``None`` means "the
+        transfer itself" (pure streaming).
+    access_bytes:
+        Granularity of one access for random patterns (e.g. 8 bytes for
+        one complex64 pixel).
+    """
+
+    kind: str
+    nbytes: float
+    pattern: str = "stream"
+    working_set: float | None = None
+    access_bytes: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("load", "store"):
+            raise ValueError(f"kind must be load/store, got {self.kind!r}")
+        if self.pattern not in ("stream", "random"):
+            raise ValueError(f"pattern must be stream/random, got {self.pattern!r}")
+        if self.nbytes < 0:
+            raise ValueError("negative transfer size")
+
+
+def load(nbytes: float, **kw: Any) -> MemOp:
+    """Shorthand for ``MemOp("load", nbytes, ...)``."""
+    return MemOp("load", nbytes, **kw)
+
+
+def store(nbytes: float, **kw: Any) -> MemOp:
+    """Shorthand for ``MemOp("store", nbytes, ...)``."""
+    return MemOp("store", nbytes, **kw)
+
+
+class Context(abc.ABC):
+    """Abstract machine interface a kernel programs against."""
+
+    core_id: int = 0
+    n_cores: int = 1
+
+    @abc.abstractmethod
+    def work(
+        self, block: OpBlock, mem: Iterable[MemOp] = ()
+    ) -> Iterator[Waitable]:
+        """Perform a compute block plus its external memory traffic.
+
+        On the in-order Epiphany core the external loads stall after
+        the compute issues; on the out-of-order CPU, compute and memory
+        overlap.  Local loads/stores travel inside ``block``.
+        """
+
+    # -- optional capabilities (parallel machines override) -------------
+    def barrier(self) -> Iterator[Waitable]:
+        """Synchronise with the other cores of an SPMD program."""
+        raise NotImplementedError(f"{type(self).__name__} has no barrier")
+        yield  # pragma: no cover
+
+    def write_remote(self, dst_core: int, nbytes: float) -> Iterator[Waitable]:
+        """Post data into another core's local memory."""
+        raise NotImplementedError(f"{type(self).__name__} has no mesh")
+        yield  # pragma: no cover
+
+    def read_remote(self, src_core: int, nbytes: float) -> Iterator[Waitable]:
+        """Blocking read from another core's local memory."""
+        raise NotImplementedError(f"{type(self).__name__} has no mesh")
+        yield  # pragma: no cover
+
+    def dma_prefetch(self, nbytes: float) -> Any:
+        """Start a background external->local DMA; returns a token."""
+        raise NotImplementedError(f"{type(self).__name__} has no DMA")
+
+    def dma_wait(self, token: Any) -> Iterator[Waitable]:
+        """Wait for a DMA started with :meth:`dma_prefetch`."""
+        raise NotImplementedError(f"{type(self).__name__} has no DMA")
+        yield  # pragma: no cover
+
+    def set_flag(self, flag: Any) -> None:
+        """Raise a synchronisation flag (MPMD handshake primitive)."""
+        raise NotImplementedError(f"{type(self).__name__} has no flags")
+
+    def wait_flag(self, flag: Any) -> Iterator[Waitable]:
+        """Block until a flag is raised."""
+        raise NotImplementedError(f"{type(self).__name__} has no flags")
+        yield  # pragma: no cover

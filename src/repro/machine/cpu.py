@@ -1,0 +1,145 @@
+"""The single-core CPU reference model (Intel i7-M620-like).
+
+The paper's baseline is a *sequential, single-threaded* run on one core
+of an i7-M620 ("we chose not to use the obtainable 2-core parallelism").
+One core needs no network or contention simulation, so this model is
+analytical: an out-of-order issue model for compute, a three-level
+cache model with hardware prefetch for memory, and an overlap rule
+(the OoO window hides memory behind compute and vice versa).
+
+It implements the same :class:`~repro.machine.context.Context`
+interface as the Epiphany cores, so the *same kernel generators* run on
+both machines with identical work descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.machine.context import Context, MemOp
+from repro.machine.core import OpBlock
+from repro.machine.event import Delay, Engine, Waitable
+from repro.machine.specs import CpuSpec
+from repro.machine.trace import Trace
+
+OVERLAP_PENALTY = 0.25
+"""Calibrated: fraction of the shorter of (compute, memory) that is
+*not* hidden by the out-of-order window."""
+
+
+class CpuContext(Context):
+    """The single core's context."""
+
+    def __init__(self, machine: "CpuMachine") -> None:
+        self.machine = machine
+        self.core_id = 0
+        self.n_cores = 1
+        self.trace = Trace()
+
+    # ------------------------------------------------------------------
+    def compute_cycles(self, block: OpBlock) -> float:
+        s = self.machine.spec
+        fp = (block.flops + 2.0 * block.fmas) / s.scalar_flop_ipc
+        fp += block.sqrts * s.sqrt_cycles
+        fp += block.specials * s.special_cycles
+        ints = (
+            block.int_ops + block.local_loads + block.local_stores
+        ) / s.int_ipc
+        return max(fp, ints)
+
+    def memory_cycles(self, op: MemOp) -> float:
+        """Cycles attributable to one memory transfer."""
+        s = self.machine.spec
+        ws = op.working_set if op.working_set is not None else op.nbytes
+        if ws <= s.l1_bytes:
+            level_latency = s.l1_latency
+            is_offcore = False
+        elif ws <= s.l2_bytes:
+            level_latency = s.l2_latency
+            is_offcore = False
+        elif ws <= s.l3_bytes:
+            level_latency = s.l3_latency
+            is_offcore = False
+        else:
+            level_latency = s.dram_latency
+            is_offcore = True
+
+        if op.kind == "store":
+            # Write-combining streaming stores: bandwidth-bound only.
+            if is_offcore:
+                return op.nbytes / s.dram_bytes_per_cycle
+            return op.nbytes / 16.0  # store port throughput
+        if op.pattern == "stream":
+            lines = op.nbytes / s.line_bytes
+            exposed = level_latency * (1.0 - s.prefetch_efficiency)
+            cycles = lines * exposed
+            if is_offcore:
+                cycles += op.nbytes / s.dram_bytes_per_cycle
+            return cycles
+        # Random gathers: every access pays the level latency, divided
+        # by the memory-level parallelism the OoO window extracts.
+        accesses = op.nbytes / op.access_bytes
+        return accesses * level_latency / s.mlp
+
+    def work(self, block: OpBlock, mem: Iterable[MemOp] = ()) -> Iterator[Waitable]:
+        compute = self.compute_cycles(block)
+        mem_cycles = 0.0
+        for op in mem:
+            mem_cycles += self.memory_cycles(op)
+            if op.kind == "load":
+                self.trace.ext_read_bytes += op.nbytes
+            else:
+                self.trace.ext_write_bytes += op.nbytes
+        total = max(compute, mem_cycles) + OVERLAP_PENALTY * min(compute, mem_cycles)
+        self.trace.add_ops(block)
+        self.trace.compute_cycles += compute
+        self.trace.stall_cycles += total - compute if total > compute else 0.0
+        cycles = ceil(total)
+        if cycles:
+            yield Delay(cycles)
+
+    def barrier(self) -> Iterator[Waitable]:
+        # A single-core "SPMD program of one" synchronises trivially;
+        # supporting this lets sequential kernels share code paths.
+        self.trace.barriers += 1
+        return
+        yield  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class CpuRunResult:
+    """Outcome of one CPU run."""
+
+    cycles: int
+    seconds: float
+    energy_joules: float
+    average_power_w: float
+    trace: Trace
+    result: Any
+
+
+class CpuMachine:
+    """Runs one sequential kernel on the reference CPU model."""
+
+    def __init__(self, spec: CpuSpec | None = None) -> None:
+        self.spec = spec or CpuSpec()
+
+    def run(
+        self, program: Callable[[CpuContext], Iterator[Waitable]]
+    ) -> CpuRunResult:
+        engine = Engine()
+        ctx = CpuContext(self)
+        proc = engine.spawn(program(ctx), name="cpu")
+        cycles = engine.run()
+        seconds = cycles / self.spec.clock_hz
+        energy = self.spec.power_w * seconds
+        return CpuRunResult(
+            cycles=cycles,
+            seconds=seconds,
+            energy_joules=energy,
+            average_power_w=self.spec.power_w,
+            trace=ctx.trace,
+            result=proc.result,
+        )

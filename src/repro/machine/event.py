@@ -1,0 +1,293 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic process-based simulator in the SimPy style,
+built from scratch for this project.  Processes are Python generators
+that yield *waitables*:
+
+- :class:`Delay` -- advance the process by a cycle count,
+- :class:`Acquire` -- queue for a :class:`Resource` (a FIFO server with
+  a byte/cycle service rate and optional fixed latency),
+- :class:`Wait` -- block until a :class:`Flag` is set,
+- :class:`Join` -- block until another process finishes.
+
+Time is in integer clock cycles of the simulated device.  Determinism:
+ties are broken by schedule order (a monotonic sequence number), so a
+simulation is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations inside a simulation."""
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Wait for ``cycles`` clock cycles."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"negative delay: {self.cycles}")
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Queue for ``amount`` service units of a :class:`Resource`."""
+
+    resource: "Resource"
+    amount: float
+    latency: int = 0
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block until a :class:`Flag` is set."""
+
+    flag: "Flag"
+
+
+@dataclass(frozen=True)
+class Join:
+    """Block until another :class:`Process` completes."""
+
+    process: "Process"
+
+
+Waitable = Delay | Acquire | Wait | Join
+ProcessBody = Generator[Waitable, Any, Any]
+
+
+class Flag:
+    """A one-shot synchronisation flag (like an Epiphany mailbox flag).
+
+    Waiters resume on :meth:`set`; :meth:`clear` re-arms the flag for
+    reuse (the streaming channels toggle flags per message).
+    """
+
+    __slots__ = ("engine", "is_set", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.is_set = False
+        self._waiters: list[Process] = []
+        self.name = name
+
+    def set(self) -> None:
+        self.is_set = True
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine._schedule(0, proc, None)
+
+    def clear(self) -> None:
+        self.is_set = False
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "set" if self.is_set else "clear"
+        return f"Flag({self.name!r}, {state})"
+
+
+class Resource:
+    """A FIFO server: ``rate`` units per cycle, single queue.
+
+    Models shared channels (NoC links, the external-memory port).  A
+    request for ``amount`` units completes at::
+
+        start   = max(now, free_at) ;  free_at = start + amount / rate
+        finish  = free_at + latency
+
+    so queueing (``free_at``), occupancy (``amount/rate``) and pipe
+    latency are all represented.  ``latency`` does *not* occupy the
+    server -- back-to-back requests pipeline behind one another.
+    """
+
+    __slots__ = ("engine", "rate", "name", "free_at", "busy_units", "n_requests")
+
+    def __init__(self, engine: "Engine", rate: float, name: str = "") -> None:
+        if rate <= 0:
+            raise ValueError(f"resource rate must be positive, got {rate}")
+        self.engine = engine
+        self.rate = float(rate)
+        self.name = name
+        self.free_at = 0.0
+        self.busy_units = 0.0
+        self.n_requests = 0
+
+    def request_finish_time(self, amount: float, latency: int) -> int:
+        """Reserve ``amount`` units now; return absolute finish cycle."""
+        if amount < 0:
+            raise ValueError(f"negative resource request: {amount}")
+        now = self.engine.now
+        start = max(float(now), self.free_at)
+        self.free_at = start + amount / self.rate
+        self.busy_units += amount
+        self.n_requests += 1
+        return int(round(self.free_at)) + int(latency)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the server has been busy."""
+        if self.engine.now == 0:
+            return 0.0
+        return min(1.0, (self.busy_units / self.rate) / self.engine.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Resource({self.name!r}, rate={self.rate})"
+
+
+class Process:
+    """A running generator inside an :class:`Engine`."""
+
+    __slots__ = ("engine", "body", "name", "done", "result", "_joiners", "start_cycle", "finish_cycle")
+
+    def __init__(self, engine: "Engine", body: ProcessBody, name: str = "") -> None:
+        self.engine = engine
+        self.body = body
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self._joiners: list[Process] = []
+        self.start_cycle = engine.now
+        self.finish_cycle: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Barrier:
+    """An ``n``-party reusable barrier (SPMD sync primitive)."""
+
+    __slots__ = ("engine", "parties", "_count", "_flag", "name", "n_waits")
+
+    def __init__(self, engine: "Engine", parties: int, name: str = "") -> None:
+        if parties < 1:
+            raise ValueError(f"barrier needs >= 1 parties, got {parties}")
+        self.engine = engine
+        self.parties = parties
+        self._count = 0
+        self._flag = Flag(engine, name=f"{name}.flag")
+        self.name = name
+        self.n_waits = 0
+
+    def wait(self) -> Iterable[Waitable]:
+        """Yield-from this from a process to synchronise."""
+        self.n_waits += 1
+        self._count += 1
+        if self._count == self.parties:
+            self._count = 0
+            flag, self._flag = self._flag, Flag(self.engine, name=f"{self.name}.flag")
+            flag.set()
+        else:
+            flag = self._flag
+            yield Wait(flag)
+
+
+class Engine:
+    """The event loop.
+
+    Typical use::
+
+        eng = Engine()
+        procs = [eng.spawn(worker(ctx)) for ctx in contexts]
+        eng.run()
+        print(eng.now)  # total cycles
+    """
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._heap: list[tuple[int, int, Process]] = []
+        self._seq = 0
+        self._live = 0
+
+    # -- construction helpers -----------------------------------------
+    def resource(self, rate: float, name: str = "") -> Resource:
+        return Resource(self, rate, name)
+
+    def flag(self, name: str = "") -> Flag:
+        return Flag(self, name)
+
+    def barrier(self, parties: int, name: str = "") -> Barrier:
+        return Barrier(self, parties, name)
+
+    def spawn(self, body: ProcessBody, name: str = "") -> Process:
+        """Register a generator as a process, starting at time ``now``."""
+        proc = Process(self, body, name)
+        self._live += 1
+        self._schedule(0, proc, None)
+        return proc
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule(self, delay: int, proc: Process, _value: Any) -> None:
+        heapq.heappush(self._heap, (self.now + int(delay), self._seq, proc))
+        self._seq += 1
+
+    def _schedule_at(self, when: int, proc: Process) -> None:
+        heapq.heappush(self._heap, (max(int(when), self.now), self._seq, proc))
+        self._seq += 1
+
+    def _step(self, proc: Process) -> None:
+        try:
+            waitable = next(proc.body)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            proc.finish_cycle = self.now
+            self._live -= 1
+            for joiner in proc._joiners:
+                self._schedule(0, joiner, None)
+            proc._joiners.clear()
+            return
+        self._dispatch(proc, waitable)
+
+    def _dispatch(self, proc: Process, waitable: Waitable) -> None:
+        if isinstance(waitable, Delay):
+            self._schedule(waitable.cycles, proc, None)
+        elif isinstance(waitable, Acquire):
+            finish = waitable.resource.request_finish_time(
+                waitable.amount, waitable.latency
+            )
+            self._schedule_at(finish, proc)
+        elif isinstance(waitable, Wait):
+            if waitable.flag.is_set:
+                self._schedule(0, proc, None)
+            else:
+                waitable.flag._add_waiter(proc)
+        elif isinstance(waitable, Join):
+            if waitable.process.done:
+                self._schedule(0, proc, None)
+            else:
+                waitable.process._joiners.append(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded a non-waitable: {waitable!r}"
+            )
+
+    def run(self, max_cycles: int | None = None) -> int:
+        """Run until no events remain (or ``max_cycles``); return ``now``.
+
+        Raises :class:`SimulationError` on deadlock: live processes
+        remain but no event is scheduled (e.g. a flag nobody sets).
+        """
+        while self._heap:
+            when, _seq, proc = heapq.heappop(self._heap)
+            if max_cycles is not None and when > max_cycles:
+                self.now = max_cycles
+                return self.now
+            if when < self.now:
+                raise SimulationError("time went backwards (engine bug)")
+            self.now = when
+            self._step(proc)
+        if self._live > 0:
+            raise SimulationError(
+                f"deadlock: {self._live} process(es) blocked with no pending events"
+            )
+        return self.now

@@ -1,0 +1,81 @@
+"""Program loading model.
+
+Paper Section III: "each core in the architecture runs a separate
+program code.  These multiple programs are built independently and then
+loaded onto the chip using a common loader."  Loading happens over the
+same external link the data uses, so it is modellable: an SPMD
+application ships *one* image to all cores; an MPMD application ships a
+distinct image per core -- another face of the Section VI-B
+programmability contrast (and a real start-up cost on small workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.specs import EpiphanySpec
+
+
+@dataclass(frozen=True)
+class ProgramImage:
+    """One core program binary."""
+
+    name: str
+    code_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.code_bytes < 0:
+            raise ValueError("negative code size")
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """What the common loader must ship for one application."""
+
+    images: tuple[ProgramImage, ...]
+    replicas: tuple[int, ...]
+    """How many cores each image is loaded onto."""
+
+    def __post_init__(self) -> None:
+        if len(self.images) != len(self.replicas):
+            raise ValueError("images and replicas must align")
+        if any(r < 1 for r in self.replicas):
+            raise ValueError("each image needs at least one replica")
+
+    @property
+    def distinct_images(self) -> int:
+        return len(self.images)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(self.replicas)
+
+    def bytes_over_link(self, broadcast: bool = False) -> int:
+        """Bytes the loader pushes through the external link.
+
+        ``broadcast=True`` models a multicast-capable loader (one copy
+        per *image*); the baseline loader writes each core's memory
+        individually (one copy per *core*), which is how the Epiphany
+        loader works.
+        """
+        if broadcast:
+            return sum(img.code_bytes for img in self.images)
+        return sum(
+            img.code_bytes * n for img, n in zip(self.images, self.replicas)
+        )
+
+    def load_cycles(self, spec: EpiphanySpec | None = None, broadcast: bool = False) -> int:
+        """Cycles to ship the code over the external channel."""
+        s = spec or EpiphanySpec()
+        return int(self.bytes_over_link(broadcast) / s.offchip_bytes_per_cycle)
+
+    @classmethod
+    def spmd(cls, code_bytes: int, n_cores: int, name: str = "spmd") -> "LoadPlan":
+        """One program image replicated onto every core."""
+        return cls((ProgramImage(name, code_bytes),), (n_cores,))
+
+    @classmethod
+    def mpmd(cls, sizes: dict[str, int]) -> "LoadPlan":
+        """A distinct image per task."""
+        images = tuple(ProgramImage(n, b) for n, b in sorted(sizes.items()))
+        return cls(images, tuple(1 for _ in images))

@@ -1,0 +1,157 @@
+"""Memory system models: external SDRAM channel and local banks.
+
+The Epiphany has no caches (paper Section VI): each core owns 32 KB of
+local memory in four 8 KB banks, and everything else is off-chip SDRAM
+behind the shared e-link.  Two asymmetries drive the paper's FFBP
+results and are modelled explicitly:
+
+- **reads stall** the issuing core for the full round trip
+  ("the memory read operation is more expensive due to stalling"),
+- **writes are posted** into the off-chip write mesh and complete in
+  the background ("the write operation is performed without stalling
+  ... a single cycle throughput"), subject to backpressure when the
+  shared channel saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.specs import EpiphanySpec
+
+
+@dataclass
+class ExternalMemory:
+    """The shared off-chip channel (e-link + SDRAM).
+
+    A single FIFO-served port with ``offchip_bytes_per_cycle`` total
+    bandwidth shared by all cores (quoted: 8 GB/s at 1 GHz) and a fixed
+    read round-trip latency (calibrated).
+    """
+
+    spec: EpiphanySpec
+    write_buffer_cycles: int = 512
+    """Posted-write backpressure window: how far the channel backlog may
+    run ahead of a writing core before the core must stall."""
+
+    def __post_init__(self) -> None:
+        self.free_at = 0.0
+        self.read_bytes = 0.0
+        self.write_bytes = 0.0
+        self.n_reads = 0
+        self.n_writes = 0
+        self.busy_cycles = 0.0
+
+    def _occupy(self, now: int, nbytes: float) -> float:
+        start = max(float(now), self.free_at)
+        occupancy = nbytes / self.spec.offchip_bytes_per_cycle
+        self.free_at = start + occupancy
+        self.busy_cycles += occupancy
+        return self.free_at
+
+    def read_finish(self, now: int, nbytes: float) -> int:
+        """Completion cycle of a blocking read issued at ``now``."""
+        if nbytes < 0:
+            raise ValueError("negative read size")
+        self.read_bytes += nbytes
+        self.n_reads += 1
+        done = self._occupy(now, nbytes)
+        return int(round(done)) + self.spec.ext_read_latency_cycles
+
+    def scatter_read_finish(
+        self, now: int, n_accesses: int, access_bytes: float = 8.0
+    ) -> int:
+        """Completion cycle of ``n_accesses`` serial blocking word reads.
+
+        Each scattered read occupies the channel for
+        ``ext_read_transaction_cycles`` (e-link round trip + wasted
+        SDRAM burst); the issuing core proceeds strictly serially, so
+        the uncontended floor is ``n * (transaction + latency)``.
+        Under contention the aggregated channel reservation dominates:
+
+        ``finish = max(now + n*(trans + latency), channel_done + latency)``
+        """
+        if n_accesses < 0:
+            raise ValueError("negative access count")
+        self.read_bytes += n_accesses * access_bytes
+        self.n_reads += n_accesses
+        return self._scatter_finish(now, n_accesses)
+
+    def _scatter_finish(self, now: int, n_accesses: int) -> int:
+        s = self.spec
+        trans = s.ext_read_transaction_cycles
+        start = max(float(now), self.free_at)
+        self.free_at = start + n_accesses * trans
+        self.busy_cycles += n_accesses * trans
+        serial_floor = now + n_accesses * (trans + s.ext_read_latency_cycles)
+        return int(round(max(serial_floor, self.free_at + s.ext_read_latency_cycles)))
+
+    def write_stall(self, now: int, nbytes: float) -> int:
+        """Core-visible stall cycles of a posted write issued at ``now``.
+
+        The data is accepted at one transaction per cycle unless the
+        channel backlog exceeds the buffering window, in which case the
+        core is stalled down to the window.
+        """
+        if nbytes < 0:
+            raise ValueError("negative write size")
+        self.write_bytes += nbytes
+        self.n_writes += 1
+        if not self.spec.ext_write_posted:
+            # Ablation: no off-chip write network -- each word is a
+            # stalling round-trip transaction, like the scatter reads.
+            n_words = int(round(nbytes / 8.0))
+            return max(0, self._scatter_finish(now, n_words) - now)
+        done = self._occupy(now, nbytes)
+        backlog = done - now
+        stall = max(0.0, backlog - self.write_buffer_cycles)
+        # Issuing the stores still costs the core one issue per
+        # transaction (a 64-bit store per cycle).
+        issue = nbytes / self.spec.local_bytes_per_cycle
+        return int(round(issue + stall))
+
+    def utilization(self, now: int) -> float:
+        if now <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / now)
+
+
+@dataclass
+class LocalMemory:
+    """One core's 32 KB scratchpad in four banks.
+
+    Block-granularity accounting: capacity checks for the kernels'
+    explicit buffer plans and byte counters for the energy model.  The
+    per-access cost of local loads/stores is part of the core issue
+    model (:class:`~repro.machine.core.OpBlock`), as the banks sustain
+    one access per cycle.
+    """
+
+    spec: EpiphanySpec
+
+    def __post_init__(self) -> None:
+        self.allocated = 0
+        self.peak = 0
+        self.bytes_accessed = 0.0
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve buffer space; raises if the scratchpad overflows."""
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        if self.allocated + nbytes > self.spec.local_mem_bytes:
+            raise MemoryError(
+                f"local memory overflow: {self.allocated} + {nbytes} > "
+                f"{self.spec.local_mem_bytes} bytes"
+            )
+        self.allocated += nbytes
+        self.peak = max(self.peak, self.allocated)
+
+    def free(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.allocated:
+            raise ValueError(
+                f"cannot free {nbytes} of {self.allocated} allocated bytes"
+            )
+        self.allocated -= nbytes
+
+    def touch(self, nbytes: float) -> None:
+        self.bytes_accessed += nbytes

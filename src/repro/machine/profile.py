@@ -1,0 +1,104 @@
+"""Run profiling: where did the cycles go?
+
+Turns a :class:`~repro.machine.chip.RunResult` into per-core and
+chip-level breakdowns (compute vs memory-stall vs idle), the numbers
+behind statements like "the parallel FFBP implementation is limited by
+the frequent off-chip memory accesses".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.chip import RunResult
+
+
+@dataclass(frozen=True)
+class CoreProfile:
+    """Cycle breakdown for one core."""
+
+    core: int
+    compute_cycles: float
+    stall_cycles: float
+    total_cycles: int
+
+    @property
+    def idle_cycles(self) -> float:
+        return max(0.0, self.total_cycles - self.compute_cycles - self.stall_cycles)
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.compute_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def stall_fraction(self) -> float:
+        return self.stall_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.compute_fraction + self.stall_fraction
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """Chip-level profile of one run."""
+
+    cores: tuple[CoreProfile, ...]
+    cycles: int
+
+    @property
+    def mean_compute_fraction(self) -> float:
+        if not self.cores:
+            return 0.0
+        return sum(c.compute_fraction for c in self.cores) / len(self.cores)
+
+    @property
+    def mean_stall_fraction(self) -> float:
+        if not self.cores:
+            return 0.0
+        return sum(c.stall_fraction for c in self.cores) / len(self.cores)
+
+    def classify(self) -> str:
+        """A coarse bottleneck verdict for reports.
+
+        ``"memory-bound"`` when stalls dominate compute on average,
+        ``"compute-bound"`` when compute dominates and cores are busy,
+        ``"imbalanced"`` when cores idle waiting for one another.
+        """
+        comp = self.mean_compute_fraction
+        stall = self.mean_stall_fraction
+        idle = 1.0 - comp - stall
+        if stall > comp and stall > idle:
+            return "memory-bound"
+        if comp >= stall and comp > idle:
+            return "compute-bound"
+        return "imbalanced"
+
+    def format(self) -> str:
+        from repro.eval.report import format_table
+
+        rows = [
+            [
+                str(c.core),
+                f"{c.compute_fraction:6.1%}",
+                f"{c.stall_fraction:6.1%}",
+                f"{max(0.0, 1 - c.busy_fraction):6.1%}",
+            ]
+            for c in self.cores
+        ]
+        table = format_table(["core", "compute", "stall", "idle"], rows)
+        return f"{table}\nverdict: {self.classify()}"
+
+
+def profile_run(result: RunResult) -> RunProfile:
+    """Build a profile from a chip run result."""
+    cores = tuple(
+        CoreProfile(
+            core=i,
+            compute_cycles=t.compute_cycles,
+            stall_cycles=t.stall_cycles,
+            total_cycles=result.cycles,
+        )
+        for i, t in enumerate(result.traces)
+    )
+    return RunProfile(cores=cores, cycles=result.cycles)

@@ -1,0 +1,253 @@
+"""Datasheet constants for the two modelled machines.
+
+Every constant is either **quoted** -- stated in the paper or in the
+E16G3 / i7-M620 datasheet excerpts the paper cites -- or **calibrated**
+-- chosen so the model reproduces the paper's own *measured sequential
+baselines* (Table I), and then held fixed for every other experiment.
+Calibrated constants are the model's free parameters; the parallel
+speedups, crossovers and energy ratios are *outputs*, not inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NocSpec:
+    """eMesh network-on-chip parameters (paper Section III)."""
+
+    hop_cycles: int = 1
+    """Quoted: "a single cycle routing latency per node"."""
+
+    link_bytes_per_cycle: float = 8.0
+    """Quoted: one 64-bit transaction per clock cycle per link."""
+
+    planes: tuple[str, ...] = ("on_chip_write", "off_chip_write", "read")
+    """Quoted: "three separate mesh structures" for on-chip writes,
+    off-chip writes, and read transactions."""
+
+
+@dataclass(frozen=True)
+class EpiphanySpec:
+    """Epiphany E16G3 model parameters."""
+
+    # ---- topology and clocks (quoted) --------------------------------
+    mesh_rows: int = 4
+    mesh_cols: int = 4
+    clock_hz: float = 1.0e9
+    """Quoted: results are reported "when executed at 1 GHz, which is
+    the maximum specified clock frequency"; the experimental board runs
+    at 400 MHz (see :meth:`board`)."""
+
+    # ---- memory system (quoted) --------------------------------------
+    local_mem_bytes: int = 32 * 1024
+    local_banks: int = 4
+    bank_bytes: int = 8 * 1024
+    local_bytes_per_cycle: float = 8.0
+    """Local banks deliver a double word per cycle (quoted: the DMA
+    engine "can transfer a double data word per clock cycle")."""
+
+    offchip_bytes_per_cycle: float = 8.0
+    """Quoted: "total off-chip bandwidth is 8 GB/sec" at 1 GHz."""
+
+    ext_read_latency_cycles: int = 77
+    """Calibrated: round-trip stall of a blocking external-SDRAM read
+    (e-link serialisation + SDRAM access).  Fitted to the paper's
+    sequential FFBP time on one Epiphany core (3582 ms, Table I);
+    Epiphany reads stall the core ("the memory read operation is more
+    expensive due to stalling")."""
+
+    ext_write_posted: bool = True
+    """Quoted: "the write operation is performed without stalling ...
+    writing has a single cycle throughput"."""
+
+    ext_read_transaction_cycles: int = 55
+    """Calibrated: shared-channel occupancy of one *scattered* (single
+    64-bit word) external read transaction -- request/response
+    serialisation on the e-link plus the wasted remainder of the SDRAM
+    burst.  Streamed (DMA) transfers avoid this and pay pure bandwidth.
+    This constant is what makes the parallel FFBP memory-bound on the
+    shared channel, the paper's stated limiter ("the frequent off-chip
+    memory accesses performed in the parallel FFBP implementation
+    limits the speedup")."""
+
+    # ---- core micro-architecture --------------------------------------
+    flops_per_cycle: float = 1.0
+    """Quoted: "one 32-bit single precision floating point operation
+    per clock cycle"."""
+
+    fma_supported: bool = True
+    """Quoted: "supports fused multiply add"; an FMA issues once and
+    retires two flops."""
+
+    dual_issue: bool = True
+    """Quoted: "dual instruction issue" -- one FPU and one IALU/load
+    instruction per cycle, so integer/addressing work overlaps FP."""
+
+    sqrt_cycles: int = 12
+    """Calibrated: the paper's "less compute-intensive implementation
+    of the square root" -- an FMA-based reciprocal-root iteration."""
+
+    special_cycles: int = 28
+    """Calibrated: software arccos/division and similar libm-class
+    operations on the Epiphany FPU."""
+
+    issue_efficiency: float = 0.99
+    """Calibrated: sustained issue slots per cycle on tuned inner loops
+    (branching and loop overhead keep it below 1.0)."""
+
+    # ---- DMA (quoted) --------------------------------------------------
+    dma_bytes_per_cycle: float = 8.0
+    """Quoted: "transfer a double data word per clock cycle"."""
+
+    # ---- energy (calibrated to the 2 W chip figure) --------------------
+    core_active_w: float = 0.105
+    """Calibrated: per-core power when issuing every cycle; 16 busy
+    cores ~ 1.68 W, plus NoC and static power ~ 2 W -- the paper's
+    estimated chip power (Table I, from the E16G3 datasheet)."""
+
+    core_idle_w: float = 0.012
+    """Calibrated: clock-gated core ("shutting off the clock to unused
+    function units and entire cores on a cycle-by-cycle basis")."""
+
+    noc_pj_per_byte_hop: float = 1.5
+    """Calibrated: mesh energy per byte per hop (short neighbour-only
+    wires, the paper's stated power advantage of the mesh)."""
+
+    ext_pj_per_byte: float = 60.0
+    """Calibrated: off-chip e-link + SDRAM energy per byte."""
+
+    static_w: float = 0.20
+    """Calibrated: chip static + clock-distribution power."""
+
+    datasheet_chip_power_w: float = 2.0
+    """Quoted: the paper's "estimated power" for the Epiphany chip at
+    1 GHz (Table I, from the E16G3 datasheet).  Table-I-style reports
+    use this figure, exactly as the paper does; the activity model
+    above provides the finer-grained measured power alongside it."""
+
+    @property
+    def n_cores(self) -> int:
+        return self.mesh_rows * self.mesh_cols
+
+    @property
+    def noc(self) -> NocSpec:
+        return NocSpec()
+
+    def with_clock(self, clock_hz: float) -> "EpiphanySpec":
+        return replace(self, clock_hz=clock_hz)
+
+    @classmethod
+    def board(cls) -> "EpiphanySpec":
+        """The experimental board configuration (400 MHz limit)."""
+        return cls(clock_hz=400.0e6)
+
+    @classmethod
+    def e64(cls) -> "EpiphanySpec":
+        """The 64-core Epiphany the paper's conclusion anticipates.
+
+        "This will be even more significant when new, much more
+        parallel versions of the Epiphany and other architectures
+        appear (a 64-core Epiphany chip is now available)."
+
+        Modelled as the same core and mesh scaled to 8x8 at the E64's
+        800 MHz nominal clock, with the same shared off-chip channel --
+        the projection that makes the memory-wall question interesting:
+        4x the cores contending for the *same* external bandwidth.
+        Chip power scales with the core count (the datasheet-class
+        anchor becomes ~4 W).
+        """
+        return cls(
+            mesh_rows=8,
+            mesh_cols=8,
+            clock_hz=800.0e6,
+            datasheet_chip_power_w=4.0,
+        )
+
+    # -- derived, for the Section III bandwidth claims ------------------
+    def bisection_bandwidth_bytes_per_s(self) -> float:
+        """Cross-section bandwidth: duplex row links across the cut.
+
+        4 rows x 8 B/cycle x 2 directions x 1 GHz = 64 GB/s (quoted).
+        """
+        return self.mesh_rows * NocSpec().link_bytes_per_cycle * 2 * self.clock_hz
+
+    def total_onchip_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate: every router moves 4 links x 8 B/cycle.
+
+        16 nodes x 4 links x 8 B x 1 GHz = 512 GB/s (quoted).
+        """
+        return (
+            self.n_cores
+            * 4
+            * NocSpec().link_bytes_per_cycle
+            * self.clock_hz
+        )
+
+    def offchip_bandwidth_bytes_per_s(self) -> float:
+        """8 GB/s at 1 GHz (quoted)."""
+        return self.offchip_bytes_per_cycle * self.clock_hz
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Single-core Intel i7-M620-like reference model.
+
+    The i7 runs the *sequential* reference implementations; its model
+    is analytical (no event simulation needed for one core): compute
+    cycles from an issue model, memory cycles from a three-level cache
+    model with hardware prefetch, overlapped by the out-of-order window.
+    """
+
+    clock_hz: float = 2.67e9
+    """Quoted: i7-M620 at 2.67 GHz."""
+
+    power_w: float = 17.5
+    """Quoted: the paper charges half the 35 W package TDP to the one
+    core it uses."""
+
+    scalar_flop_ipc: float = 0.63
+    """Calibrated: sustained flops/cycle of the unvectorised,
+    dependency-chained scalar C inner loops of the reference
+    implementations.  Fitted to the paper's measured sequential
+    autofocus throughput (21,600 pixels/s, Table I); typical for
+    latency-bound scalar FP chains on Nehalem/Westmere."""
+
+    int_ipc: float = 2.0
+    """Out-of-order superscalar integer/addressing throughput; mostly
+    hidden under FP anyway."""
+
+    sqrt_cycles: int = 22
+    """SSE scalar sqrt latency class (quoted in Intel optimisation
+    manuals; treated as quoted)."""
+
+    special_cycles: int = 128
+    """Calibrated: libm acosf/atan2f class calls, including call
+    overhead."""
+
+    # ---- cache hierarchy (quoted: "three levels of caches", sizes from
+    # the i7-M620 datasheet the paper cites) ----------------------------
+    l1_bytes: int = 32 * 1024
+    l1_latency: int = 4
+    l2_bytes: int = 256 * 1024
+    l2_latency: int = 11
+    l3_bytes: int = 4 * 1024 * 1024
+    l3_latency: int = 38
+    dram_latency: int = 160
+    """~60 ns at 2.67 GHz."""
+
+    line_bytes: int = 64
+    dram_bytes_per_cycle: float = 6.4
+    """Quoted: "on-die memory controller that connects to three
+    channels of DDR memory"; ~17 GB/s peak at 2.67 GHz."""
+
+    prefetch_efficiency: float = 0.85
+    """Fraction of *streaming* miss latency hidden by the hardware
+    prefetchers (quoted qualitatively: "prefetching mechanisms combined
+    with three levels of caches to hide the memory latencies")."""
+
+    mlp: float = 4.0
+    """Calibrated: memory-level parallelism the out-of-order window
+    sustains on irregular (gather) access -- concurrent outstanding
+    misses divide the effective random-miss latency."""

@@ -1,0 +1,65 @@
+"""Operation counters for program runs.
+
+Every context accumulates what its program did -- flops, memory bytes
+by destination, messages, synchronisations.  The evaluation harness
+uses these to report arithmetic intensity and to sanity-check that two
+implementations of the same algorithm performed the same work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.core import OpBlock
+
+
+@dataclass
+class Trace:
+    """Accumulated operation counts for one core/program."""
+
+    ops: OpBlock = field(default_factory=OpBlock)
+    ext_read_bytes: float = 0.0
+    ext_write_bytes: float = 0.0
+    remote_read_bytes: float = 0.0
+    remote_write_bytes: float = 0.0
+    messages_sent: int = 0
+    messages_received: int = 0
+    barriers: int = 0
+    dma_transfers: int = 0
+    compute_cycles: float = 0.0
+    stall_cycles: float = 0.0
+
+    def add_ops(self, block: OpBlock) -> None:
+        self.ops = self.ops + block
+
+    @property
+    def total_flops(self) -> float:
+        return self.ops.total_flops
+
+    @property
+    def total_ext_bytes(self) -> float:
+        return self.ext_read_bytes + self.ext_write_bytes
+
+    def arithmetic_intensity(self) -> float:
+        """Flops per external byte -- the compute/memory ratio the paper
+        uses to explain why autofocus outruns FFBP on Epiphany."""
+        ext = self.total_ext_bytes
+        if ext == 0:
+            return float("inf") if self.total_flops > 0 else 0.0
+        return self.total_flops / ext
+
+    def merged(self, other: "Trace") -> "Trace":
+        """Combine two traces (e.g. across cores)."""
+        return Trace(
+            ops=self.ops + other.ops,
+            ext_read_bytes=self.ext_read_bytes + other.ext_read_bytes,
+            ext_write_bytes=self.ext_write_bytes + other.ext_write_bytes,
+            remote_read_bytes=self.remote_read_bytes + other.remote_read_bytes,
+            remote_write_bytes=self.remote_write_bytes + other.remote_write_bytes,
+            messages_sent=self.messages_sent + other.messages_sent,
+            messages_received=self.messages_received + other.messages_received,
+            barriers=self.barriers + other.barriers,
+            dma_transfers=self.dma_transfers + other.dma_transfers,
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            stall_cycles=self.stall_cycles + other.stall_cycles,
+        )

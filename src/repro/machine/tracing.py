@@ -1,0 +1,114 @@
+"""Activity timelines: what every core was doing, cycle by cycle.
+
+An optional :class:`ActivityRecorder` attached to a chip collects
+``(core, kind, start, end)`` intervals as programs run.  Two renderers:
+
+- :meth:`ActivityRecorder.chrome_trace` -- Chrome ``about://tracing`` /
+  Perfetto JSON, for real timeline inspection,
+- :meth:`ActivityRecorder.ascii_timeline` -- a terminal Gantt chart
+  (one lane per core, one glyph per activity kind).
+
+Interval kinds: ``compute``, ``mem`` (stalled on external memory),
+``dma`` (waiting on a prefetch), ``sync`` (barrier/flag waits).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+GLYPHS = {"compute": "#", "mem": "m", "dma": "d", "sync": ".", "send": "s"}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One recorded activity interval (cycles)."""
+
+    core: int
+    kind: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+        if self.kind not in GLYPHS:
+            raise ValueError(f"unknown activity kind {self.kind!r}")
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ActivityRecorder:
+    """Collects activity intervals during a chip run."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def record(self, core: int, kind: str, start: int, end: int) -> None:
+        if end > start:
+            self.intervals.append(Interval(core, kind, start, end))
+
+    # ------------------------------------------------------------------
+    def cores(self) -> list[int]:
+        return sorted({iv.core for iv in self.intervals})
+
+    def total_by_kind(self, core: int | None = None) -> dict[str, int]:
+        """Cycles per activity kind (for one core or all)."""
+        out: dict[str, int] = {}
+        for iv in self.intervals:
+            if core is not None and iv.core != core:
+                continue
+            out[iv.kind] = out.get(iv.kind, 0) + iv.cycles
+        return out
+
+    def chrome_trace(self, clock_hz: float = 1e9) -> str:
+        """Serialise as Chrome trace-event JSON (``ph: X`` events).
+
+        Timestamps are microseconds, as the format requires; load the
+        result in ``about://tracing`` or Perfetto.
+        """
+        scale = 1e6 / clock_hz  # cycles -> microseconds
+        events = [
+            {
+                "name": iv.kind,
+                "cat": "core",
+                "ph": "X",
+                "ts": iv.start * scale,
+                "dur": iv.cycles * scale,
+                "pid": 0,
+                "tid": iv.core,
+            }
+            for iv in self.intervals
+        ]
+        return json.dumps({"traceEvents": events})
+
+    def ascii_timeline(self, width: int = 72, until: int | None = None) -> str:
+        """Terminal Gantt chart: one lane per core.
+
+        Each column spans ``until / width`` cycles; the glyph shows the
+        activity occupying most of that column (blank = idle).
+        """
+        if not self.intervals:
+            return "(no activity recorded)"
+        horizon = until if until is not None else max(iv.end for iv in self.intervals)
+        horizon = max(horizon, 1)
+        lanes = []
+        for core in self.cores():
+            occupancy = [dict() for _ in range(width)]
+            for iv in self.intervals:
+                if iv.core != core:
+                    continue
+                c0 = int(iv.start * width / horizon)
+                c1 = min(width - 1, int(max(iv.end - 1, iv.start) * width / horizon))
+                for col in range(c0, c1 + 1):
+                    cell = occupancy[col]
+                    cell[iv.kind] = cell.get(iv.kind, 0) + iv.cycles
+            row = "".join(
+                GLYPHS[max(cell, key=cell.get)] if cell else " "
+                for cell in occupancy
+            )
+            lanes.append(f"core {core:>2} |{row}|")
+        legend = "  ".join(f"{g}={k}" for k, g in GLYPHS.items())
+        return "\n".join(lanes) + f"\n         {legend}"

@@ -1,0 +1,30 @@
+"""Programming models on top of the machine simulator.
+
+The paper uses two parallelisation styles (Section V-A):
+
+- **SPMD** (:mod:`repro.runtime.spmd`) for FFBP -- the same program on
+  every core, coarse-grained data partitioning of the output image
+  (paper Fig. 6), barrier synchronisation between merge iterations.
+- **MPMD** (:mod:`repro.runtime.mpmd`) for the autofocus criterion --
+  a different program per core, streaming intermediate data between
+  neighbours over flag-synchronised channels
+  (:mod:`repro.runtime.channels`), placed on the mesh by
+  :mod:`repro.runtime.mapping` (paper Fig. 9).
+"""
+
+from repro.runtime.channels import Channel
+from repro.runtime.mapping import Placement, TaskGraph, greedy_place, linear_place
+from repro.runtime.mpmd import Pipeline, Task
+from repro.runtime.spmd import partition, run_spmd
+
+__all__ = [
+    "Channel",
+    "Placement",
+    "TaskGraph",
+    "greedy_place",
+    "linear_place",
+    "Pipeline",
+    "Task",
+    "partition",
+    "run_spmd",
+]

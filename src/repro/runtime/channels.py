@@ -1,0 +1,128 @@
+"""Flag-synchronised streaming channels between cores.
+
+Paper Section VI-B: on Epiphany, MPMD streaming requires "explicit
+management of synchronization between the different cores ... the
+synchronization is required for the processing cores to indicate to the
+following core ... that it has completed its task so that the
+subsequent core can proceed".
+
+A :class:`Channel` models exactly that idiom: the producer posts the
+payload into the consumer's local memory over the on-chip write mesh
+and then raises a flag; the consumer spins on the flag.  Channels are
+credit-flow-controlled (the consumer's buffer has ``capacity`` slots;
+a full channel stalls the producer), which is how pipeline backpressure
+arises in the autofocus mapping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.machine.chip import EpiphanyChip, EpiphanyContext
+from repro.machine.event import Delay, Flag, Wait, Waitable
+
+
+class Channel:
+    """A single-producer single-consumer streaming channel."""
+
+    def __init__(
+        self,
+        chip: EpiphanyChip,
+        src_core: int,
+        dst_core: int,
+        capacity: int = 2,
+        payload_bytes: int | None = None,
+        name: str = "",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if src_core == dst_core:
+            raise ValueError("channel endpoints must be distinct cores")
+        self.chip = chip
+        self.src_core = src_core
+        self.dst_core = dst_core
+        self.capacity = capacity
+        self.payload_bytes = payload_bytes
+        self.name = name or f"ch{src_core}->{dst_core}"
+        self._data: deque[Flag] = deque()
+        self._credits = capacity
+        self._credit_flag: Flag | None = None
+        self._recv_flag: Flag | None = None
+        self.messages = 0
+        self.bytes_moved = 0.0
+        self.hops = chip.mesh.hops(
+            chip.context(src_core).coord, chip.context(dst_core).coord
+        )
+        # Consumer-side buffer lives in the destination scratchpad.
+        if payload_bytes is not None:
+            chip.context(dst_core).local.allocate(capacity * payload_bytes)
+
+    # ------------------------------------------------------------------
+    def send(self, ctx: EpiphanyContext, nbytes: float) -> Iterator[Waitable]:
+        """Producer side: post a message of ``nbytes``.
+
+        Stalls on missing credit (consumer buffer full), then issues
+        the stores (one 64-bit store per cycle through the write mesh)
+        and raises the consumer's flag when the tail lands.
+        """
+        if ctx.core_id != self.src_core:
+            raise ValueError(
+                f"{self.name}: send from core {ctx.core_id}, expected {self.src_core}"
+            )
+        if self.payload_bytes is not None and nbytes > self.payload_bytes:
+            raise ValueError(
+                f"{self.name}: message of {nbytes} B exceeds slot size "
+                f"{self.payload_bytes} B"
+            )
+        while self._credits == 0:
+            self._credit_flag = self.chip.engine.flag(name=f"{self.name}.credit")
+            yield Wait(self._credit_flag)
+        self._credits -= 1
+        self.messages += 1
+        self.bytes_moved += nbytes
+        ctx.trace.messages_sent += 1
+
+        arrival = ctx.remote_write_arrival(self.dst_core, nbytes)
+        data_flag = self.chip.engine.flag(name=f"{self.name}.msg{self.messages}")
+        self._data.append(data_flag)
+        if self._recv_flag is not None:
+            flag, self._recv_flag = self._recv_flag, None
+            flag.set()
+
+        engine = self.chip.engine
+
+        def _land() -> Iterator[Waitable]:
+            gap = arrival - engine.now
+            if gap > 0:
+                yield Delay(gap)
+            data_flag.set()
+
+        engine.spawn(_land(), name=f"{self.name}.land")
+
+        # Store issue cost on the producer.
+        issue = int(nbytes / self.chip.spec.local_bytes_per_cycle)
+        self.chip.energy.add_busy(ctx.core_id, issue)
+        ctx.trace.compute_cycles += issue
+        if issue:
+            yield Delay(issue)
+
+    def recv(self, ctx: EpiphanyContext) -> Iterator[Waitable]:
+        """Consumer side: wait for the next message and free its slot."""
+        if ctx.core_id != self.dst_core:
+            raise ValueError(
+                f"{self.name}: recv on core {ctx.core_id}, expected {self.dst_core}"
+            )
+        while not self._data:
+            self._recv_flag = self.chip.engine.flag(name=f"{self.name}.empty")
+            yield Wait(self._recv_flag)
+        flag = self._data.popleft()
+        before = self.chip.engine.now
+        yield Wait(flag)
+        ctx.trace.stall_cycles += self.chip.engine.now - before
+        ctx.trace.messages_received += 1
+        # Free the slot: return a credit to the producer.
+        self._credits += 1
+        if self._credit_flag is not None:
+            cf, self._credit_flag = self._credit_flag, None
+            cf.set()

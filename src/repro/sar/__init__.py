@@ -1,0 +1,78 @@
+"""SAR image formation: the paper's algorithm layer.
+
+Public surface of the core contribution: data simulation, global
+back-projection (the quality baseline), fast factorized back-projection
+(the case-study algorithm), the autofocus criterion calculation, and
+quality metrics.
+"""
+
+from repro.sar.analysis import (
+    ImpulseResponse,
+    impulse_response,
+    theoretical_cross_range_resolution,
+    theoretical_range_resolution,
+)
+from repro.sar.autofocus import (
+    AutofocusResult,
+    Compensation,
+    apply_compensation,
+    autofocus_search,
+    autofocus_search_multi,
+    criterion_for,
+    default_candidates,
+    estimate_compensation,
+    ffbp_with_autofocus,
+    grid_candidates,
+    top_blocks,
+)
+from repro.sar.chain import ChainResult, ProcessingChain
+from repro.sar.config import RadarConfig
+from repro.sar.rda import range_doppler_image
+from repro.sar.strip import StripFrame, StripProcessor, simulate_strip
+from repro.sar.ffbp import FfbpOptions, ffbp, ffbp_partial, ffbp_stages
+from repro.sar.gbp import backproject, gbp_cartesian, gbp_polar
+from repro.sar.grids import CartesianGrid, CartesianImage, PolarGrid, PolarImage
+from repro.sar.quality import QualityReport, image_entropy, normalized_rmse
+from repro.sar.simulate import compress, simulate_compressed, simulate_raw
+
+__all__ = [
+    "ImpulseResponse",
+    "impulse_response",
+    "theoretical_cross_range_resolution",
+    "theoretical_range_resolution",
+    "autofocus_search_multi",
+    "grid_candidates",
+    "top_blocks",
+    "ChainResult",
+    "ProcessingChain",
+    "range_doppler_image",
+    "StripFrame",
+    "StripProcessor",
+    "simulate_strip",
+    "AutofocusResult",
+    "Compensation",
+    "apply_compensation",
+    "autofocus_search",
+    "criterion_for",
+    "default_candidates",
+    "estimate_compensation",
+    "ffbp_with_autofocus",
+    "RadarConfig",
+    "FfbpOptions",
+    "ffbp",
+    "ffbp_partial",
+    "ffbp_stages",
+    "backproject",
+    "gbp_cartesian",
+    "gbp_polar",
+    "CartesianGrid",
+    "CartesianImage",
+    "PolarGrid",
+    "PolarImage",
+    "QualityReport",
+    "image_entropy",
+    "normalized_rmse",
+    "compress",
+    "simulate_compressed",
+    "simulate_raw",
+]

@@ -1,0 +1,191 @@
+"""Radar system configuration.
+
+Bundles the waveform, collection geometry and processing grids that
+every algorithm in :mod:`repro.sar` shares.  Two factory presets are
+provided:
+
+- :meth:`RadarConfig.paper` -- the paper's stimulus scale: 1024 pulses,
+  1001 range bins, merge base 2, ten FFBP iterations.
+- :meth:`RadarConfig.small` -- a reduced geometry for unit tests.
+
+Signal convention
+-----------------
+Pulse-compressed data *retains the carrier in the range variable*: a
+point target at range ``R`` contributes
+``env(r - R) * exp(j * 2 k_c * (r - R))`` to the range profile.  This is
+the ultra-wideband low-frequency SAR convention (the CARABAS lineage of
+paper refs. [5], [6]) and is what allows both GBP and FFBP to focus by
+*plain summation* -- exactly the element combining of paper eq. 5, with
+no explicit phase multiplications.  The price is that range sampling
+must be fine relative to the carrier wavelength; the presets use
+``dr = lambda_c / 8``, which makes nearest-neighbour interpolation
+(the paper's choice) noticeably noisy -- reproducing the FFBP-vs-GBP
+quality gap of paper Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.geometry.trajectory import LinearTrajectory
+from repro.signal.chirp import C0, LfmChirp
+
+
+@dataclass(frozen=True)
+class RadarConfig:
+    """Waveform, geometry and grid parameters for one collection.
+
+    Parameters
+    ----------
+    chirp:
+        Transmitted waveform (defines carrier and bandwidth).
+    n_pulses:
+        Pulses in the synthetic aperture; must be a power of the FFBP
+        merge base.
+    spacing:
+        Along-track pulse spacing in metres.
+    r0:
+        Range of the first range bin, metres.
+    dr:
+        Range-bin spacing, metres.
+    n_ranges:
+        Number of range bins per pulse.
+    theta_center, theta_span:
+        Centre and full width (radians) of the polar image's angular
+        window, measured from the flight axis; broadside is ``pi/2``.
+    merge_base:
+        FFBP merge base (paper: 2).
+    """
+
+    chirp: LfmChirp
+    n_pulses: int = 1024
+    spacing: float = 1.0
+    r0: float = 2000.0
+    dr: float = 0.75
+    n_ranges: int = 1001
+    theta_center: float = np.pi / 2
+    theta_span: float = 0.3
+    merge_base: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_pulses < 1:
+            raise ValueError("n_pulses must be positive")
+        if self.spacing <= 0 or self.dr <= 0 or self.n_ranges < 1:
+            raise ValueError("spacing, dr and n_ranges must be positive")
+        if not (0 < self.theta_span < np.pi):
+            raise ValueError(f"theta_span must be in (0, pi), got {self.theta_span}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def wavelength(self) -> float:
+        return self.chirp.wavelength
+
+    @property
+    def wavenumber(self) -> float:
+        """Carrier wavenumber ``k_c = 2 pi / lambda``."""
+        return 2.0 * np.pi / self.wavelength
+
+    @property
+    def range_resolution(self) -> float:
+        return self.chirp.range_resolution
+
+    @property
+    def aperture_length(self) -> float:
+        return self.n_pulses * self.spacing
+
+    @property
+    def r_max(self) -> float:
+        return self.r0 + (self.n_ranges - 1) * self.dr
+
+    def range_axis(self) -> np.ndarray:
+        """Range-bin centres ``r_j = r0 + j * dr``."""
+        return self.r0 + self.dr * np.arange(self.n_ranges)
+
+    def theta_axis(self, n_beams: int | None = None) -> np.ndarray:
+        """Beam centres for an ``n_beams``-beam polar grid.
+
+        Beams are uniform over ``[theta_center - span/2,
+        theta_center + span/2]`` with half-bin edge offsets, so grids of
+        different beam counts nest consistently across FFBP stages.
+        """
+        if n_beams is None:
+            n_beams = self.n_pulses
+        if n_beams < 1:
+            raise ValueError("n_beams must be positive")
+        dtheta = self.theta_span / n_beams
+        k = np.arange(n_beams)
+        return self.theta_min + (k + 0.5) * dtheta
+
+    @property
+    def theta_min(self) -> float:
+        return self.theta_center - 0.5 * self.theta_span
+
+    @property
+    def theta_max(self) -> float:
+        return self.theta_center + 0.5 * self.theta_span
+
+    def trajectory(self) -> LinearTrajectory:
+        """The nominal (assumed) processing trajectory."""
+        return LinearTrajectory(spacing=self.spacing)
+
+    def aperture_center(self) -> np.ndarray:
+        """Phase centre of the full aperture on the nominal track."""
+        return self.trajectory().center(self.n_pulses)
+
+    def scene_center(self) -> np.ndarray:
+        """Ground point at the middle of the polar image window."""
+        c = self.aperture_center()
+        r_mid = 0.5 * (self.r0 + self.r_max)
+        return c + r_mid * np.array(
+            [np.cos(self.theta_center), np.sin(self.theta_center)]
+        )
+
+    def data_bytes(self, dtype_bytes: int = 8) -> int:
+        """Size of one full data set (complex64 = 8 bytes/pixel)."""
+        return self.n_pulses * self.n_ranges * dtype_bytes
+
+    def with_(self, **changes) -> "RadarConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "RadarConfig":
+        """The paper's stimulus scale (1024 pulses x 1001 range bins).
+
+        Waveform parameters are chosen in the UWB VHF regime so that
+        ``dr = lambda/8`` and the range resolution spans several bins,
+        matching the qualitative behaviour of the paper's data.
+        """
+        chirp = LfmChirp(
+            center_frequency=50e6,
+            bandwidth=25e6,
+            duration=4e-6,
+            sample_rate=C0 / (2 * 0.75),  # one complex sample per bin
+        )
+        return cls(chirp=chirp, n_pulses=1024, n_ranges=1001, dr=0.75)
+
+    @classmethod
+    def small(cls, n_pulses: int = 64, n_ranges: int = 65) -> "RadarConfig":
+        """Reduced geometry for fast tests; same waveform regime."""
+        chirp = LfmChirp(
+            center_frequency=50e6,
+            bandwidth=25e6,
+            duration=4e-6,
+            sample_rate=C0 / (2 * 0.75),
+        )
+        return cls(
+            chirp=chirp,
+            n_pulses=n_pulses,
+            n_ranges=n_ranges,
+            dr=0.75,
+            r0=2000.0,
+            spacing=4.0,
+            theta_span=0.2,
+        )

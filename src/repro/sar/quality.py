@@ -1,0 +1,100 @@
+"""Image-quality metrics.
+
+Quantifies the paper's qualitative Fig. 7 discussion: FFBP images are
+noisier than the GBP reference because of the simplified
+(nearest-neighbour) interpolation, and "could be considerably improved
+by using more complex interpolation kernels".  These metrics turn that
+into numbers the quality-ablation benchmark can assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def peak_to_background_db(image: np.ndarray, guard: int = 3) -> float:
+    """Peak magnitude over mean background magnitude, in dB.
+
+    The background excludes a ``(2 guard + 1)``-pixel square around the
+    peak.  Higher is better; interpolation noise raises the background.
+    """
+    mag = np.abs(np.asarray(image))
+    if mag.size == 0:
+        raise ValueError("empty image")
+    peak_idx = np.unravel_index(int(np.argmax(mag)), mag.shape)
+    peak = mag[peak_idx]
+    mask = np.ones(mag.shape, dtype=bool)
+    sl = tuple(
+        slice(max(0, i - guard), i + guard + 1) for i in peak_idx
+    )
+    mask[sl] = False
+    background = mag[mask]
+    if background.size == 0 or background.mean() == 0:
+        return np.inf
+    return float(20.0 * np.log10(peak / background.mean()))
+
+
+def image_entropy(image: np.ndarray) -> float:
+    """Shannon entropy of the normalised intensity distribution.
+
+    A classical SAR focus measure: well-focused point-target images
+    concentrate energy in few pixels and have *low* entropy.
+    """
+    power = np.abs(np.asarray(image)) ** 2
+    total = power.sum()
+    if total == 0:
+        return 0.0
+    p = power / total
+    nz = p[p > 0]
+    return float(-(nz * np.log(nz)).sum())
+
+
+def normalized_rmse(image: np.ndarray, reference: np.ndarray) -> float:
+    """RMS magnitude error against a reference, normalised to its peak."""
+    image = np.asarray(image)
+    reference = np.asarray(reference)
+    if image.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch {image.shape} vs {reference.shape}"
+        )
+    a = np.abs(image)
+    b = np.abs(reference)
+    peak = b.max()
+    if peak == 0:
+        raise ValueError("reference image is identically zero")
+    # Scale out overall gain differences before comparing.
+    denom = (a * b).sum()
+    scale = (b * b).sum() / denom if denom > 0 else 1.0
+    return float(np.sqrt(np.mean((a * scale - b) ** 2)) / peak)
+
+
+def peak_position_error(
+    image: np.ndarray, expected: tuple[float, float]
+) -> float:
+    """Euclidean pixel distance from the magnitude peak to ``expected``."""
+    mag = np.abs(np.asarray(image))
+    i, j = np.unravel_index(int(np.argmax(mag)), mag.shape)
+    return float(np.hypot(i - expected[0], j - expected[1]))
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Bundle of the metrics for one image (vs an optional reference)."""
+
+    peak_to_background_db: float
+    entropy: float
+    rmse_vs_reference: float | None = None
+
+    @classmethod
+    def of(
+        cls, image: np.ndarray, reference: np.ndarray | None = None
+    ) -> "QualityReport":
+        return cls(
+            peak_to_background_db=peak_to_background_db(image),
+            entropy=image_entropy(image),
+            rmse_vs_reference=(
+                normalized_rmse(image, reference) if reference is not None else None
+            ),
+        )

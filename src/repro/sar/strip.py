@@ -1,0 +1,151 @@
+"""Continuous strip processing.
+
+The paper's context is *real-time* stripmap imaging: "the images are
+created during the flight".  A long data take is processed as a
+sequence of overlapping synthetic apertures, each producing one image
+frame of the advancing strip.  This module slices a long collection
+into aperture windows, runs the image former on each, and stitches the
+frames' valid regions into a strip mosaic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.geometry.scene import Scene
+from repro.geometry.trajectory import Trajectory
+from repro.sar.config import RadarConfig
+from repro.sar.ffbp import FfbpOptions, ffbp
+from repro.sar.grids import CartesianGrid, CartesianImage, PolarImage
+from repro.sar.simulate import simulate_compressed
+
+
+@dataclass(frozen=True)
+class StripFrame:
+    """One aperture's image within the strip."""
+
+    index: int
+    first_pulse: int
+    image: PolarImage
+
+    @property
+    def center_x(self) -> float:
+        return float(self.image.grid.center[0])
+
+
+class StripProcessor:
+    """Slides an aperture window along a long data take.
+
+    Parameters
+    ----------
+    cfg:
+        Per-aperture configuration (``n_pulses`` is the window length).
+    hop:
+        Pulses the window advances between frames; defaults to half an
+        aperture (50% overlap, so every ground point is fully
+        integrated in at least one frame).
+    options:
+        FFBP options for the image former.
+    """
+
+    def __init__(
+        self,
+        cfg: RadarConfig,
+        hop: int | None = None,
+        options: FfbpOptions | None = None,
+    ) -> None:
+        self.cfg = cfg
+        self.hop = hop if hop is not None else cfg.n_pulses // 2
+        if self.hop < 1:
+            raise ValueError(f"hop must be >= 1, got {self.hop}")
+        self.options = options or FfbpOptions()
+
+    def n_frames(self, total_pulses: int) -> int:
+        """Frames a data take of ``total_pulses`` yields."""
+        if total_pulses < self.cfg.n_pulses:
+            return 0
+        return 1 + (total_pulses - self.cfg.n_pulses) // self.hop
+
+    def frames(self, data: np.ndarray) -> Iterator[StripFrame]:
+        """Process a long ``(total_pulses, n_ranges)`` data take."""
+        data = np.asarray(data)
+        total, n_ranges = data.shape
+        if n_ranges != self.cfg.n_ranges:
+            raise ValueError(
+                f"range count {n_ranges} != config {self.cfg.n_ranges}"
+            )
+        for k in range(self.n_frames(total)):
+            first = k * self.hop
+            window = data[first : first + self.cfg.n_pulses]
+            # The window's aperture is centred at its own track
+            # position: image in window-local coordinates, then shift
+            # the grid centre to global coordinates.
+            img = ffbp(window, self.cfg, self.options)
+            global_center = img.grid.center + np.array(
+                [first * self.cfg.spacing, 0.0]
+            )
+            shifted = PolarImage(
+                grid=type(img.grid)(
+                    center=global_center,
+                    r=img.grid.r,
+                    theta=img.grid.theta,
+                ),
+                data=img.data,
+            )
+            yield StripFrame(index=k, first_pulse=first, image=shifted)
+
+    def mosaic(
+        self,
+        data: np.ndarray,
+        pixels_per_meter: float = 0.25,
+    ) -> CartesianImage:
+        """Stitch all frames onto one Cartesian strip.
+
+        Each ground pixel takes the value from the frame whose aperture
+        centre is nearest (the best-integrated look).
+        """
+        frames = list(self.frames(data))
+        if not frames:
+            raise ValueError("data take shorter than one aperture")
+        total = data.shape[0]
+        x_lo = 0.0
+        x_hi = total * self.cfg.spacing
+        r_mid = 0.5 * (self.cfg.r0 + self.cfg.r_max)
+        y_half = 0.45 * (self.cfg.r_max - self.cfg.r0)
+        nx = max(8, int((x_hi - x_lo) * pixels_per_meter))
+        ny = max(8, int(2 * y_half * pixels_per_meter))
+        grid = CartesianGrid(
+            x=np.linspace(x_lo, x_hi, nx),
+            y=r_mid + np.linspace(-y_half, y_half, ny),
+        )
+        out = np.zeros(grid.shape, dtype=np.complex128)
+        best = np.full(grid.shape, np.inf)
+        xx = grid.pixel_positions()[..., 0]
+        for frame in frames:
+            cart = frame.image.to_cartesian(grid)
+            dist = np.abs(xx - frame.center_x)
+            take = (dist < best) & (cart.data != 0)
+            out[take] = cart.data[take]
+            best[take] = dist[take]
+        return CartesianImage(grid=grid, data=out)
+
+
+def simulate_strip(
+    cfg: RadarConfig,
+    scene: Scene,
+    total_pulses: int,
+    trajectory: Trajectory | None = None,
+    dtype=np.complex64,
+) -> np.ndarray:
+    """Synthesise a data take longer than one aperture.
+
+    Reuses the per-aperture simulator with a configuration stretched to
+    ``total_pulses`` (the trajectory keeps the same pulse spacing).
+    """
+    if total_pulses < cfg.n_pulses:
+        raise ValueError("total_pulses shorter than one aperture")
+    long_cfg = cfg.with_(n_pulses=total_pulses)
+    return simulate_compressed(long_cfg, scene, trajectory, dtype=dtype)

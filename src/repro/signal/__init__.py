@@ -1,0 +1,32 @@
+"""DSP substrate: waveforms, pulse compression, interpolation, criteria.
+
+These are the signal-level building blocks of the SAR chain in paper
+Fig. 1 that the back-projection block consumes, plus the interpolation
+and correlation kernels the two case studies are built from.
+"""
+
+from repro.signal.chirp import LfmChirp
+from repro.signal.correlation import focus_criterion, intensity_correlation
+from repro.signal.interpolation import (
+    cubic_neville,
+    interp_linear,
+    interp_nearest,
+    interp_sinc,
+    neville_weights,
+)
+from repro.signal.pulse_compression import MatchedFilter, pulse_compress
+from repro.signal.windows import taylor_window
+
+__all__ = [
+    "LfmChirp",
+    "focus_criterion",
+    "intensity_correlation",
+    "cubic_neville",
+    "interp_linear",
+    "interp_nearest",
+    "interp_sinc",
+    "neville_weights",
+    "MatchedFilter",
+    "pulse_compress",
+    "taylor_window",
+]

@@ -1,0 +1,51 @@
+"""Shared fixtures: reduced-scale configurations and data sets.
+
+The paper-scale workload (1024x1001) is exercised by the benchmarks;
+unit/integration tests run on reduced geometries that keep the whole
+suite fast while preserving every structural property (power-of-two
+pulse counts, multi-stage FFBP, autofocus block extraction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.scene import Scene
+from repro.sar.config import RadarConfig
+from repro.sar.simulate import simulate_compressed
+
+
+@pytest.fixture(scope="session")
+def small_cfg() -> RadarConfig:
+    """64 pulses x 129 ranges: 6 FFBP stages, runs in milliseconds."""
+    return RadarConfig.small(n_pulses=64, n_ranges=129)
+
+
+@pytest.fixture(scope="session")
+def tiny_cfg() -> RadarConfig:
+    """16 pulses x 33 ranges: the smallest non-trivial geometry."""
+    return RadarConfig.small(n_pulses=16, n_ranges=33)
+
+
+@pytest.fixture(scope="session")
+def center_scene(small_cfg: RadarConfig) -> Scene:
+    c = small_cfg.scene_center()
+    return Scene.single(float(c[0]), float(c[1]))
+
+
+@pytest.fixture(scope="session")
+def six_scene(small_cfg: RadarConfig) -> Scene:
+    from repro.eval.figures import default_scene
+
+    return default_scene(small_cfg)
+
+
+@pytest.fixture(scope="session")
+def center_data(small_cfg: RadarConfig, center_scene: Scene) -> np.ndarray:
+    return simulate_compressed(small_cfg, center_scene)
+
+
+@pytest.fixture(scope="session")
+def six_data(small_cfg: RadarConfig, six_scene: Scene) -> np.ndarray:
+    return simulate_compressed(small_cfg, six_scene)

@@ -1,0 +1,138 @@
+"""Tests for the figure reproductions."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import (
+    ascii_image,
+    default_scene,
+    fig3_geometry,
+    fig6_partitioning,
+    fig7_images,
+    fig9_mapping,
+)
+from repro.sar.config import RadarConfig
+from repro.sar.quality import image_entropy, normalized_rmse
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_images(RadarConfig.small(n_pulses=64, n_ranges=129))
+
+
+class TestFig7:
+    def test_panel_shapes(self, fig7):
+        assert fig7.raw.shape == (64, 129)
+        assert fig7.gbp.data.shape == (64, 129)
+        assert fig7.ffbp_intel.data.shape == fig7.ffbp_epiphany.data.shape
+
+    def test_six_targets_in_scene(self, fig7):
+        assert len(fig7.scene) == 6
+
+    def test_raw_data_shows_migration_curves(self, fig7):
+        """Panel (a): energy spread over many range bins per pulse."""
+        occupancy = (np.abs(fig7.raw) > 0.1).sum(axis=1)
+        assert occupancy.mean() > 6
+
+    def test_intel_epiphany_panels_match(self, fig7):
+        """Paper: panels (c) and (d) are similar."""
+        peak = np.abs(fig7.ffbp_intel.data).max()
+        assert np.allclose(
+            fig7.ffbp_intel.data, fig7.ffbp_epiphany.data, atol=1e-3 * peak
+        )
+
+    def test_ffbp_noisier_than_gbp(self, fig7):
+        """Paper: FFBP image quality is degraded vs GBP."""
+        assert image_entropy(fig7.ffbp_epiphany.data) > image_entropy(
+            fig7.gbp.data
+        )
+
+    def test_ffbp_still_resolves_targets(self, fig7):
+        """Degraded but usable: FFBP's image correlates with GBP's."""
+        assert normalized_rmse(fig7.ffbp_epiphany.data, fig7.gbp.data) < 0.2
+
+
+class TestAsciiImage:
+    def test_dimensions(self):
+        img = np.random.default_rng(0).random((50, 80))
+        art = ascii_image(img, width=32, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(l) == 32 for l in lines)
+
+    def test_peak_is_brightest_glyph(self):
+        img = np.full((20, 20), 1e-6)
+        img[10, 10] = 1.0
+        art = ascii_image(img, width=20, height=20)
+        assert "@" in art
+
+    def test_zero_image(self):
+        art = ascii_image(np.zeros((4, 4)), width=8, height=4)
+        assert set(art) <= {" ", "\n"}
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_image(np.zeros(5))
+
+
+class TestFig3:
+    def test_stats_per_stage(self):
+        cfg = RadarConfig.small(n_pulses=32, n_ranges=65)
+        stats = fig3_geometry(cfg)
+        assert len(stats) == 5
+        assert stats[0].n_subapertures == 16
+        assert stats[-1].n_subapertures == 1
+
+    def test_angle_spread_grows(self):
+        """Longer subapertures -> wider child-beam spread per row --
+        the geometric cause of the prefetch-window spill."""
+        cfg = RadarConfig.small(n_pulses=64, n_ranges=257)
+        stats = fig3_geometry(cfg)
+        assert (
+            stats[-1].max_angle_spread_child_beams
+            >= stats[1].max_angle_spread_child_beams
+        )
+
+    def test_range_shift_bounded_by_half_child_length(self):
+        cfg = RadarConfig.small(n_pulses=32, n_ranges=65)
+        for s in fig3_geometry(cfg):
+            child_len = s.length_m / 2
+            assert s.max_range_shift_bins * cfg.dr <= child_len / 2 + cfg.dr
+
+
+class TestFig6:
+    def test_covers_all_rows(self):
+        cfg = RadarConfig.paper()
+        table = fig6_partitioning(cfg, 16)
+        assert len(table) == 16
+        assert sum(e["rows"] for e in table) == 1024
+        assert all(e["rows"] == 64 for e in table)
+
+    def test_samples_column(self):
+        cfg = RadarConfig.paper()
+        table = fig6_partitioning(cfg, 16)
+        assert table[0]["samples"] == 64 * 1001
+
+
+class TestFig9:
+    def test_custom_mapping_wins(self):
+        m = fig9_mapping()
+        assert m.paper_weighted_hops < m.naive_weighted_hops
+        assert m.hop_improvement > 1.2
+
+    def test_link_load_not_worse(self):
+        m = fig9_mapping()
+        assert m.paper_max_link_load <= m.naive_max_link_load
+
+
+class TestDefaultScene:
+    def test_targets_inside_polar_footprint(self):
+        cfg = RadarConfig.small(n_pulses=64, n_ranges=129)
+        scene = default_scene(cfg)
+        center = cfg.aperture_center()
+        for t in scene:
+            d = t.position - center
+            r = np.hypot(d[0], d[1])
+            th = np.arctan2(d[1], d[0])
+            assert cfg.r0 <= r <= cfg.r_max
+            assert cfg.theta_min <= th <= cfg.theta_max

@@ -1,0 +1,43 @@
+"""Tests for reporting utilities."""
+
+import pytest
+
+from repro.eval.report import Comparison, format_comparisons, format_table
+
+
+class TestComparison:
+    def test_ratio(self):
+        c = Comparison("speedup", paper=4.25, measured=4.11)
+        assert c.ratio == pytest.approx(4.11 / 4.25)
+
+    def test_within(self):
+        c = Comparison("x", paper=100.0, measured=110.0)
+        assert c.within(0.15)
+        assert not c.within(0.05)
+
+    def test_zero_paper_value(self):
+        assert Comparison("x", 0.0, 0.0).ratio == 1.0
+        assert Comparison("x", 0.0, 1.0).ratio == float("inf")
+
+
+class TestFormatting:
+    def test_format_comparisons(self):
+        rows = [
+            Comparison("speedup", 4.25, 4.11),
+            Comparison("time", 305.0, 312.5, unit="ms"),
+        ]
+        text = format_comparisons("Table I / FFBP", rows)
+        assert "Table I / FFBP" in text
+        assert "speedup" in text
+        assert "ms" in text
+        assert "ratio" in text
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [["1", "22"], ["333", "4"]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])

@@ -1,0 +1,82 @@
+"""Unit tests for the Section II requirements model."""
+
+import pytest
+
+from repro.eval.requirements import (
+    CHAIN_FACTOR,
+    OperatingPoint,
+    paper_operating_points,
+)
+
+
+def point(**kw) -> OperatingPoint:
+    defaults = dict(
+        name="test",
+        wavelength=6.0,
+        resolution=1.0,
+        swath=40e3,
+        stand_off=80e3,
+        velocity=100.0,
+    )
+    defaults.update(kw)
+    return OperatingPoint(**defaults)
+
+
+class TestGeometryDerivation:
+    def test_integration_angle(self):
+        p = point(wavelength=6.0, resolution=1.0)
+        assert p.integration_angle == pytest.approx(3.0)
+
+    def test_aperture_scales_with_standoff(self):
+        near = point(stand_off=40e3)
+        far = point(stand_off=80e3)
+        assert far.aperture_length == pytest.approx(2 * near.aperture_length)
+
+    def test_integration_time(self):
+        p = point()
+        assert p.integration_time_s == pytest.approx(
+            p.aperture_length / p.velocity
+        )
+
+    def test_finer_resolution_needs_longer_aperture(self):
+        coarse = point(resolution=2.0)
+        fine = point(resolution=1.0)
+        assert fine.aperture_length == pytest.approx(2 * coarse.aperture_length)
+
+
+class TestRequirements:
+    def test_dataset_scales_with_swath(self):
+        small = point(swath=20e3)
+        big = point(swath=40e3)
+        assert big.dataset_bytes == pytest.approx(
+            2 * small.dataset_bytes, rel=0.01
+        )
+
+    def test_ffbp_far_cheaper_than_gbp(self):
+        p = point()
+        assert p.gbp_gflops > 100 * p.ffbp_gflops
+
+    def test_chain_factor_applied(self):
+        p = point()
+        assert p.realtime_gflops == pytest.approx(CHAIN_FACTOR * p.ffbp_gflops)
+
+    def test_rate_scales_with_velocity(self):
+        slow = point(velocity=50.0)
+        fast = point(velocity=100.0)
+        assert fast.ffbp_gflops == pytest.approx(2 * slow.ffbp_gflops, rel=0.05)
+
+
+class TestPaperPoints:
+    def test_three_points(self):
+        pts = paper_operating_points()
+        assert len(pts) == 3
+        names = [p.name for p in pts]
+        assert len(set(names)) == 3
+
+    def test_integration_times_are_minutes(self):
+        for p in paper_operating_points():
+            assert 120.0 < p.integration_time_s < 7200.0
+
+    def test_datasets_ordered_by_fineness(self):
+        pts = paper_operating_points()
+        assert pts[0].dataset_bytes < pts[1].dataset_bytes < pts[2].dataset_bytes

@@ -1,0 +1,61 @@
+"""Tests for the sweep utilities."""
+
+import pytest
+
+from repro.eval.sweeps import (
+    Series,
+    autofocus_unit_sweep,
+    candidate_sweep,
+    clock_sweep,
+    ffbp_core_sweep,
+    ffbp_window_sweep,
+)
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.sar.config import RadarConfig
+
+
+@pytest.fixture(scope="module")
+def small_plan():
+    return plan_ffbp(RadarConfig.small(n_pulses=128, n_ranges=513))
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", "x", "y", (1, 2), (3,))
+
+    def test_chart_renders_bars(self):
+        s = Series("demo", "n", "v", (1, 2, 4), (1.0, 2.0, 4.0))
+        art = s.chart(width=8)
+        lines = art.split("\n")
+        assert len(lines) == 4
+        assert lines[-1].count("#") == 8  # the peak fills the width
+
+    def test_chart_handles_zero(self):
+        s = Series("z", "n", "v", (1,), (0.0,))
+        assert "0" in s.chart()
+
+
+class TestSweeps:
+    def test_core_sweep_monotone(self, small_plan):
+        s = ffbp_core_sweep(small_plan, cores=(1, 4, 16))
+        assert s.y[0] == 1.0
+        assert s.y[0] < s.y[1] < s.y[2]
+
+    def test_window_sweep_monotone(self):
+        cfg = RadarConfig.small(n_pulses=128, n_ranges=513)
+        s = ffbp_window_sweep(cfg, windows=(8, 16016, 64064))
+        assert s.y[0] > s.y[1] > s.y[2]
+
+    def test_clock_sweep_inverse(self, small_plan):
+        s = clock_sweep(small_plan, clocks_hz=(400e6, 1e9))
+        assert s.y[0] == pytest.approx(2.5 * s.y[1], rel=0.01)
+
+    def test_candidate_sweep_inverse_throughput(self):
+        s = candidate_sweep(candidates=(27, 108))
+        assert s.y[0] > 3.0 * s.y[1]
+
+    def test_unit_sweep_increases_throughput(self):
+        s = autofocus_unit_sweep(AutofocusWorkload(), units=(1, 4))
+        assert s.y[1] > 3.0 * s.y[0]

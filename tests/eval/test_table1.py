@@ -1,0 +1,116 @@
+"""Tests for the Table I reproduction harness.
+
+The full paper-scale assertions live in the benchmarks; here we verify
+the harness mechanics and the performance *shape* at reduced scale.
+"""
+
+import pytest
+
+from repro.eval.energy import energy_efficiency_ratios
+from repro.eval.table1 import (
+    PAPER_TABLE1,
+    autofocus_table,
+    ffbp_table,
+)
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.sar.config import RadarConfig
+
+
+@pytest.fixture(scope="module")
+def ffbp_small():
+    """Deep enough in range that the prefetch window spills at late
+    stages -- the regime in which the paper's FFBP results live."""
+    return ffbp_table(RadarConfig.small(n_pulses=128, n_ranges=513))
+
+
+@pytest.fixture(scope="module")
+def af_small():
+    """The full candidate grid: the pipeline reaches steady state, so
+    its speedup reflects the paper's regime rather than fill/drain."""
+    return autofocus_table(AutofocusWorkload())
+
+
+class TestFfbpTable:
+    def test_three_rows(self, ffbp_small):
+        assert [r.name for r in ffbp_small.rows] == [
+            "ffbp_cpu",
+            "ffbp_epi_seq",
+            "ffbp_epi_par",
+        ]
+
+    def test_row_lookup(self, ffbp_small):
+        assert ffbp_small.row("ffbp_cpu").cores == 1
+        with pytest.raises(KeyError):
+            ffbp_small.row("nope")
+
+    def test_speedup_ordering(self, ffbp_small):
+        """seq-Epiphany < CPU < parallel-Epiphany, as in the paper."""
+        assert ffbp_small.row("ffbp_epi_seq").speedup < 1.0
+        assert ffbp_small.row("ffbp_epi_par").speedup > 1.0
+
+    def test_estimated_powers_are_datasheet(self, ffbp_small):
+        assert ffbp_small.row("ffbp_cpu").estimated_power_w == 17.5
+        assert ffbp_small.row("ffbp_epi_par").estimated_power_w == 2.0
+
+    def test_format_renders(self, ffbp_small):
+        text = ffbp_small.format()
+        assert "ffbp_epi_par" in text
+        assert "speedup" in text
+
+    def test_energy_column_positive(self, ffbp_small):
+        for row in ffbp_small.rows:
+            assert row.energy_j > 0
+
+
+class TestAutofocusTable:
+    def test_throughput_populated(self, af_small):
+        for row in af_small.rows:
+            assert row.throughput_px_s is not None
+            assert row.throughput_px_s > 0
+
+    def test_sequential_rows_comparable(self, af_small):
+        """Paper: the sequential throughputs are comparable."""
+        ratio = af_small.row("af_epi_seq").speedup
+        assert 0.5 < ratio < 1.2
+
+    def test_parallel_speedup_large(self, af_small):
+        assert af_small.row("af_epi_par").speedup > 6.0
+
+    def test_autofocus_speedup_exceeds_ffbp(self, af_small, ffbp_small):
+        """The paper's headline contrast: compute-bound autofocus
+        scales better than memory-bound FFBP despite fewer cores."""
+        assert (
+            af_small.row("af_epi_par").speedup
+            > ffbp_small.row("ffbp_epi_par").speedup
+        )
+
+
+class TestEnergyRatios:
+    def test_ratio_decomposition(self, af_small):
+        r = energy_efficiency_ratios(af_small, "af_epi_par", "af_cpu")
+        assert r.power_ratio_estimated == pytest.approx(17.5 / 2.0)
+        assert r.estimated == pytest.approx(r.speedup * 8.75)
+
+    def test_parallel_epiphany_wins_big(self, af_small, ffbp_small):
+        af = energy_efficiency_ratios(af_small, "af_epi_par", "af_cpu")
+        fb = energy_efficiency_ratios(ffbp_small, "ffbp_epi_par", "ffbp_cpu")
+        assert af.estimated > 40.0
+        assert fb.estimated > 20.0
+        assert af.estimated > fb.estimated  # 78x vs 38x ordering
+
+    def test_modeled_ratio_also_favours_epiphany(self, af_small):
+        r = energy_efficiency_ratios(af_small, "af_epi_par", "af_cpu")
+        assert r.modeled > 10.0
+
+
+class TestPaperReference:
+    def test_reference_numbers_present(self):
+        assert PAPER_TABLE1["ffbp_epi_par"]["speedup"] == 4.25
+        assert PAPER_TABLE1["af_epi_par"]["tput"] == 192857.0
+        assert PAPER_TABLE1["ffbp_par_vs_seq"]["speedup"] == 11.7
+
+    def test_paper_internal_consistency(self):
+        """The paper's own efficiency ratios decompose as speedup x
+        power ratio -- our reproduction relies on this identity."""
+        assert 4.25 * 8.75 == pytest.approx(37.2, abs=0.1)  # ~38x
+        assert 8.93 * 8.75 == pytest.approx(78.1, abs=0.1)  # ~78x

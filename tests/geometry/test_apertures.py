@@ -1,0 +1,113 @@
+"""Tests for the dyadic subaperture factorisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.apertures import SubapertureTree, num_stages
+
+
+class TestNumStages:
+    def test_paper_configuration(self):
+        """1024 pulses with merge base 2 -> the paper's ten iterations."""
+        assert num_stages(1024, 2) == 10
+
+    def test_single_pulse_needs_no_merges(self):
+        assert num_stages(1, 2) == 0
+
+    def test_base4(self):
+        assert num_stages(64, 4) == 3
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            num_stages(768, 2)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            num_stages(8, 1)
+
+
+class TestSubapertureTree:
+    def test_stage_zero_is_per_pulse(self):
+        tree = SubapertureTree(16, spacing=1.0)
+        st0 = tree.stage(0)
+        assert st0.n_subapertures == 16
+        assert st0.pulses_per_subaperture == 1
+        assert st0.beams == 1
+        assert np.allclose(st0.centers, np.arange(16.0))
+
+    def test_final_stage_is_full_aperture(self):
+        tree = SubapertureTree(16, spacing=2.0)
+        final = tree.final
+        assert final.n_subapertures == 1
+        assert final.length == pytest.approx(32.0)
+        assert final.centers[0] == pytest.approx((16 - 1) * 2.0 / 2.0)
+
+    def test_centers_are_pulse_means(self):
+        tree = SubapertureTree(8, spacing=1.0)
+        st1 = tree.stage(1)
+        # First subaperture covers pulses 0,1 -> centre 0.5.
+        assert st1.centers[0] == pytest.approx(0.5)
+        assert st1.centers[1] == pytest.approx(2.5)
+
+    def test_child_offsets_symmetric_half_child_length(self):
+        """The eqs. 1-4 configuration: children at -l/2 and +l/2."""
+        tree = SubapertureTree(64, spacing=1.0)
+        for level in range(1, tree.n_stages + 1):
+            offs = tree.child_offsets(level)
+            child_len = tree.stage(level - 1).length
+            assert np.allclose(offs, [-child_len / 2, child_len / 2])
+
+    def test_child_offsets_match_center_differences(self):
+        tree = SubapertureTree(32, spacing=3.0)
+        for level in range(1, tree.n_stages + 1):
+            parent = tree.stage(level)
+            child = tree.stage(level - 1)
+            offs = tree.child_offsets(level)
+            for p in range(parent.n_subapertures):
+                for c in range(tree.merge_base):
+                    child_idx = tree.merge_base * p + c
+                    got = child.centers[child_idx] - parent.centers[p]
+                    assert got == pytest.approx(offs[c])
+
+    def test_child_offsets_level_bounds(self):
+        tree = SubapertureTree(8, spacing=1.0)
+        with pytest.raises(ValueError):
+            tree.child_offsets(0)
+        with pytest.raises(ValueError):
+            tree.child_offsets(tree.n_stages + 1)
+
+    def test_merge_base_4(self):
+        tree = SubapertureTree(16, spacing=1.0, merge_base=4)
+        assert tree.n_stages == 2
+        offs = tree.child_offsets(1)
+        assert len(offs) == 4
+        assert np.allclose(offs, [-1.5, -0.5, 0.5, 1.5])
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            SubapertureTree(8, spacing=-1.0)
+
+    def test_complexity_counts(self):
+        """FFBP does b*log_b(N) combinings per sample vs N for GBP --
+        the paper's motivation for factorisation."""
+        tree = SubapertureTree(1024, spacing=1.0)
+        assert tree.gbp_equivalent_merges() == 1024
+        assert tree.ffbp_merges() == 20
+
+    @given(
+        log_n=st.integers(min_value=0, max_value=10),
+        spacing=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_beams_track_subaperture_growth(self, log_n, spacing):
+        """Invariant: n_subapertures * beams == n_pulses at every stage
+        (constant total output samples per stage)."""
+        n = 2**log_n
+        tree = SubapertureTree(n, spacing=spacing)
+        for stage in tree.stages:
+            assert stage.n_subapertures * stage.beams == n
+            assert stage.length == pytest.approx(
+                stage.pulses_per_subaperture * spacing
+            )

@@ -1,0 +1,56 @@
+"""Tests for point-target scenes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.scene import PointTarget, Scene
+
+
+class TestPointTarget:
+    def test_position_vector(self):
+        t = PointTarget(3.0, 4.0)
+        assert np.allclose(t.position, [3.0, 4.0])
+
+    def test_default_amplitude_is_unity(self):
+        assert PointTarget(0, 0).amplitude == 1.0 + 0.0j
+
+
+class TestScene:
+    def test_len_and_iter(self):
+        s = Scene((PointTarget(0, 1), PointTarget(2, 3)))
+        assert len(s) == 2
+        assert [t.x for t in s] == [0, 2]
+
+    def test_positions_stacked(self):
+        s = Scene((PointTarget(0, 1), PointTarget(2, 3)))
+        assert s.positions().shape == (2, 2)
+        assert np.allclose(s.positions()[1], [2, 3])
+
+    def test_empty_scene_positions(self):
+        assert Scene().positions().shape == (0, 2)
+
+    def test_amplitudes_complex(self):
+        s = Scene((PointTarget(0, 0, 2.0 - 1.0j),))
+        assert s.amplitudes().dtype == np.complex128
+        assert s.amplitudes()[0] == 2.0 - 1.0j
+
+    def test_list_coerced_to_tuple(self):
+        s = Scene([PointTarget(0, 0)])  # type: ignore[arg-type]
+        assert isinstance(s.targets, tuple)
+
+    def test_six_targets_count_and_extent(self):
+        s = Scene.six_targets(100.0, 2000.0, 200.0, 100.0)
+        assert len(s) == 6
+        pos = s.positions()
+        assert np.all(np.abs(pos[:, 0] - 100.0) <= 100.0)
+        assert np.all(np.abs(pos[:, 1] - 2000.0) <= 50.0)
+
+    def test_six_targets_distinct(self):
+        s = Scene.six_targets(0.0, 0.0, 10.0, 10.0)
+        pos = {tuple(p) for p in s.positions()}
+        assert len(pos) == 6
+
+    def test_single_factory(self):
+        s = Scene.single(1.0, 2.0, amplitude=3j)
+        assert len(s) == 1
+        assert s.targets[0].amplitude == 3j

@@ -1,0 +1,77 @@
+"""Tests for platform trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.trajectory import LinearTrajectory, PerturbedTrajectory
+
+
+class TestLinearTrajectory:
+    def test_positions_shape_and_spacing(self):
+        traj = LinearTrajectory(spacing=2.5)
+        pos = traj.positions(10)
+        assert pos.shape == (10, 2)
+        assert np.allclose(np.diff(pos[:, 0]), 2.5)
+        assert np.all(pos[:, 1] == 0.0)
+
+    def test_x0_offsets_track(self):
+        traj = LinearTrajectory(spacing=1.0, x0=100.0)
+        assert traj.positions(3)[0, 0] == 100.0
+
+    def test_constant_y(self):
+        traj = LinearTrajectory(spacing=1.0, y=-7.0)
+        assert np.all(traj.positions(5)[:, 1] == -7.0)
+
+    def test_aperture_length(self):
+        traj = LinearTrajectory(spacing=2.0)
+        assert traj.aperture_length(11) == pytest.approx(20.0)
+
+    def test_center_is_mean(self):
+        traj = LinearTrajectory(spacing=1.0)
+        assert np.allclose(traj.center(8), [3.5, 0.0])
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValueError):
+            LinearTrajectory(spacing=0.0)
+
+    def test_rejects_nonpositive_pulse_count(self):
+        with pytest.raises(ValueError):
+            LinearTrajectory().positions(0)
+
+
+class TestPerturbedTrajectory:
+    def test_reduces_to_linear_with_zero_amplitude(self):
+        base = LinearTrajectory(spacing=1.5)
+        pert = PerturbedTrajectory(base=base, amplitude=0.0)
+        assert np.allclose(pert.positions(16), base.positions(16))
+
+    def test_deviation_bounded_by_amplitude(self):
+        pert = PerturbedTrajectory(amplitude=2.0, wavelength=50.0)
+        dev = pert.deviation(256)
+        assert np.all(np.abs(dev) <= 2.0 + 1e-12)
+        assert np.max(np.abs(dev)) > 1.0  # actually deviates
+
+    def test_deviation_is_cross_track_only(self):
+        base = LinearTrajectory(spacing=1.0)
+        pert = PerturbedTrajectory(base=base, amplitude=1.0)
+        pos = pert.positions(32)
+        assert np.allclose(pos[:, 0], base.positions(32)[:, 0])
+
+    def test_wavelength_validated(self):
+        with pytest.raises(ValueError):
+            PerturbedTrajectory(wavelength=0.0)
+
+    def test_phase_shifts_deviation(self):
+        a = PerturbedTrajectory(amplitude=1.0, wavelength=64.0, phase=0.0)
+        b = PerturbedTrajectory(amplitude=1.0, wavelength=64.0, phase=np.pi)
+        assert np.allclose(a.deviation(64), -b.deviation(64), atol=1e-12)
+
+    def test_locally_linear_over_short_subapertures(self):
+        """The autofocus premise: over a short subaperture the path
+        error is approximately linear in along-track position."""
+        pert = PerturbedTrajectory(amplitude=1.0, wavelength=512.0)
+        dev = pert.deviation(16)  # 16 m of a 512 m wavelength
+        x = np.arange(16, dtype=float)
+        fit = np.polyfit(x, dev, 1)
+        residual = dev - np.polyval(fit, x)
+        assert np.max(np.abs(residual)) < 0.01 * np.max(np.abs(dev) + 1e-12)

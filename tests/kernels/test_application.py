@@ -1,0 +1,74 @@
+"""Tests for the on-chip application executive."""
+
+import pytest
+
+from repro.kernels.application import run_focused_image
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.machine.chip import EpiphanyChip
+from repro.sar.config import RadarConfig
+
+
+@pytest.fixture(scope="module")
+def small_plan():
+    return plan_ffbp(RadarConfig.small(n_pulses=64, n_ranges=129))
+
+
+@pytest.fixture(scope="module")
+def small_work():
+    return AutofocusWorkload(n_candidates=24)
+
+
+class TestExecutive:
+    def test_phases_alternate_per_level(self, small_plan, small_work):
+        res = run_focused_image(EpiphanyChip(), small_plan, small_work)
+        levels_with_af = {p.level for p in res.phases if p.kind == "autofocus"}
+        merge_levels = [p.level for p in res.phases if p.kind == "merge"]
+        assert merge_levels == list(range(1, small_plan.n_stages + 1))
+        # Autofocus starts once parents carry >= 8 beams (level 3 at 64 pulses).
+        assert levels_with_af == set(range(3, small_plan.n_stages + 1))
+
+    def test_total_is_sum_of_phases(self, small_plan, small_work):
+        res = run_focused_image(EpiphanyChip(), small_plan, small_work)
+        assert res.total_cycles == sum(p.cycles for p in res.phases)
+        assert res.cycles_of("merge") + res.cycles_of("autofocus") == res.total_cycles
+
+    def test_merge_cycles_match_standalone_run(self, small_plan, small_work):
+        """The executive's merge phases cost what the standalone SPMD
+        run costs (same stages, same kernel)."""
+        res = run_focused_image(EpiphanyChip(), small_plan, small_work)
+        standalone = run_ffbp_spmd(EpiphanyChip(), small_plan, 16)
+        assert res.cycles_of("merge") == pytest.approx(
+            standalone.cycles, rel=0.02
+        )
+
+    def test_exact_and_replicated_agree(self, small_work):
+        """Steady-state replication matches full event simulation."""
+        plan = plan_ffbp(RadarConfig.small(n_pulses=32, n_ranges=65))
+        approx = run_focused_image(
+            EpiphanyChip(), plan, small_work, exact=False
+        )
+        exact = run_focused_image(EpiphanyChip(), plan, small_work, exact=True)
+        assert approx.total_cycles == pytest.approx(
+            exact.total_cycles, rel=0.05
+        )
+
+    def test_autofocus_share_positive_and_minor(self, small_plan, small_work):
+        res = run_focused_image(EpiphanyChip(), small_plan, small_work)
+        assert 0.0 < res.autofocus_share < 0.6
+
+    def test_no_scratchpad_leak_across_calculations(self, small_work):
+        """Repeated criterion calculations must return their channel
+        and input buffers (255 calcs at paper scale would otherwise
+        overflow the 32 KB scratchpads)."""
+        plan = plan_ffbp(RadarConfig.small(n_pulses=64, n_ranges=129))
+        chip = EpiphanyChip()
+        run_focused_image(chip, plan, small_work, exact=True)
+        for core in range(16):
+            assert chip.context(core).local.allocated == 0
+
+    def test_power_between_phases_blends(self, small_plan, small_work):
+        res = run_focused_image(EpiphanyChip(), small_plan, small_work)
+        assert 0.5 < res.average_power_w < 2.5
+        assert res.energy_joules > 0

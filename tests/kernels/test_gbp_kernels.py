@@ -1,0 +1,68 @@
+"""Tests for the GBP timing kernels."""
+
+import pytest
+
+from repro.geometry.apertures import SubapertureTree
+from repro.kernels.cpu_ref import run_ffbp_cpu
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.kernels.gbp_ref import (
+    GBP_SAMPLE_PER_PULSE,
+    gbp_pixel_ops,
+    run_gbp_cpu,
+    run_gbp_spmd,
+)
+from repro.machine.chip import EpiphanyChip
+from repro.machine.cpu import CpuMachine
+from repro.sar.config import RadarConfig
+
+
+@pytest.fixture(scope="module")
+def cfg() -> RadarConfig:
+    return RadarConfig.small(n_pulses=64, n_ranges=129)
+
+
+class TestOpAccounting:
+    def test_pixel_ops_scale_with_pulses(self):
+        a = gbp_pixel_ops(64)
+        b = gbp_pixel_ops(128)
+        assert b.sqrts == 2 * a.sqrts
+        assert b.total_flops > a.total_flops
+
+    def test_per_pulse_mix_is_lighter_than_ffbp_per_child(self):
+        """GBP needs the range (sqrt) but no arccos per contribution."""
+        assert GBP_SAMPLE_PER_PULSE.specials == 0
+        assert GBP_SAMPLE_PER_PULSE.sqrts == 1
+
+
+class TestRuns:
+    def test_cpu_run(self, cfg):
+        res = run_gbp_cpu(CpuMachine(), cfg)
+        assert res.cycles > 0
+        # N pulses x pixels x the per-pulse flop mix.
+        want = cfg.n_pulses * cfg.n_pulses * cfg.n_ranges
+        assert res.trace.ops.sqrts == pytest.approx(want)
+
+    def test_spmd_run_scales(self, cfg):
+        t1 = run_gbp_spmd(EpiphanyChip(), cfg, 1).cycles
+        t16 = run_gbp_spmd(EpiphanyChip(), cfg, 16).cycles
+        assert t1 / t16 > 10.0  # embarrassingly parallel
+
+    def test_pixel_subset(self, cfg):
+        full = run_gbp_cpu(CpuMachine(), cfg)
+        part = run_gbp_cpu(CpuMachine(), cfg, n_pixels=100)
+        assert part.cycles < full.cycles
+
+
+class TestComplexityStory:
+    def test_gbp_slower_than_ffbp_at_scale(self, cfg):
+        """The motivation ratio appears on the simulated CPU."""
+        t_gbp = run_gbp_cpu(CpuMachine(), cfg).seconds
+        t_ffbp = run_ffbp_cpu(CpuMachine(), plan_ffbp(cfg)).seconds
+        tree = SubapertureTree(cfg.n_pulses, cfg.spacing)
+        op_ratio = tree.gbp_equivalent_merges() / tree.ffbp_merges()
+        assert t_gbp > t_ffbp
+        # The simulated-time ratio trails the op-count ratio because
+        # FFBP's per-combining mix is heavier (it pays an arccos per
+        # child, GBP only a sqrt per pulse); the gap closes as the op
+        # ratio grows with N (see benchmarks/test_gbp_crossover.py).
+        assert t_gbp / t_ffbp > op_ratio / 8

@@ -1,0 +1,94 @@
+"""Tests for the shared workload/op-mix definitions."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.opcounts import (
+    AUTOFOCUS_CORR,
+    AUTOFOCUS_INTERP,
+    FFBP_SAMPLE,
+    FFBP_SAMPLE_INVALID,
+    AutofocusWorkload,
+    FfbpWorkload,
+    row_op_block,
+)
+from repro.sar.config import RadarConfig
+
+
+class TestFfbpWorkload:
+    def test_paper_scale(self):
+        w = FfbpWorkload.paper()
+        assert w.n_stages == 10
+        assert w.samples_per_stage == 1024 * 1001
+        assert w.total_samples == 10 * 1024 * 1001
+        assert w.image_bytes == 1024 * 1001 * 8
+
+    def test_small_scale(self):
+        w = FfbpWorkload(RadarConfig.small(n_pulses=16, n_ranges=33))
+        assert w.n_stages == 4
+        assert w.samples_per_stage == 16 * 33
+
+
+class TestAutofocusWorkload:
+    def test_defaults(self):
+        w = AutofocusWorkload()
+        assert w.pixels == 36
+        assert w.interps_per_candidate == 144  # 2 blocks x 2 passes x 36
+        assert w.corr_pixels_per_candidate == 36
+        assert w.block_bytes == 288
+        assert w.iterations == 3
+
+    def test_total_ops_scale_with_candidates(self):
+        a = AutofocusWorkload(n_candidates=10)
+        b = AutofocusWorkload(n_candidates=20)
+        assert b.total_interp_ops().fmas == 2 * a.total_interp_ops().fmas
+        assert b.total_corr_ops().flops == 2 * a.total_corr_ops().flops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutofocusWorkload(block_beams=3)
+        with pytest.raises(ValueError):
+            AutofocusWorkload(n_candidates=0)
+
+
+class TestRowOpBlock:
+    def test_all_valid_equals_full_sample_mix(self):
+        b = row_op_block(1.0, 100)
+        assert b.fmas == FFBP_SAMPLE.fmas * 100
+        assert b.local_loads == FFBP_SAMPLE.local_loads * 100
+
+    def test_all_invalid_skips_loads_and_adds(self):
+        """The paper's skip-zero optimisation: geometry still paid,
+        loads and adds skipped."""
+        b = row_op_block(0.0, 100)
+        assert b.local_loads == 0
+        assert b.flops == 0
+        assert b.sqrts == FFBP_SAMPLE_INVALID.sqrts * 100
+
+    def test_fraction_interpolates(self):
+        full = row_op_block(1.0, 100)
+        half = row_op_block(0.5, 100)
+        assert half.local_loads == pytest.approx(0.5 * full.local_loads)
+
+    def test_accepts_array_fraction(self):
+        b = row_op_block(np.array([0.0, 1.0]), 10)
+        assert b.local_loads == pytest.approx(0.5 * FFBP_SAMPLE.local_loads * 10)
+
+    def test_clamps_out_of_range(self):
+        b = row_op_block(1.5, 10)
+        assert b.local_loads == FFBP_SAMPLE.local_loads * 10
+
+
+class TestOpMixes:
+    def test_ffbp_sample_has_paper_structure(self):
+        """Two sqrt (eqs. 1-2), two arccos (eqs. 3-4), two lookups and
+        one complex add (eq. 5) per output sample."""
+        assert FFBP_SAMPLE.sqrts == 2
+        assert FFBP_SAMPLE.specials == 2
+        assert FFBP_SAMPLE.local_loads == 2
+        assert FFBP_SAMPLE.flops == 2  # one complex add
+
+    def test_autofocus_interp_dominated_by_fmas(self):
+        """The 4-tap complex dot is the FMA core of the interpolator."""
+        assert AUTOFOCUS_INTERP.fmas == 8
+        assert AUTOFOCUS_CORR.total_flops < AUTOFOCUS_INTERP.total_flops

@@ -1,0 +1,91 @@
+"""Tests for the scaled (E64-outlook) autofocus pipelines."""
+
+import pytest
+
+from repro.kernels.autofocus_mpmd import (
+    build_scaled_pipeline,
+    run_autofocus_mpmd,
+    run_autofocus_scaled,
+    scaled_task_graph,
+)
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.machine.chip import EpiphanyChip
+from repro.machine.specs import EpiphanySpec
+
+
+@pytest.fixture(scope="module")
+def work() -> AutofocusWorkload:
+    return AutofocusWorkload(n_candidates=24)
+
+
+class TestScaledGraph:
+    def test_default_matches_paper_structure(self, work):
+        g = scaled_task_graph(work, lanes=3, units=1)
+        assert len(g.tasks) == 13
+        assert len(g.edges) == 12
+
+    def test_units_replicate(self, work):
+        g = scaled_task_graph(work, lanes=3, units=4)
+        assert len(g.tasks) == 4 * 13
+        assert len(g.edges) == 4 * 12
+        # Units are disconnected from each other.
+        for (a, b) in g.edges:
+            assert a.split("_")[0] == b.split("_")[0]
+
+    def test_lane_divisibility_enforced(self, work):
+        with pytest.raises(ValueError):
+            scaled_task_graph(work, lanes=5, units=1)
+
+    def test_core_budget_enforced(self, work):
+        with pytest.raises(ValueError):
+            build_scaled_pipeline(EpiphanyChip(), work, lanes=3, units=2)
+
+
+class TestE64Spec:
+    def test_dimensions(self):
+        s = EpiphanySpec.e64()
+        assert s.n_cores == 64
+        assert s.clock_hz == 800e6
+        assert s.mesh_rows == 8
+
+    def test_bandwidths_scale_with_mesh(self):
+        e16 = EpiphanySpec()
+        e64 = EpiphanySpec.e64()
+        # Bisection: 8 rows instead of 4, but at 0.8x clock.
+        assert e64.bisection_bandwidth_bytes_per_s() == pytest.approx(
+            2 * 0.8 * e16.bisection_bandwidth_bytes_per_s()
+        )
+        # Off-chip channel does NOT scale: the memory wall.
+        assert e64.offchip_bandwidth_bytes_per_s() < e16.offchip_bandwidth_bytes_per_s()
+
+
+class TestScaledRuns:
+    def test_single_unit_matches_paper_pipeline_shape(self, work):
+        base = run_autofocus_mpmd(EpiphanyChip(), work)
+        scaled = run_autofocus_scaled(EpiphanyChip(), work, lanes=3, units=1)
+        # Same structure, auto-placed: cycles agree within 20%.
+        assert scaled.cycles == pytest.approx(base.cycles, rel=0.2)
+
+    def test_replication_scales_throughput(self):
+        """Steady state (full candidate grid): 4 units complete 4
+        calculations in about the time one unit takes for one."""
+        full = AutofocusWorkload()
+        one = run_autofocus_scaled(
+            EpiphanyChip(EpiphanySpec.e64()), full, lanes=3, units=1
+        )
+        four = run_autofocus_scaled(
+            EpiphanyChip(EpiphanySpec.e64()), full, lanes=3, units=4
+        )
+        assert four.cycles == pytest.approx(one.cycles, rel=0.25)
+
+    def test_wider_lanes_run(self, work):
+        chip = EpiphanyChip(EpiphanySpec.e64())
+        res = run_autofocus_scaled(chip, work, lanes=6, units=1)
+        assert res.cycles > 0
+        assert len(res.traces) == 25
+
+    def test_interp_work_conserved_across_scalings(self, work):
+        a = run_autofocus_scaled(EpiphanyChip(), work, lanes=3, units=1)
+        chip = EpiphanyChip(EpiphanySpec.e64())
+        b = run_autofocus_scaled(chip, work, lanes=6, units=1)
+        assert b.trace.ops.fmas == pytest.approx(a.trace.ops.fmas)

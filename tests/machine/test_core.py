@@ -1,0 +1,95 @@
+"""Tests for the Epiphany core issue model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.core import CoreTimingModel, OpBlock
+from repro.machine.specs import EpiphanySpec
+from dataclasses import replace
+
+
+def spec(**kw) -> EpiphanySpec:
+    return replace(EpiphanySpec(), **kw)
+
+
+class TestOpBlock:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpBlock(flops=-1)
+
+    def test_scaled(self):
+        b = OpBlock(flops=2, fmas=3, int_ops=5).scaled(4)
+        assert b.flops == 8
+        assert b.fmas == 12
+        assert b.int_ops == 20
+
+    def test_add(self):
+        c = OpBlock(flops=1, sqrts=2) + OpBlock(flops=3, specials=1)
+        assert c.flops == 4
+        assert c.sqrts == 2
+        assert c.specials == 1
+
+    def test_total_flops_counts_fma_twice(self):
+        assert OpBlock(flops=2, fmas=3).total_flops == 8
+
+    def test_empty_block(self):
+        assert OpBlock().total_flops == 0
+
+
+class TestCoreTimingModel:
+    def test_one_flop_per_cycle(self):
+        m = CoreTimingModel(spec(issue_efficiency=1.0))
+        assert m.compute_cycles(OpBlock(flops=100)) == 100
+
+    def test_fma_single_issue(self):
+        """An FMA retires two flops in one issue slot."""
+        m = CoreTimingModel(spec(issue_efficiency=1.0))
+        assert m.compute_cycles(OpBlock(fmas=100)) == 100
+
+    def test_no_fma_doubles_issues(self):
+        m = CoreTimingModel(spec(issue_efficiency=1.0, fma_supported=False))
+        assert m.compute_cycles(OpBlock(fmas=100)) == 200
+
+    def test_dual_issue_hides_integer_ops(self):
+        """Integer work under the FP stream is free (dual issue)."""
+        m = CoreTimingModel(spec(issue_efficiency=1.0))
+        assert m.compute_cycles(OpBlock(flops=100, int_ops=80)) == 100
+
+    def test_integer_bound_block(self):
+        m = CoreTimingModel(spec(issue_efficiency=1.0))
+        assert m.compute_cycles(OpBlock(flops=10, int_ops=80)) == 80
+
+    def test_single_issue_serialises(self):
+        m = CoreTimingModel(spec(issue_efficiency=1.0, dual_issue=False))
+        assert m.compute_cycles(OpBlock(flops=100, int_ops=80)) == 180
+
+    def test_sqrt_and_special_latencies(self):
+        s = spec(issue_efficiency=1.0, sqrt_cycles=12, special_cycles=28)
+        m = CoreTimingModel(s)
+        assert m.compute_cycles(OpBlock(sqrts=2, specials=3)) == 2 * 12 + 3 * 28
+
+    def test_issue_efficiency_inflates(self):
+        lo = CoreTimingModel(spec(issue_efficiency=0.5))
+        hi = CoreTimingModel(spec(issue_efficiency=1.0))
+        b = OpBlock(flops=100)
+        assert lo.compute_cycles(b) == 2 * hi.compute_cycles(b)
+
+    def test_loads_share_ialu_slot(self):
+        m = CoreTimingModel(spec(issue_efficiency=1.0))
+        assert m.compute_cycles(OpBlock(local_loads=50, local_stores=30)) == 80
+
+    @given(
+        flops=st.integers(0, 1000),
+        fmas=st.integers(0, 1000),
+        ints=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotonicity(self, flops, fmas, ints):
+        """More work never takes fewer cycles."""
+        m = CoreTimingModel(EpiphanySpec())
+        a = m.compute_cycles(OpBlock(flops=flops, fmas=fmas, int_ops=ints))
+        b = m.compute_cycles(
+            OpBlock(flops=flops + 1, fmas=fmas + 1, int_ops=ints + 1)
+        )
+        assert b >= a

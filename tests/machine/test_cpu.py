@@ -1,0 +1,135 @@
+"""Tests for the i7-like CPU reference model."""
+
+import pytest
+
+from repro.machine.context import MemOp, load, store
+from repro.machine.core import OpBlock
+from repro.machine.cpu import CpuContext, CpuMachine
+from repro.machine.specs import CpuSpec
+
+
+def ctx() -> CpuContext:
+    return CpuContext(CpuMachine())
+
+
+class TestComputeModel:
+    def test_scalar_ipc(self):
+        c = ctx()
+        s = CpuSpec()
+        cycles = c.compute_cycles(OpBlock(flops=100))
+        assert cycles == pytest.approx(100 / s.scalar_flop_ipc)
+
+    def test_fma_counts_double_on_cpu(self):
+        """No scalar FMA on the modelled Westmere: mul + add."""
+        c = ctx()
+        a = c.compute_cycles(OpBlock(flops=200))
+        b = c.compute_cycles(OpBlock(fmas=100))
+        assert a == pytest.approx(b)
+
+    def test_integer_overlaps(self):
+        c = ctx()
+        fp_only = c.compute_cycles(OpBlock(flops=100))
+        with_ints = c.compute_cycles(OpBlock(flops=100, int_ops=50))
+        assert with_ints == fp_only
+
+
+class TestCacheModel:
+    def test_l1_resident_stream_is_cheap(self):
+        c = ctx()
+        cheap = c.memory_cycles(load(1024, working_set=16 * 1024))
+        costly = c.memory_cycles(load(1024, working_set=64 * 1024 * 1024))
+        assert cheap < costly
+
+    def test_working_set_level_selection(self):
+        c = ctx()
+        s = CpuSpec()
+        levels = [
+            c.memory_cycles(
+                MemOp("load", 4096, pattern="random", working_set=ws)
+            )
+            for ws in (16e3, 128e3, 2e6, 64e6)
+        ]
+        assert levels == sorted(levels)
+        # Random DRAM gather: latency/mlp per access.
+        assert levels[-1] == pytest.approx(
+            (4096 / 8) * s.dram_latency / s.mlp
+        )
+
+    def test_prefetch_hides_stream_latency(self):
+        """Streaming loads from DRAM cost far less than random ones."""
+        c = ctx()
+        stream = c.memory_cycles(load(65536, working_set=64e6))
+        rand = c.memory_cycles(
+            MemOp("load", 65536, pattern="random", working_set=64e6)
+        )
+        assert stream < rand / 3
+
+    def test_streaming_store_bandwidth_bound(self):
+        c = ctx()
+        s = CpuSpec()
+        cycles = c.memory_cycles(store(65536, working_set=64e6))
+        assert cycles == pytest.approx(65536 / s.dram_bytes_per_cycle)
+
+    def test_overlap_rule(self):
+        """Compute and memory overlap: total < sum, >= max."""
+        m = CpuMachine()
+
+        def prog(c):
+            yield from c.work(
+                OpBlock(flops=10000), [load(65536, working_set=64e6)]
+            )
+
+        res = m.run(prog)
+        c = ctx()
+        comp = c.compute_cycles(OpBlock(flops=10000))
+        mem = c.memory_cycles(load(65536, working_set=64e6))
+        assert res.cycles >= max(comp, mem)
+        assert res.cycles < comp + mem
+
+
+class TestCpuMachine:
+    def test_run_result_fields(self):
+        m = CpuMachine()
+
+        def prog(c):
+            yield from c.work(OpBlock(flops=2670))
+            return "done"
+
+        res = m.run(prog)
+        assert res.result == "done"
+        assert res.seconds == pytest.approx(res.cycles / 2.67e9)
+        assert res.average_power_w == 17.5
+        assert res.energy_joules == pytest.approx(17.5 * res.seconds)
+
+    def test_trace_accumulates(self):
+        m = CpuMachine()
+
+        def prog(c):
+            yield from c.work(OpBlock(flops=10), [load(100), store(50)])
+            yield from c.work(OpBlock(fmas=5))
+
+        res = m.run(prog)
+        assert res.trace.total_flops == 20
+        assert res.trace.ext_read_bytes == 100
+        assert res.trace.ext_write_bytes == 50
+
+    def test_barrier_is_trivial(self):
+        m = CpuMachine()
+
+        def prog(c):
+            yield from c.barrier()
+            yield from c.work(OpBlock(flops=10))
+
+        res = m.run(prog)
+        assert res.trace.barriers == 1
+
+    def test_faster_clock_same_cycles(self):
+        from dataclasses import replace
+
+        def prog(c):
+            yield from c.work(OpBlock(flops=1000))
+
+        slow = CpuMachine(replace(CpuSpec(), clock_hz=1e9)).run(prog)
+        fast = CpuMachine().run(prog)
+        assert slow.cycles == fast.cycles
+        assert slow.seconds > fast.seconds

@@ -1,0 +1,65 @@
+"""Tests for the energy meter."""
+
+import pytest
+
+from repro.machine.energy import EnergyMeter
+from repro.machine.specs import EpiphanySpec
+
+
+def meter() -> EnergyMeter:
+    return EnergyMeter(EpiphanySpec())
+
+
+class TestEnergyMeter:
+    def test_busy_accumulates(self):
+        m = meter()
+        m.add_busy(0, 100)
+        m.add_busy(0, 50)
+        m.add_busy(3, 25)
+        assert m.total_busy_cycles() == 175
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            meter().add_busy(0, -1)
+
+    def test_full_chip_power_near_datasheet(self):
+        """16 cores busy every cycle at 1 GHz ~ 2 W."""
+        m = meter()
+        n = 1_000_000
+        for core in range(16):
+            m.add_busy(core, n)
+        p = m.average_power_w(n)
+        assert 1.5 < p < 2.5
+
+    def test_gated_chip_power_is_floor(self):
+        m = meter()
+        p = m.average_power_w(1_000_000)
+        s = EpiphanySpec()
+        want = s.static_w + 16 * s.core_idle_w
+        assert p == pytest.approx(want, rel=0.01)
+
+    def test_active_core_restriction(self):
+        """Unused cores can be fully powered off."""
+        m = meter()
+        m.add_busy(0, 1000)
+        one = m.average_power_w(1000, active_cores=1)
+        all16 = m.average_power_w(1000, active_cores=16)
+        assert one < all16
+
+    def test_noc_and_ext_energy_added(self):
+        a = meter()
+        base = a.energy_joules(1000)
+        b = meter()
+        b.add_noc(1e6)
+        b.add_ext(1e6)
+        with_traffic = b.energy_joules(1000)
+        s = EpiphanySpec()
+        want_extra = 1e6 * (s.noc_pj_per_byte_hop + s.ext_pj_per_byte) * 1e-12
+        assert with_traffic - base == pytest.approx(want_extra, rel=1e-9)
+
+    def test_zero_time(self):
+        assert meter().average_power_w(0) == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            meter().energy_joules(-1)

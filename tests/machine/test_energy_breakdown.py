@@ -1,0 +1,47 @@
+"""Tests for the energy breakdown report."""
+
+import pytest
+
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.machine.energy import EnergyMeter
+from repro.machine.specs import EpiphanySpec
+
+
+class TestBreakdown:
+    def test_sums_to_total(self):
+        m = EnergyMeter(EpiphanySpec())
+        m.add_busy(0, 10_000)
+        m.add_noc(5e5)
+        m.add_ext(1e6)
+        total = m.energy_joules(20_000)
+        parts = m.breakdown(20_000)
+        assert sum(parts.values()) == pytest.approx(total, rel=1e-12)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter(EpiphanySpec()).breakdown(-1)
+
+    def test_compute_bound_run_dominated_by_active_cores(self):
+        chip = EpiphanyChip()
+
+        def prog(ctx):
+            yield from ctx.work(OpBlock(fmas=50_000))
+
+        res = chip.run({i: prog for i in range(16)})
+        parts = chip.energy.breakdown(res.cycles, active_cores=16)
+        assert parts["cores_active"] > 0.5 * sum(parts.values())
+
+    def test_memory_bound_run_shows_ext_energy(self):
+        from repro.kernels.ffbp_common import plan_ffbp
+        from repro.kernels.ffbp_spmd import run_ffbp_spmd
+        from repro.sar.config import RadarConfig
+
+        chip = EpiphanyChip()
+        plan = plan_ffbp(RadarConfig.small(n_pulses=128, n_ranges=513))
+        res = run_ffbp_spmd(chip, plan, 16)
+        parts = chip.energy.breakdown(res.cycles, active_cores=16)
+        assert parts["ext"] > 0.0
+        assert parts["noc"] > 0.0
+        # Read-stalled cores still burn active power: the dominant term.
+        assert parts["cores_active"] > parts["ext"]

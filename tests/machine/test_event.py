@@ -1,0 +1,340 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.machine.event import (
+    Acquire,
+    Delay,
+    Engine,
+    Flag,
+    Join,
+    SimulationError,
+    Wait,
+)
+
+
+class TestDelay:
+    def test_single_delay(self):
+        eng = Engine()
+
+        def p():
+            yield Delay(10)
+
+        eng.spawn(p())
+        assert eng.run() == 10
+
+    def test_sequential_delays_accumulate(self):
+        eng = Engine()
+
+        def p():
+            yield Delay(3)
+            yield Delay(4)
+
+        eng.spawn(p())
+        assert eng.run() == 7
+
+    def test_parallel_processes_overlap(self):
+        eng = Engine()
+
+        def p(n):
+            yield Delay(n)
+
+        eng.spawn(p(10))
+        eng.spawn(p(25))
+        assert eng.run() == 25
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1)
+
+    def test_zero_delay_allowed(self):
+        eng = Engine()
+
+        def p():
+            yield Delay(0)
+
+        eng.spawn(p())
+        assert eng.run() == 0
+
+
+class TestResource:
+    def test_occupancy(self):
+        eng = Engine()
+        res = eng.resource(rate=2.0)
+
+        def p():
+            yield Acquire(res, 10)  # 5 cycles at 2 units/cycle
+
+        eng.spawn(p())
+        assert eng.run() == 5
+
+    def test_fifo_queueing(self):
+        eng = Engine()
+        res = eng.resource(rate=1.0)
+        finish = {}
+
+        def p(name, amount):
+            yield Acquire(res, amount)
+            finish[name] = eng.now
+
+        eng.spawn(p("a", 10))
+        eng.spawn(p("b", 5))
+        eng.run()
+        assert finish["a"] == 10
+        assert finish["b"] == 15  # queued behind a
+
+    def test_latency_pipelines(self):
+        """Latency delays completion but does not occupy the server."""
+        eng = Engine()
+        res = eng.resource(rate=1.0)
+        finish = {}
+
+        def p(name, amount):
+            yield Acquire(res, amount, latency=100)
+            finish[name] = eng.now
+
+        eng.spawn(p("a", 10))
+        eng.spawn(p("b", 10))
+        eng.run()
+        assert finish["a"] == 110
+        assert finish["b"] == 120  # not 220
+
+    def test_utilization(self):
+        eng = Engine()
+        res = eng.resource(rate=1.0)
+
+        def p():
+            yield Acquire(res, 50)
+            yield Delay(50)
+
+        eng.spawn(p())
+        eng.run()
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Engine().resource(rate=0.0)
+
+    def test_negative_amount(self):
+        eng = Engine()
+        res = eng.resource(rate=1.0)
+
+        def p():
+            yield Acquire(res, -5)
+
+        eng.spawn(p())
+        with pytest.raises(ValueError):
+            eng.run()
+
+
+class TestFlag:
+    def test_wait_then_set(self):
+        eng = Engine()
+        flag = eng.flag()
+        order = []
+
+        def waiter():
+            yield Wait(flag)
+            order.append(("woke", eng.now))
+
+        def setter():
+            yield Delay(42)
+            flag.set()
+
+        eng.spawn(waiter())
+        eng.spawn(setter())
+        eng.run()
+        assert order == [("woke", 42)]
+
+    def test_preset_flag_does_not_block(self):
+        eng = Engine()
+        flag = eng.flag()
+        flag.set()
+
+        def p():
+            yield Wait(flag)
+            yield Delay(1)
+
+        eng.spawn(p())
+        assert eng.run() == 1
+
+    def test_multiple_waiters_all_wake(self):
+        eng = Engine()
+        flag = eng.flag()
+        woke = []
+
+        def waiter(i):
+            yield Wait(flag)
+            woke.append(i)
+
+        for i in range(3):
+            eng.spawn(waiter(i))
+
+        def setter():
+            yield Delay(5)
+            flag.set()
+
+        eng.spawn(setter())
+        eng.run()
+        assert sorted(woke) == [0, 1, 2]
+
+    def test_clear_rearms(self):
+        eng = Engine()
+        flag = eng.flag()
+        flag.set()
+        flag.clear()
+        assert not flag.is_set
+
+
+class TestJoin:
+    def test_join_waits_for_completion(self):
+        eng = Engine()
+
+        def worker():
+            yield Delay(30)
+            return "result"
+
+        proc = eng.spawn(worker())
+        seen = []
+
+        def joiner():
+            yield Join(proc)
+            seen.append((eng.now, proc.result))
+
+        eng.spawn(joiner())
+        eng.run()
+        assert seen == [(30, "result")]
+
+    def test_join_finished_process(self):
+        eng = Engine()
+
+        def quick():
+            return 1
+            yield  # pragma: no cover
+
+        proc = eng.spawn(quick())
+        eng.run()
+
+        def joiner():
+            yield Join(proc)
+
+        eng.spawn(joiner())
+        eng.run()  # completes without deadlock
+
+
+class TestBarrier:
+    def test_releases_all_at_last_arrival(self):
+        eng = Engine()
+        bar = eng.barrier(3)
+        times = []
+
+        def p(delay):
+            yield Delay(delay)
+            yield from bar.wait()
+            times.append(eng.now)
+
+        for d in (5, 10, 20):
+            eng.spawn(p(d))
+        eng.run()
+        assert times == [20, 20, 20]
+
+    def test_reusable(self):
+        eng = Engine()
+        bar = eng.barrier(2)
+        log = []
+
+        def p(name, d1, d2):
+            yield Delay(d1)
+            yield from bar.wait()
+            log.append((name, "r1", eng.now))
+            yield Delay(d2)
+            yield from bar.wait()
+            log.append((name, "r2", eng.now))
+
+        eng.spawn(p("a", 1, 100))
+        eng.spawn(p("b", 2, 1))
+        eng.run()
+        r1 = [t for (_, r, t) in log if r == "r1"]
+        r2 = [t for (_, r, t) in log if r == "r2"]
+        assert r1 == [2, 2]
+        assert r2 == [102, 102]
+
+    def test_single_party_never_blocks(self):
+        eng = Engine()
+        bar = eng.barrier(1)
+
+        def p():
+            yield from bar.wait()
+            yield Delay(1)
+
+        eng.spawn(p())
+        assert eng.run() == 1
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            Engine().barrier(0)
+
+
+class TestEngineSemantics:
+    def test_deadlock_detection(self):
+        eng = Engine()
+        flag = eng.flag()
+
+        def p():
+            yield Wait(flag)  # nobody sets it
+
+        eng.spawn(p())
+        with pytest.raises(SimulationError, match="deadlock"):
+            eng.run()
+
+    def test_non_waitable_yield_rejected(self):
+        eng = Engine()
+
+        def p():
+            yield "nonsense"
+
+        eng.spawn(p())
+        with pytest.raises(SimulationError, match="non-waitable"):
+            eng.run()
+
+    def test_determinism(self):
+        """Two identical simulations give identical timelines."""
+
+        def build():
+            eng = Engine()
+            res = eng.resource(rate=1.0)
+            finish = []
+
+            def p(i):
+                yield Delay(i % 3)
+                yield Acquire(res, 7)
+                finish.append((i, eng.now))
+
+            for i in range(10):
+                eng.spawn(p(i))
+            eng.run()
+            return finish
+
+        assert build() == build()
+
+    def test_max_cycles_cutoff(self):
+        eng = Engine()
+
+        def p():
+            yield Delay(1000)
+
+        eng.spawn(p())
+        assert eng.run(max_cycles=100) == 100
+
+    def test_process_result_captured(self):
+        eng = Engine()
+
+        def p():
+            yield Delay(1)
+            return 42
+
+        proc = eng.spawn(p())
+        eng.run()
+        assert proc.done
+        assert proc.result == 42
+        assert proc.finish_cycle == 1

@@ -1,0 +1,133 @@
+"""Hypothesis fuzzing of the discrete-event engine.
+
+Random process/resource workloads, checked against the engine's core
+invariants: time never goes backwards, every spawned process completes
+(no spurious deadlocks for well-formed programs), resource accounting
+balances, and simulations are exactly repeatable.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.event import Acquire, Delay, Engine, Wait
+
+
+def random_workload(seed: int, n_procs: int, n_steps: int):
+    """Build a deterministic random workload description."""
+    rng = np.random.default_rng(seed)
+    procs = []
+    for _p in range(n_procs):
+        steps = []
+        for _s in range(n_steps):
+            kind = rng.integers(0, 2)
+            if kind == 0:
+                steps.append(("delay", int(rng.integers(0, 50))))
+            else:
+                steps.append(
+                    (
+                        "acquire",
+                        int(rng.integers(0, 3)),  # resource id
+                        float(rng.integers(1, 100)),  # amount
+                        int(rng.integers(0, 20)),  # latency
+                    )
+                )
+        procs.append(steps)
+    return procs
+
+
+def run_workload(procs) -> tuple[int, list[int]]:
+    eng = Engine()
+    resources = [eng.resource(rate=float(r + 1), name=f"r{r}") for r in range(3)]
+    finish: list[int] = []
+
+    def body(steps):
+        for step in steps:
+            if step[0] == "delay":
+                yield Delay(step[1])
+            else:
+                _tag, rid, amount, latency = step
+                yield Acquire(resources[rid], amount, latency=latency)
+        finish.append(eng.now)
+
+    spawned = [eng.spawn(body(steps)) for steps in procs]
+    total = eng.run()
+    assert all(p.done for p in spawned)
+    return total, sorted(finish)
+
+
+class TestEngineFuzz:
+    @given(
+        seed=st.integers(0, 10_000),
+        n_procs=st.integers(1, 12),
+        n_steps=st.integers(0, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_processes_complete_and_time_is_sane(self, seed, n_procs, n_steps):
+        procs = random_workload(seed, n_procs, n_steps)
+        total, finishes = run_workload(procs)
+        assert total >= 0
+        if finishes:
+            assert max(finishes) == total
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_repeatability(self, seed):
+        procs = random_workload(seed, 8, 6)
+        assert run_workload(procs) == run_workload(procs)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        extra_delay=st.integers(1, 200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adding_work_never_shortens_the_run(self, seed, extra_delay):
+        procs = random_workload(seed, 4, 5)
+        base_total, _ = run_workload(procs)
+        longer = [steps + [("delay", extra_delay)] for steps in procs]
+        longer_total, _ = run_workload(longer)
+        assert longer_total >= base_total
+
+    @given(
+        waiters=st.integers(1, 20),
+        set_at=st.integers(0, 500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flag_wakeups_exact(self, waiters, set_at):
+        eng = Engine()
+        flag = eng.flag()
+        woke = []
+
+        def waiter():
+            yield Wait(flag)
+            woke.append(eng.now)
+
+        def setter():
+            yield Delay(set_at)
+            flag.set()
+
+        for _ in range(waiters):
+            eng.spawn(waiter())
+        eng.spawn(setter())
+        eng.run()
+        assert woke == [set_at] * waiters
+
+    @given(
+        amounts=st.lists(st.floats(1, 1000), min_size=1, max_size=20),
+        rate=st.floats(0.5, 16.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resource_conserves_service_time(self, amounts, rate):
+        """Back-to-back requests finish no earlier than total/rate."""
+        eng = Engine()
+        res = eng.resource(rate=rate)
+        finish = []
+
+        def p(amount):
+            yield Acquire(res, amount)
+            finish.append(eng.now)
+
+        for a in amounts:
+            eng.spawn(p(a))
+        eng.run()
+        assert max(finish) >= sum(amounts) / rate - 1.0  # rounding slack

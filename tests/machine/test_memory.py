@@ -1,0 +1,123 @@
+"""Tests for the memory-system models."""
+
+import pytest
+
+from repro.machine.memory import ExternalMemory, LocalMemory
+from repro.machine.specs import EpiphanySpec
+
+
+def ext(**kw) -> ExternalMemory:
+    return ExternalMemory(EpiphanySpec(), **kw)
+
+
+class TestExternalMemoryReads:
+    def test_read_pays_latency_and_bandwidth(self):
+        m = ext()
+        s = EpiphanySpec()
+        finish = m.read_finish(0, 800)
+        assert finish == 100 + s.ext_read_latency_cycles  # 800B / 8Bpc + latency
+
+    def test_reads_queue_on_shared_channel(self):
+        m = ext()
+        a = m.read_finish(0, 800)
+        b = m.read_finish(0, 800)
+        assert b == a + 100
+
+    def test_scatter_read_serial_floor(self):
+        """Uncontended: n * (transaction + latency)."""
+        m = ext()
+        s = EpiphanySpec()
+        n = 10
+        finish = m.scatter_read_finish(0, n)
+        assert finish == n * (s.ext_read_transaction_cycles + s.ext_read_latency_cycles)
+
+    def test_scatter_read_contention_dominates(self):
+        """A saturated channel pushes completions past the serial floor."""
+        m = ext()
+        s = EpiphanySpec()
+        # 16 cores each issue a batch at t=0.
+        finishes = [m.scatter_read_finish(0, 100) for _ in range(16)]
+        floor = 100 * (s.ext_read_transaction_cycles + s.ext_read_latency_cycles)
+        assert finishes[0] == floor
+        assert finishes[-1] > floor
+        # Last batch completes after all channel occupancy drains.
+        assert finishes[-1] >= 16 * 100 * s.ext_read_transaction_cycles
+
+    def test_scatter_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ext().scatter_read_finish(0, -1)
+
+    def test_read_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ext().read_finish(0, -8)
+
+
+class TestExternalMemoryWrites:
+    def test_posted_write_costs_issue_only(self):
+        """Below the buffering window, a write stalls the core only for
+        store issue (paper: 'without stalling')."""
+        m = ext()
+        stall = m.write_stall(0, 800)
+        assert stall == 100  # 800 B at one 8-byte store per cycle
+
+    def test_backpressure_beyond_buffer(self):
+        m = ext(write_buffer_cycles=100)
+        m.write_stall(0, 8000)  # fills the channel for 1000 cycles
+        stall = m.write_stall(0, 800)
+        # Channel backlog is ~1100 cycles; must stall down to 100.
+        assert stall > 900
+
+    def test_write_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ext().write_stall(0, -1)
+
+    def test_utilization_counts_both(self):
+        m = ext()
+        m.read_finish(0, 800)
+        m.write_stall(0, 800)
+        assert m.utilization(now=400) == pytest.approx(0.5)
+
+    def test_read_write_asymmetry(self):
+        """The paper's central asymmetry: the same bytes cost the core
+        far more as a read than as a posted write."""
+        m = ext()
+        read_cost = m.read_finish(0, 800)
+        m2 = ext()
+        write_cost = m2.write_stall(0, 800)
+        assert read_cost > 1.5 * write_cost
+
+
+class TestLocalMemory:
+    def test_allocate_within_capacity(self):
+        lm = LocalMemory(EpiphanySpec())
+        lm.allocate(16 * 1024)
+        lm.allocate(16 * 1024)
+        assert lm.allocated == 32 * 1024
+        assert lm.peak == 32 * 1024
+
+    def test_overflow_rejected(self):
+        """A kernel cannot pretend to buffer more than 32 KB locally --
+        the constraint that shapes the whole parallel FFBP design."""
+        lm = LocalMemory(EpiphanySpec())
+        lm.allocate(30 * 1024)
+        with pytest.raises(MemoryError):
+            lm.allocate(4 * 1024)
+
+    def test_free_returns_capacity(self):
+        lm = LocalMemory(EpiphanySpec())
+        lm.allocate(32 * 1024)
+        lm.free(16 * 1024)
+        lm.allocate(8 * 1024)
+        assert lm.allocated == 24 * 1024
+
+    def test_free_validation(self):
+        lm = LocalMemory(EpiphanySpec())
+        lm.allocate(100)
+        with pytest.raises(ValueError):
+            lm.free(200)
+
+    def test_paper_prefetch_budget_fits(self):
+        """The paper's 16,016-byte two-pulse prefetch fits in two banks."""
+        lm = LocalMemory(EpiphanySpec())
+        lm.allocate(16016)
+        assert lm.allocated <= 2 * EpiphanySpec().bank_bytes + 32

@@ -1,0 +1,125 @@
+"""Tests for the eMesh NoC model."""
+
+import pytest
+
+from repro.machine.noc import Mesh
+from repro.machine.specs import EpiphanySpec, NocSpec
+
+
+class TestRouting:
+    def test_xy_route_columns_first(self):
+        mesh = Mesh(4, 4)
+        path = mesh.route((0, 0), (2, 3))
+        # Three column hops, then two row hops.
+        assert path[:3] == [
+            ((0, 0), (0, 1)),
+            ((0, 1), (0, 2)),
+            ((0, 2), (0, 3)),
+        ]
+        assert path[3:] == [((0, 3), (1, 3)), ((1, 3), (2, 3))]
+
+    def test_hops_is_manhattan(self):
+        mesh = Mesh(4, 4)
+        assert mesh.hops((0, 0), (3, 3)) == 6
+        assert mesh.hops((1, 2), (1, 2)) == 0
+
+    def test_route_to_self_empty(self):
+        assert Mesh(4, 4).route((1, 1), (1, 1)) == []
+
+    def test_bounds_checked(self):
+        mesh = Mesh(2, 2)
+        with pytest.raises(ValueError):
+            mesh.route((0, 0), (5, 0))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+
+
+class TestTransfer:
+    def test_uncontended_latency(self):
+        """hops * hop_cycles + bytes / link_rate."""
+        mesh = Mesh(4, 4)
+        res = mesh.transfer(0, (0, 0), (0, 3), nbytes=80, plane="on_chip_write")
+        assert res.hops == 3
+        assert res.finish_cycle == 3 + 10  # 3 hops + 80B/8Bpc
+
+    def test_self_transfer_free(self):
+        mesh = Mesh(4, 4)
+        res = mesh.transfer(5, (1, 1), (1, 1), 100, "read")
+        assert res.finish_cycle == 5
+        assert res.hops == 0
+
+    def test_contention_queues_second_message(self):
+        mesh = Mesh(4, 4)
+        a = mesh.transfer(0, (0, 0), (0, 1), 800, "on_chip_write")
+        b = mesh.transfer(0, (0, 0), (0, 1), 800, "on_chip_write")
+        assert b.finish_cycle > a.finish_cycle
+        assert b.queue_cycles > 0
+
+    def test_planes_do_not_interfere(self):
+        """Paper: three separate mesh structures."""
+        mesh = Mesh(4, 4)
+        mesh.transfer(0, (0, 0), (0, 1), 8000, "on_chip_write")
+        r = mesh.transfer(0, (0, 0), (0, 1), 8, "read")
+        assert r.queue_cycles == 0
+
+    def test_disjoint_paths_no_interference(self):
+        mesh = Mesh(4, 4)
+        mesh.transfer(0, (0, 0), (0, 1), 8000, "on_chip_write")
+        r = mesh.transfer(0, (2, 0), (2, 1), 8, "on_chip_write")
+        assert r.queue_cycles == 0
+
+    def test_unknown_plane_rejected(self):
+        mesh = Mesh(4, 4)
+        with pytest.raises(ValueError):
+            mesh.transfer(0, (0, 0), (0, 1), 8, "bogus")
+
+    def test_negative_size_rejected(self):
+        mesh = Mesh(4, 4)
+        with pytest.raises(ValueError):
+            mesh.transfer(0, (0, 0), (0, 1), -8, "read")
+
+    def test_byte_hop_accounting(self):
+        mesh = Mesh(4, 4)
+        mesh.transfer(0, (0, 0), (0, 2), 100, "read")
+        assert mesh.total_byte_hops == 200
+        assert mesh.messages == 1
+
+    def test_link_utilization_reported(self):
+        mesh = Mesh(4, 4)
+        mesh.transfer(0, (0, 0), (0, 1), 80, "read")
+        util = mesh.link_utilization(now=100)
+        key = ("read", (0, 0), (0, 1))
+        assert util[key] == pytest.approx(0.1)
+
+
+class TestBandwidthClaims:
+    """The Section III numbers must fall out of the spec."""
+
+    def test_bisection_64_gb_s(self):
+        assert EpiphanySpec().bisection_bandwidth_bytes_per_s() == 64e9
+
+    def test_total_onchip_512_gb_s(self):
+        assert EpiphanySpec().total_onchip_bandwidth_bytes_per_s() == 512e9
+
+    def test_offchip_8_gb_s(self):
+        assert EpiphanySpec().offchip_bandwidth_bytes_per_s() == 8e9
+
+    def test_on_off_chip_ratio_64x(self):
+        """Paper Section VI: 'the on-chip bandwidth is 64 times higher
+        than the off-chip bandwidth'."""
+        s = EpiphanySpec()
+        ratio = s.total_onchip_bandwidth_bytes_per_s() / s.offchip_bandwidth_bytes_per_s()
+        assert ratio == 64.0
+
+    def test_measured_link_throughput_matches_spec(self):
+        """Saturating one link in simulation achieves 8 B/cycle."""
+        mesh = Mesh(4, 4)
+        total = 0
+        t = 0
+        for _ in range(100):
+            res = mesh.transfer(t, (0, 0), (0, 1), 800, "on_chip_write")
+            t = res.finish_cycle
+            total += 800
+        assert total / t == pytest.approx(NocSpec().link_bytes_per_cycle, rel=0.05)

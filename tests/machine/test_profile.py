@@ -1,0 +1,93 @@
+"""Tests for run profiling."""
+
+import pytest
+
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.machine.chip import EpiphanyChip
+from repro.machine.context import load
+from repro.machine.core import OpBlock
+from repro.machine.profile import profile_run
+from repro.sar.config import RadarConfig
+
+
+class TestProfileMechanics:
+    def test_pure_compute_profile(self):
+        chip = EpiphanyChip()
+
+        def prog(ctx):
+            yield from ctx.work(OpBlock(fmas=10_000))
+
+        res = chip.run({0: prog})
+        prof = profile_run(res)
+        assert len(prof.cores) == 1
+        core = prof.cores[0]
+        assert core.compute_fraction > 0.95
+        assert core.stall_fraction == 0.0
+        assert prof.classify() == "compute-bound"
+
+    def test_memory_stall_profile(self):
+        chip = EpiphanyChip()
+
+        def prog(ctx):
+            yield from ctx.work(OpBlock(flops=100))
+            yield from ctx.ext_scatter_read(2000)
+
+        res = chip.run({0: prog})
+        prof = profile_run(res)
+        assert prof.cores[0].stall_fraction > 0.8
+        assert prof.classify() == "memory-bound"
+
+    def test_imbalance_detected(self):
+        chip = EpiphanyChip()
+
+        def heavy(ctx):
+            yield from ctx.work(OpBlock(fmas=100_000))
+            yield from ctx.barrier()
+
+        def light(ctx):
+            yield from ctx.work(OpBlock(fmas=100))
+            yield from ctx.barrier()
+
+        res = chip.run({0: heavy, 1: light, 2: light, 3: light})
+        prof = profile_run(res)
+        assert prof.classify() == "imbalanced"
+
+    def test_fractions_sum_to_at_most_one(self):
+        chip = EpiphanyChip()
+
+        def prog(ctx):
+            yield from ctx.work(OpBlock(fmas=500), [load(256)])
+
+        res = chip.run({0: prog})
+        core = profile_run(res).cores[0]
+        assert core.compute_fraction + core.stall_fraction <= 1.0 + 1e-9
+        assert core.idle_cycles >= 0.0
+
+    def test_format_renders(self):
+        chip = EpiphanyChip()
+
+        def prog(ctx):
+            yield from ctx.work(OpBlock(fmas=100))
+
+        res = chip.run({0: prog, 1: prog})
+        text = profile_run(res).format()
+        assert "verdict" in text
+        assert "core" in text
+
+
+class TestPaperWorkloadProfiles:
+    def test_parallel_ffbp_is_memory_bound(self):
+        """The profile agrees with the paper's analysis."""
+        plan = plan_ffbp(RadarConfig.small(n_pulses=128, n_ranges=513))
+        res = run_ffbp_spmd(EpiphanyChip(), plan, 16)
+        prof = profile_run(res)
+        assert prof.classify() == "memory-bound"
+
+    def test_autofocus_pipeline_is_compute_bound(self):
+        from repro.kernels.autofocus_mpmd import run_autofocus_mpmd
+        from repro.kernels.opcounts import AutofocusWorkload
+
+        res = run_autofocus_mpmd(EpiphanyChip(), AutofocusWorkload())
+        prof = profile_run(res)
+        assert prof.classify() == "compute-bound"

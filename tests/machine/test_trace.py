@@ -1,0 +1,65 @@
+"""Tests for operation-count traces."""
+
+import pytest
+
+from repro.machine.core import OpBlock
+from repro.machine.trace import Trace
+
+
+class TestTrace:
+    def test_add_ops_accumulates(self):
+        t = Trace()
+        t.add_ops(OpBlock(flops=10, fmas=5))
+        t.add_ops(OpBlock(flops=2, sqrts=3))
+        assert t.ops.flops == 12
+        assert t.ops.fmas == 5
+        assert t.ops.sqrts == 3
+        assert t.total_flops == 12 + 10 + 3
+
+    def test_total_ext_bytes(self):
+        t = Trace()
+        t.ext_read_bytes = 100.0
+        t.ext_write_bytes = 50.0
+        assert t.total_ext_bytes == 150.0
+
+    def test_arithmetic_intensity(self):
+        t = Trace()
+        t.add_ops(OpBlock(flops=300))
+        t.ext_read_bytes = 100.0
+        assert t.arithmetic_intensity() == pytest.approx(3.0)
+
+    def test_arithmetic_intensity_no_traffic(self):
+        t = Trace()
+        t.add_ops(OpBlock(flops=1))
+        assert t.arithmetic_intensity() == float("inf")
+        assert Trace().arithmetic_intensity() == 0.0
+
+    def test_merged_sums_everything(self):
+        a = Trace()
+        a.add_ops(OpBlock(flops=10))
+        a.ext_read_bytes = 5
+        a.messages_sent = 2
+        a.barriers = 1
+        a.compute_cycles = 100.0
+        b = Trace()
+        b.add_ops(OpBlock(fmas=4))
+        b.ext_write_bytes = 7
+        b.messages_received = 3
+        b.stall_cycles = 50.0
+        m = a.merged(b)
+        assert m.total_flops == 10 + 8
+        assert m.ext_read_bytes == 5
+        assert m.ext_write_bytes == 7
+        assert m.messages_sent == 2
+        assert m.messages_received == 3
+        assert m.barriers == 1
+        assert m.compute_cycles == 100.0
+        assert m.stall_cycles == 50.0
+
+    def test_merged_leaves_inputs_untouched(self):
+        a = Trace()
+        a.add_ops(OpBlock(flops=1))
+        b = Trace()
+        a.merged(b)
+        assert a.total_flops == 1
+        assert b.total_flops == 0

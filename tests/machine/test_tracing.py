@@ -1,0 +1,116 @@
+"""Tests for activity tracing."""
+
+import json
+
+import pytest
+
+from repro.machine.chip import EpiphanyChip
+from repro.machine.context import load, store
+from repro.machine.core import OpBlock
+from repro.machine.tracing import ActivityRecorder, Interval
+
+
+class TestInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interval(0, "compute", 10, 5)
+        with pytest.raises(ValueError):
+            Interval(0, "teleport", 0, 5)
+
+    def test_cycles(self):
+        assert Interval(0, "compute", 5, 15).cycles == 10
+
+
+class TestRecorder:
+    def test_zero_length_intervals_skipped(self):
+        rec = ActivityRecorder()
+        rec.record(0, "compute", 10, 10)
+        assert rec.intervals == []
+
+    def test_totals_by_kind(self):
+        rec = ActivityRecorder()
+        rec.record(0, "compute", 0, 10)
+        rec.record(0, "mem", 10, 25)
+        rec.record(1, "compute", 0, 5)
+        assert rec.total_by_kind() == {"compute": 15, "mem": 15}
+        assert rec.total_by_kind(core=0) == {"compute": 10, "mem": 15}
+
+    def test_chrome_trace_is_valid_json(self):
+        rec = ActivityRecorder()
+        rec.record(0, "compute", 0, 1000)
+        rec.record(1, "mem", 500, 700)
+        doc = json.loads(rec.chrome_trace())
+        assert len(doc["traceEvents"]) == 2
+        ev = doc["traceEvents"][0]
+        assert ev["ph"] == "X"
+        assert ev["dur"] == pytest.approx(1.0)  # 1000 cycles @1 GHz = 1 us
+
+    def test_ascii_timeline_shape(self):
+        rec = ActivityRecorder()
+        rec.record(0, "compute", 0, 50)
+        rec.record(0, "mem", 50, 100)
+        rec.record(1, "compute", 0, 100)
+        art = rec.ascii_timeline(width=20)
+        lines = art.split("\n")
+        assert len(lines) == 3  # two lanes + legend
+        assert "#" in lines[0] and "m" in lines[0]
+        assert lines[1].count("#") == 20
+
+    def test_empty_timeline(self):
+        assert "no activity" in ActivityRecorder().ascii_timeline()
+
+
+class TestChipIntegration:
+    def test_records_compute_and_memory(self):
+        chip = EpiphanyChip()
+        chip.recorder = ActivityRecorder()
+
+        def prog(ctx):
+            yield from ctx.work(OpBlock(fmas=500), [load(800)])
+            yield from ctx.ext_scatter_read(20)
+            tok = ctx.dma_prefetch(1024)
+            yield from ctx.dma_wait(tok)
+            yield from ctx.barrier()
+
+        res = chip.run({0: prog, 1: prog})
+        kinds = chip.recorder.total_by_kind()
+        assert kinds.get("compute", 0) > 0
+        assert kinds.get("mem", 0) > 0
+        assert kinds.get("dma", 0) > 0
+
+    def test_recorded_compute_matches_trace(self):
+        chip = EpiphanyChip()
+        chip.recorder = ActivityRecorder()
+
+        def prog(ctx):
+            yield from ctx.work(OpBlock(fmas=1234))
+
+        res = chip.run({0: prog})
+        assert chip.recorder.total_by_kind(0)["compute"] == pytest.approx(
+            res.traces[0].compute_cycles
+        )
+
+    def test_no_recorder_no_overhead(self):
+        """Runs are identical with and without a recorder."""
+        def prog(ctx):
+            yield from ctx.work(OpBlock(fmas=999), [store(128)])
+            yield from ctx.ext_scatter_read(7)
+
+        plain = EpiphanyChip()
+        r1 = plain.run({0: prog})
+        traced = EpiphanyChip()
+        traced.recorder = ActivityRecorder()
+        r2 = traced.run({0: prog})
+        assert r1.cycles == r2.cycles
+
+    def test_ffbp_timeline_shows_memory_domination(self):
+        from repro.kernels.ffbp_common import plan_ffbp
+        from repro.kernels.ffbp_spmd import run_ffbp_spmd
+        from repro.sar.config import RadarConfig
+
+        chip = EpiphanyChip()
+        chip.recorder = ActivityRecorder()
+        plan = plan_ffbp(RadarConfig.small(n_pulses=128, n_ranges=513))
+        run_ffbp_spmd(chip, plan, 16)
+        kinds = chip.recorder.total_by_kind()
+        assert kinds["mem"] > kinds["compute"]

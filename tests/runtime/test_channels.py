@@ -1,0 +1,131 @@
+"""Tests for flag-synchronised streaming channels."""
+
+import pytest
+
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.runtime.channels import Channel
+
+
+class TestChannelBasics:
+    def test_endpoints_validated(self):
+        chip = EpiphanyChip()
+        with pytest.raises(ValueError):
+            Channel(chip, 3, 3)
+        with pytest.raises(ValueError):
+            Channel(chip, 0, 1, capacity=0)
+
+    def test_wrong_core_send_rejected(self):
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1)
+
+        def prog(ctx):
+            yield from ch.send(ctx, 8)
+
+        chip_progs = {2: prog}
+        with pytest.raises(ValueError):
+            chip.run(chip_progs)
+
+    def test_message_flows_src_to_dst(self):
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1)
+        log = []
+
+        def producer(ctx):
+            yield from ctx.work(OpBlock(flops=100))
+            yield from ch.send(ctx, 80)
+
+        def consumer(ctx):
+            yield from ch.recv(ctx)
+            log.append(ctx.chip.engine.now)
+
+        chip.run({0: producer, 1: consumer})
+        assert len(log) == 1
+        assert log[0] > 100  # after producer compute + flight time
+
+    def test_messages_preserve_order(self):
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1, capacity=4)
+        received = []
+
+        def producer(ctx):
+            for i in range(5):
+                yield from ctx.work(OpBlock(flops=10 * (i + 1)))
+                yield from ch.send(ctx, 8)
+
+        def consumer(ctx):
+            for i in range(5):
+                yield from ch.recv(ctx)
+                received.append(i)
+
+        chip.run({0: producer, 1: consumer})
+        assert received == list(range(5))
+        assert ch.messages == 5
+
+    def test_payload_size_enforced(self):
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1, payload_bytes=64)
+
+        def producer(ctx):
+            yield from ch.send(ctx, 128)
+
+        def consumer(ctx):
+            yield from ch.recv(ctx)
+
+        with pytest.raises(ValueError):
+            chip.run({0: producer, 1: consumer})
+
+    def test_payload_reserves_consumer_buffer(self):
+        chip = EpiphanyChip()
+        Channel(chip, 0, 1, capacity=2, payload_bytes=1024)
+        assert chip.context(1).local.allocated == 2048
+
+
+class TestBackpressure:
+    def test_producer_stalls_when_full(self):
+        """With capacity 1 and a slow consumer, the producer throttles
+        to the consumer's rate."""
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1, capacity=1)
+        producer_times = []
+
+        def producer(ctx):
+            for _ in range(4):
+                yield from ch.send(ctx, 8)
+                producer_times.append(ctx.chip.engine.now)
+
+        def consumer(ctx):
+            for _ in range(4):
+                yield from ch.recv(ctx)
+                yield from ctx.work(OpBlock(flops=1000))
+
+        chip.run({0: producer, 1: consumer})
+        gaps = [b - a for a, b in zip(producer_times, producer_times[1:])]
+        # Later sends are paced by the ~1000-cycle consumer stage.
+        assert gaps[-1] > 500
+
+    def test_larger_capacity_decouples(self):
+        def run_with(capacity):
+            chip = EpiphanyChip()
+            ch = Channel(chip, 0, 1, capacity=capacity)
+            times = []
+
+            def producer(ctx):
+                for _ in range(3):
+                    yield from ch.send(ctx, 8)
+                times.append(ctx.chip.engine.now)
+
+            def consumer(ctx):
+                for _ in range(3):
+                    yield from ctx.work(OpBlock(flops=5000))
+                    yield from ch.recv(ctx)
+
+            chip.run({0: producer, 1: consumer})
+            return times[0]
+
+        assert run_with(3) < run_with(1)
+
+    def test_hops_recorded(self):
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 15)  # (0,0) -> (3,3): 6 hops
+        assert ch.hops == 6

@@ -1,0 +1,125 @@
+"""Hypothesis fuzzing of streaming channels and the mesh.
+
+Random pipeline shapes checked for conservation laws: every message
+sent is received, in order, regardless of stage timing; mesh byte-hop
+accounting matches the traffic injected.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.machine.noc import Mesh
+from repro.runtime.channels import Channel
+
+
+class TestChannelFuzz:
+    @given(
+        n_msgs=st.integers(1, 30),
+        capacity=st.integers(1, 5),
+        producer_work=st.integers(0, 500),
+        consumer_work=st.integers(0, 500),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_messages_conserved_and_ordered(
+        self, n_msgs, capacity, producer_work, consumer_work, seed
+    ):
+        rng = np.random.default_rng(seed)
+        jitter = rng.integers(0, 50, size=n_msgs)
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 5, capacity=capacity)
+        received = []
+
+        def producer(ctx):
+            for i in range(n_msgs):
+                if producer_work + jitter[i]:
+                    yield from ctx.work(
+                        OpBlock(fmas=producer_work + int(jitter[i]))
+                    )
+                yield from ch.send(ctx, 16)
+
+        def consumer(ctx):
+            for i in range(n_msgs):
+                yield from ch.recv(ctx)
+                received.append(i)
+                if consumer_work:
+                    yield from ctx.work(OpBlock(fmas=consumer_work))
+
+        chip.run({0: producer, 5: consumer})
+        assert received == list(range(n_msgs))
+        assert ch.messages == n_msgs
+        assert ch.bytes_moved == 16 * n_msgs
+
+    @given(
+        stages=st.integers(2, 5),
+        n_msgs=st.integers(1, 12),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_chain_completes(self, stages, n_msgs, seed):
+        """Random per-stage work never deadlocks a well-formed chain."""
+        rng = np.random.default_rng(seed)
+        works = rng.integers(0, 800, size=stages)
+        chip = EpiphanyChip()
+        channels = [
+            Channel(chip, i, i + 1, capacity=2) for i in range(stages - 1)
+        ]
+
+        def make(idx):
+            def prog(ctx):
+                for _ in range(n_msgs):
+                    if idx > 0:
+                        yield from channels[idx - 1].recv(ctx)
+                    if works[idx]:
+                        yield from ctx.work(OpBlock(fmas=int(works[idx])))
+                    if idx < stages - 1:
+                        yield from channels[idx].send(ctx, 8)
+
+            return prog
+
+        res = chip.run({i: make(i) for i in range(stages)})
+        assert res.cycles > 0
+        for ch in channels:
+            assert ch.messages == n_msgs
+
+
+class TestMeshConservation:
+    @given(
+        seed=st.integers(0, 2000),
+        n_messages=st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_byte_hops_match_injected_traffic(self, seed, n_messages):
+        rng = np.random.default_rng(seed)
+        mesh = Mesh(4, 4)
+        want = 0.0
+        t = 0
+        real_messages = 0  # self-transfers never enter the mesh
+        for _ in range(n_messages):
+            src = (int(rng.integers(0, 4)), int(rng.integers(0, 4)))
+            dst = (int(rng.integers(0, 4)), int(rng.integers(0, 4)))
+            nbytes = float(rng.integers(8, 512))
+            res = mesh.transfer(t, src, dst, nbytes, "on_chip_write")
+            want += nbytes * mesh.hops(src, dst)
+            real_messages += int(src != dst)
+            t = max(t, res.finish_cycle)
+        assert mesh.total_byte_hops == want
+        assert mesh.messages == real_messages
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_transfer_never_finishes_before_flight_time(self, seed):
+        rng = np.random.default_rng(seed)
+        mesh = Mesh(4, 4)
+        for _ in range(20):
+            src = (int(rng.integers(0, 4)), int(rng.integers(0, 4)))
+            dst = (int(rng.integers(0, 4)), int(rng.integers(0, 4)))
+            nbytes = float(rng.integers(8, 256))
+            now = int(rng.integers(0, 1000))
+            res = mesh.transfer(now, src, dst, nbytes, "read")
+            floor = mesh.hops(src, dst) + nbytes / 8.0
+            if src != dst:
+                assert res.finish_cycle >= now + int(floor) - 1

@@ -1,0 +1,166 @@
+"""Tests for the declarative dataflow builder."""
+
+import pytest
+
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.runtime.dataflow import DataflowGraph, GraphError, linear_chain
+
+
+def w(n: int) -> OpBlock:
+    return OpBlock(fmas=n)
+
+
+class TestGraphConstruction:
+    def test_duplicate_node_rejected(self):
+        g = DataflowGraph().node("a", w(1))
+        with pytest.raises(GraphError):
+            g.node("a", w(1))
+
+    def test_unknown_edge_endpoint(self):
+        g = DataflowGraph().node("a", w(1))
+        with pytest.raises(GraphError):
+            g.edge("a", "b", 8)
+
+    def test_self_loop_rejected(self):
+        g = DataflowGraph().node("a", w(1))
+        with pytest.raises(GraphError):
+            g.edge("a", "a", 8)
+
+    def test_duplicate_edge_rejected(self):
+        g = DataflowGraph().node("a", w(1)).node("b", w(1)).edge("a", "b", 8)
+        with pytest.raises(GraphError):
+            g.edge("a", "b", 8)
+
+    def test_chaining_api(self):
+        g = (
+            DataflowGraph()
+            .node("a", w(1))
+            .node("b", w(1))
+            .edge("a", "b", 16)
+        )
+        assert len(g.nodes) == 2
+        assert len(g.edges) == 1
+
+
+class TestTopology:
+    def test_topological_order_of_chain(self):
+        g = linear_chain([w(1), w(1), w(1)])
+        assert g.topological_order() == ["stage0", "stage1", "stage2"]
+
+    def test_cycle_rejected(self):
+        g = (
+            DataflowGraph()
+            .node("a", w(1))
+            .node("b", w(1))
+            .edge("a", "b", 8)
+            .edge("b", "a", 8)
+        )
+        with pytest.raises(GraphError, match="cycle"):
+            g.topological_order()
+
+    def test_diamond_order(self):
+        g = (
+            DataflowGraph()
+            .node("src", w(1))
+            .node("left", w(1))
+            .node("right", w(1))
+            .node("sink", w(1))
+            .edge("src", "left", 8)
+            .edge("src", "right", 8)
+            .edge("left", "sink", 8)
+            .edge("right", "sink", 8)
+        )
+        order = g.topological_order()
+        assert order[0] == "src"
+        assert order[-1] == "sink"
+
+
+class TestBuildAndRun:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            DataflowGraph().build(EpiphanyChip(), 1)
+
+    def test_zero_firings_rejected(self):
+        g = linear_chain([w(1)])
+        with pytest.raises(GraphError):
+            g.build(EpiphanyChip(), 0)
+
+    def test_too_many_actors(self):
+        g = DataflowGraph()
+        for i in range(17):
+            g.node(f"n{i}", w(1))
+        with pytest.raises(GraphError):
+            g.build(EpiphanyChip(), 1)
+
+    def test_chain_runs_and_moves_messages(self):
+        chip = EpiphanyChip()
+        g = linear_chain([w(100), w(100), w(100)], payload=32)
+        pipe = g.build(chip, firings=10)
+        res = pipe.run()
+        assert res.cycles > 0
+        for ch in pipe.channels.values():
+            assert ch.messages == 10
+            assert ch.bytes_moved == 320
+
+    def test_pipelining_throughput(self):
+        """A balanced chain approaches one firing per stage time."""
+        chip = EpiphanyChip()
+        firings, stage_work = 32, 1000
+        g = linear_chain([w(stage_work)] * 4)
+        res = g.run(chip, firings)
+        serial = 4 * firings * stage_work  # un-pipelined estimate
+        assert res.cycles < 0.5 * serial
+
+    def test_fan_in_aggregation(self):
+        """A sink with many producers receives every message."""
+        chip = EpiphanyChip()
+        g = DataflowGraph().node("sink", w(10))
+        for i in range(4):
+            g.node(f"src{i}", w(50))
+            g.edge(f"src{i}", "sink", 16)
+        pipe = g.build(chip, firings=7)
+        pipe.run()
+        assert all(ch.messages == 7 for ch in pipe.channels.values())
+
+    def test_placement_is_communication_aware(self):
+        """The auto-placement puts chain neighbours on adjacent cores."""
+        chip = EpiphanyChip()
+        g = linear_chain([w(10)] * 5, payload=128)
+        pipe = g.build(chip, firings=1)
+        for (a, b), ch in pipe.channels.items():
+            assert ch.hops == 1
+
+    def test_deadlock_free_despite_deep_fanout(self):
+        """Diamond + long chains run to completion (no hangs)."""
+        chip = EpiphanyChip()
+        g = (
+            DataflowGraph()
+            .node("src", w(10))
+            .node("a1", w(30))
+            .node("a2", w(30))
+            .node("b1", w(80))
+            .node("b2", w(20))
+            .node("sink", w(5))
+            .edge("src", "a1", 8)
+            .edge("src", "b1", 8)
+            .edge("a1", "a2", 8)
+            .edge("b1", "b2", 8)
+            .edge("a2", "sink", 8)
+            .edge("b2", "sink", 8)
+        )
+        res = g.run(chip, firings=20)
+        assert res.cycles > 0
+
+    def test_buffer_overflow_caught_at_build(self):
+        """Edge payloads reserve consumer-side buffers; exceeding the
+        32 KB scratchpad fails at build time, not runtime."""
+        chip = EpiphanyChip()
+        g = (
+            DataflowGraph()
+            .node("a", w(1))
+            .node("b", w(1))
+            .edge("a", "b", 20 * 1024)
+        )
+        with pytest.raises(MemoryError):
+            g.build(chip, firings=1)

@@ -1,0 +1,75 @@
+"""Hypothesis fuzzing of task placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.mapping import TaskGraph, greedy_place, linear_place
+
+
+def random_graph(seed: int, n_tasks: int, n_edges: int) -> TaskGraph:
+    rng = np.random.default_rng(seed)
+    tasks = tuple(f"t{i}" for i in range(n_tasks))
+    edges = {}
+    for _ in range(n_edges):
+        a, b = rng.integers(0, n_tasks, size=2)
+        if a == b:
+            continue
+        edges[(f"t{a}", f"t{b}")] = float(rng.integers(1, 100))
+    return TaskGraph(tasks, edges)
+
+
+class TestPlacementFuzz:
+    @given(
+        seed=st.integers(0, 5000),
+        n_tasks=st.integers(2, 16),
+        n_edges=st.integers(0, 24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_never_worse_than_linear(self, seed, n_tasks, n_edges):
+        g = random_graph(seed, n_tasks, n_edges)
+        lin = linear_place(g, 4, 4)
+        opt = greedy_place(g, 4, 4)
+        assert opt.weighted_hops() <= lin.weighted_hops() + 1e-9
+
+    @given(
+        seed=st.integers(0, 5000),
+        n_tasks=st.integers(2, 16),
+        n_edges=st.integers(1, 24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_placement_validity(self, seed, n_tasks, n_edges):
+        """Every task on-mesh, no two tasks share a core."""
+        g = random_graph(seed, n_tasks, n_edges)
+        p = greedy_place(g, 4, 4)
+        coords = list(p.coords.values())
+        assert len(set(coords)) == len(coords)
+        for (r, c) in coords:
+            assert 0 <= r < 4 and 0 <= c < 4
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_max_link_load_at_least_heaviest_edge(self, seed):
+        """Some link must carry the heaviest edge's full weight."""
+        g = random_graph(seed, 8, 10)
+        if not g.edges:
+            return
+        p = greedy_place(g, 4, 4)
+        nonlocal_edges = [
+            w for (a, b), w in g.edges.items() if p.hops(a, b) > 0
+        ]
+        if nonlocal_edges:
+            assert p.max_link_load() >= max(nonlocal_edges) - 1e-9
+
+    @given(
+        seed=st.integers(0, 5000),
+        rows=st.integers(2, 8),
+        cols=st.integers(2, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_mesh_sizes(self, seed, rows, cols):
+        n_tasks = min(rows * cols, 10)
+        g = random_graph(seed, n_tasks, 12)
+        p = greedy_place(g, rows, cols)
+        assert p.weighted_hops() >= 0.0

@@ -1,0 +1,70 @@
+"""Tests for MPMD pipelines."""
+
+import pytest
+
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.runtime.mapping import Placement, TaskGraph
+from repro.runtime.mpmd import Pipeline, Task
+
+
+def two_stage(chip: EpiphanyChip, work_cycles=1000, items=4):
+    """A minimal producer -> consumer pipeline."""
+    graph = TaskGraph(("src", "dst"), {("src", "dst"): 8.0})
+    place = Placement(graph, {"src": (0, 0), "dst": (0, 1)}, 4, 4)
+
+    def src(ctx, ins, outs):
+        out = outs["dst"]
+        for _ in range(items):
+            yield from ctx.work(OpBlock(flops=work_cycles))
+            yield from out.send(ctx, 8)
+
+    def dst(ctx, ins, outs):
+        inp = ins["src"]
+        for _ in range(items):
+            yield from inp.recv(ctx)
+            yield from ctx.work(OpBlock(flops=work_cycles))
+
+    tasks = [Task("src", src), Task("dst", dst)]
+    return Pipeline(chip, tasks, place)
+
+
+class TestPipeline:
+    def test_task_placement_consistency_checked(self):
+        chip = EpiphanyChip()
+        graph = TaskGraph(("a", "b"), {})
+        place = Placement(graph, {"a": (0, 0), "b": (0, 1)}, 4, 4)
+        with pytest.raises(ValueError):
+            Pipeline(chip, [Task("a", lambda c, i, o: iter(()))], place)
+
+    def test_channels_built_from_edges(self):
+        chip = EpiphanyChip()
+        pipe = two_stage(chip)
+        assert ("src", "dst") in pipe.channels
+        assert pipe.inputs_of("dst")["src"] is pipe.channels[("src", "dst")]
+        assert pipe.outputs_of("src")["dst"] is pipe.channels[("src", "dst")]
+
+    def test_runs_to_completion(self):
+        chip = EpiphanyChip()
+        pipe = two_stage(chip, items=3)
+        res = pipe.run()
+        assert res.cycles > 0
+        assert pipe.channels[("src", "dst")].messages == 3
+
+    def test_pipelining_overlaps_stages(self):
+        """Two balanced stages cost ~items, not ~2*items stage times."""
+        chip = EpiphanyChip()
+        items, work = 16, 2000
+        res = pipe_cycles = two_stage(chip, work, items).run().cycles
+        serial_estimate = 2 * items * (work / 0.99)
+        assert pipe_cycles < 0.75 * serial_estimate
+
+    def test_traffic_summary(self):
+        chip = EpiphanyChip()
+        pipe = two_stage(chip, items=5)
+        pipe.run()
+        stats = pipe.traffic_summary()[("src", "dst")]
+        assert stats["messages"] == 5
+        assert stats["bytes"] == 40
+        assert stats["hops"] == 1
+        assert stats["byte_hops"] == 40

@@ -1,0 +1,93 @@
+"""Tests for the SPMD launcher and partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.runtime.spmd import partition, run_spmd
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition(16, 4) == [
+            slice(0, 4),
+            slice(4, 8),
+            slice(8, 12),
+            slice(12, 16),
+        ]
+
+    def test_remainder_spread_to_front(self):
+        got = partition(10, 3)
+        sizes = [s.stop - s.start for s in got]
+        assert sizes == [4, 3, 3]
+
+    def test_more_parts_than_items(self):
+        got = partition(2, 4)
+        sizes = [s.stop - s.start for s in got]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition(4, 0)
+        with pytest.raises(ValueError):
+            partition(-1, 4)
+
+    @given(n=st.integers(0, 10_000), p=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_properties(self, n, p):
+        """Complete, contiguous, ordered, balanced to within one item."""
+        slices = partition(n, p)
+        assert len(slices) == p
+        assert slices[0].start == 0
+        assert slices[-1].stop == n
+        sizes = []
+        for a, b in zip(slices, slices[1:]):
+            assert a.stop == b.start
+        for s in slices:
+            sizes.append(s.stop - s.start)
+            assert s.stop >= s.start
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+
+
+class TestRunSpmd:
+    def test_runs_on_requested_cores(self):
+        chip = EpiphanyChip()
+        seen = []
+
+        def kernel(ctx):
+            seen.append(ctx.core_id)
+            yield from ctx.work(OpBlock(flops=10))
+
+        res = run_spmd(chip, 5, kernel)
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+        assert len(res.traces) == 5
+
+    def test_core_count_validated(self):
+        chip = EpiphanyChip()
+
+        def kernel(ctx):
+            yield from ctx.work(OpBlock(flops=1))
+
+        with pytest.raises(ValueError):
+            run_spmd(chip, 17, kernel)
+        with pytest.raises(ValueError):
+            run_spmd(chip, 0, kernel)
+
+    def test_parallel_speedup_on_compute_bound_kernel(self):
+        """A perfectly parallel compute kernel scales ~linearly."""
+        work_total = 160_000
+
+        def make(n_cores):
+            def kernel(ctx):
+                share = work_total // n_cores
+                yield from ctx.work(OpBlock(fmas=share))
+                yield from ctx.barrier()
+
+            return kernel
+
+        t1 = run_spmd(EpiphanyChip(), 1, make(1)).cycles
+        t16 = run_spmd(EpiphanyChip(), 16, make(16)).cycles
+        assert t1 / t16 == pytest.approx(16.0, rel=0.05)

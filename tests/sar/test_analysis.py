@@ -1,0 +1,124 @@
+"""Tests for impulse-response analysis -- and through it, the physics.
+
+The strongest end-to-end validation in the suite: the simulated system
+(waveform -> echo -> back-projection) must achieve the textbook
+impulse-response numbers -- a -3 dB mainlobe width of ``0.886 c / 2B``
+in range and ``0.886 lambda / (2 theta_int)`` in cross-range, and the
+unweighted-sinc -13.26 dB peak sidelobe ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.scene import Scene
+from repro.sar.analysis import (
+    cut_metrics,
+    impulse_response,
+    theoretical_cross_range_resolution,
+    theoretical_range_resolution,
+)
+from repro.sar.config import RadarConfig
+from repro.sar.ffbp import FfbpOptions, ffbp
+from repro.sar.gbp import gbp_polar
+from repro.sar.simulate import simulate_compressed
+
+SINC_3DB = 0.886
+"""-3 dB width of sinc(x) in units of its first-null distance."""
+
+
+@pytest.fixture(scope="module")
+def focused():
+    cfg = RadarConfig.small(n_pulses=128, n_ranges=257)
+    c = cfg.scene_center()
+    data = simulate_compressed(
+        cfg, Scene.single(float(c[0]), float(c[1])), dtype=np.complex128
+    )
+    img = gbp_polar(data, cfg)
+    return cfg, img
+
+
+class TestCutMetrics:
+    def test_ideal_sinc_cut(self):
+        x = np.linspace(-20, 20, 801)  # 20 samples per null spacing
+        cut = np.sinc(x)
+        m = cut_metrics(cut)
+        assert m.resolution_samples / 20.0 == pytest.approx(SINC_3DB, rel=0.02)
+        assert m.pslr_db == pytest.approx(-13.26, abs=0.3)
+        assert m.peak_index == pytest.approx(400.0, abs=0.01)
+
+    def test_short_cut_rejected(self):
+        with pytest.raises(ValueError):
+            cut_metrics(np.ones(4))
+
+    def test_offset_peak_located(self):
+        x = np.linspace(-10, 30, 401)
+        m = cut_metrics(np.sinc(x))
+        assert m.peak_index == pytest.approx(100.0, abs=0.01)
+
+    def test_isolated_spike_has_no_sidelobes(self):
+        cut = np.zeros(64)
+        cut[32] = 1.0
+        m = cut_metrics(cut)
+        assert m.pslr_db == -np.inf
+
+
+class TestPhysicsValidation:
+    def test_range_resolution_matches_theory(self, focused):
+        """End-to-end: the -3 dB width equals 0.886 c / (2B)."""
+        cfg, img = focused
+        ir = impulse_response(img, cfg)
+        want = SINC_3DB * theoretical_range_resolution(cfg)
+        assert ir.range_resolution_m == pytest.approx(want, rel=0.08)
+
+    def test_cross_range_resolution_matches_theory(self, focused):
+        cfg, img = focused
+        ir = impulse_response(img, cfg)
+        c = cfg.scene_center()
+        r = float(np.hypot(*(c - cfg.aperture_center())))
+        want = SINC_3DB * theoretical_cross_range_resolution(cfg, r)
+        assert ir.cross_range_resolution_m == pytest.approx(want, rel=0.12)
+
+    def test_range_pslr_near_sinc_limit(self, focused):
+        cfg, img = focused
+        ir = impulse_response(img, cfg)
+        assert -16.0 < ir.range_cut.pslr_db < -11.0
+
+    def test_longer_aperture_sharpens_cross_range(self):
+        """Doubling the aperture halves the cross-range resolution."""
+        res = {}
+        for n in (64, 128):
+            cfg = RadarConfig.small(n_pulses=n, n_ranges=257)
+            c = cfg.scene_center()
+            data = simulate_compressed(
+                cfg, Scene.single(float(c[0]), float(c[1])), dtype=np.complex128
+            )
+            ir = impulse_response(gbp_polar(data, cfg), cfg)
+            res[n] = ir.cross_range_resolution_m
+        assert res[64] / res[128] == pytest.approx(2.0, rel=0.15)
+
+    def test_wider_bandwidth_sharpens_range(self):
+        from dataclasses import replace
+
+        res = {}
+        for bw in (12.5e6, 25e6):
+            base = RadarConfig.small(n_pulses=64, n_ranges=257)
+            cfg = base.with_(chirp=replace(base.chirp, bandwidth=bw))
+            c = cfg.scene_center()
+            data = simulate_compressed(
+                cfg, Scene.single(float(c[0]), float(c[1])), dtype=np.complex128
+            )
+            ir = impulse_response(gbp_polar(data, cfg), cfg)
+            res[bw] = ir.range_resolution_m
+        assert res[12.5e6] / res[25e6] == pytest.approx(2.0, rel=0.15)
+
+    def test_ffbp_response_broader_or_equal_to_gbp(self, focused):
+        """NN interpolation cannot *sharpen* the response."""
+        cfg, gbp_img = focused
+        c = cfg.scene_center()
+        data = simulate_compressed(cfg, Scene.single(float(c[0]), float(c[1])))
+        ffbp_img = ffbp(data, cfg, FfbpOptions())
+        ir_g = impulse_response(gbp_img, cfg)
+        ir_f = impulse_response(ffbp_img, cfg)
+        assert ir_f.range_resolution_m >= 0.9 * ir_g.range_resolution_m
+        # And its sidelobe floor is worse (interpolation noise).
+        assert ir_f.range_cut.pslr_db >= ir_g.range_cut.pslr_db - 1.0

@@ -1,0 +1,67 @@
+"""Tests for aperture weighting in back-projection."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.scene import Scene
+from repro.sar.analysis import impulse_response
+from repro.sar.config import RadarConfig
+from repro.sar.gbp import backproject, gbp_polar
+from repro.sar.simulate import simulate_compressed
+from repro.signal.windows import taylor_window
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = RadarConfig.small(n_pulses=128, n_ranges=257)
+    c = cfg.scene_center()
+    data = simulate_compressed(
+        cfg, Scene.single(float(c[0]), float(c[1])), dtype=np.complex128
+    )
+    return cfg, data
+
+
+class TestWeighting:
+    def test_shape_validated(self, setup):
+        cfg, data = setup
+        with pytest.raises(ValueError):
+            backproject(
+                data,
+                cfg,
+                cfg.scene_center()[None, :],
+                aperture_weights=np.ones(7),
+            )
+
+    def test_unit_weights_are_identity(self, setup):
+        cfg, data = setup
+        plain = gbp_polar(data, cfg)
+        unit = gbp_polar(data, cfg, aperture_weights=np.ones(cfg.n_pulses))
+        assert np.allclose(plain.data, unit.data)
+
+    def test_taylor_window_cuts_azimuth_sidelobes(self, setup):
+        """The textbook trade: -30 dB Taylor weighting drops the
+        cross-range PSLR well below the -13 dB sinc level, at a
+        mainlobe-width cost."""
+        cfg, data = setup
+        w = taylor_window(cfg.n_pulses, sll_db=-30.0)
+        plain = impulse_response(gbp_polar(data, cfg), cfg)
+        tapered = impulse_response(
+            gbp_polar(data, cfg, aperture_weights=w), cfg
+        )
+        assert tapered.beam_cut.pslr_db < plain.beam_cut.pslr_db - 5.0
+        assert (
+            tapered.cross_range_resolution_m
+            > plain.cross_range_resolution_m
+        )
+        # Range response untouched (the taper is azimuth-only).
+        assert tapered.range_resolution_m == pytest.approx(
+            plain.range_resolution_m, rel=0.05
+        )
+
+    def test_weights_scale_linearly(self, setup):
+        cfg, data = setup
+        half = gbp_polar(
+            data, cfg, aperture_weights=np.full(cfg.n_pulses, 0.5)
+        )
+        plain = gbp_polar(data, cfg)
+        assert np.allclose(half.data, 0.5 * plain.data)

@@ -1,0 +1,209 @@
+"""Tests for the autofocus criterion calculation and search."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.trajectory import LinearTrajectory, PerturbedTrajectory
+from repro.sar.autofocus import (
+    Compensation,
+    apply_compensation,
+    autofocus_search,
+    brightest_block,
+    criterion_for,
+    default_candidates,
+    estimate_compensation,
+    extract_block,
+    ffbp_with_autofocus,
+    resample_beam,
+    resample_range,
+    shift_stage_data,
+)
+from repro.sar.ffbp import ffbp
+from repro.sar.quality import image_entropy
+from repro.sar.simulate import simulate_compressed
+
+
+def blob_block(nb=6, nr=12, at=(3, 6)) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    b = 0.1 * (rng.standard_normal((nb, nr)) + 1j * rng.standard_normal((nb, nr)))
+    # A smooth bright blob (cubic interpolation needs smoothness).
+    ii, jj = np.mgrid[0:nb, 0:nr]
+    b += 5.0 * np.exp(-((ii - at[0]) ** 2 + (jj - at[1]) ** 2) / 2.0)
+    return b
+
+
+class TestResampling:
+    def test_zero_shift_near_identity(self):
+        b = blob_block()
+        out = resample_range(b, 0.0)
+        assert np.allclose(out, b, atol=1e-9)
+
+    def test_integer_shift_moves_data(self):
+        b = blob_block()
+        out = resample_range(b, 1.0)
+        # out[:, j] samples b at j+1.
+        assert np.allclose(out[:, 3:8], b[:, 4:9], atol=1e-9)
+
+    def test_beam_is_transposed_range(self):
+        b = blob_block()
+        assert np.allclose(resample_beam(b, 0.7), resample_range(b.T, 0.7).T)
+
+    def test_tilt_shifts_rows_differently(self):
+        b = blob_block()
+        out = resample_range(b, 0.0, tilt=1.0)
+        # Centre row unshifted, edge rows shifted oppositely.
+        mid = (b.shape[0] - 1) / 2
+        assert np.allclose(out[2], resample_range(b[2:3], 2 - mid)[0], atol=1e-9)
+
+    def test_apply_compensation_composes_passes(self):
+        b = blob_block()
+        comp = Compensation(range_shift=0.5, beam_shift=0.25)
+        got = apply_compensation(b, comp)
+        want = resample_beam(resample_range(b, 0.5), 0.25)
+        assert np.allclose(got, want)
+
+    def test_compensation_scaled(self):
+        c = Compensation(1.0, 0.5, -2.0, 0.25).scaled(0.5)
+        assert c == Compensation(0.5, 0.25, -1.0, 0.125)
+
+
+class TestCriterion:
+    def test_perfect_alignment_maximises(self):
+        b = blob_block()
+        f = b[:, 3:9]
+        good = criterion_for(f, f, Compensation())
+        bad = criterion_for(f, f, Compensation(range_shift=2.0))
+        assert good > bad
+
+    def test_search_recovers_known_shift(self):
+        b = blob_block()
+        f_minus = b[:, 3:9]
+        f_plus = b[:, 2:8]  # f_minus(j) == f_plus(j+1)
+        res = autofocus_search(f_minus, f_plus, default_candidates(2.0, 9))
+        assert res.best.range_shift == pytest.approx(1.0)
+
+    def test_search_recovers_negative_shift(self):
+        b = blob_block()
+        f_minus = b[:, 2:8]
+        f_plus = b[:, 3:9]
+        res = autofocus_search(f_minus, f_plus, default_candidates(2.0, 9))
+        assert res.best.range_shift == pytest.approx(-1.0)
+
+    def test_search_result_contents(self):
+        b = blob_block()
+        f = b[:, 3:9]
+        cands = default_candidates(1.0, 5)
+        res = autofocus_search(f, f, cands)
+        assert len(res.criteria) == 5
+        assert res.candidates == cands
+        assert res.best_criterion == res.criteria[res.best_index]
+        assert res.best is cands[res.best_index]
+
+    def test_default_candidates_symmetric(self):
+        cands = default_candidates(2.0, 9)
+        shifts = [c.range_shift for c in cands]
+        assert shifts[0] == -2.0
+        assert shifts[-1] == 2.0
+        assert 0.0 in shifts
+
+    def test_default_candidates_validation(self):
+        with pytest.raises(ValueError):
+            default_candidates(1.0, 0)
+
+
+class TestBlockExtraction:
+    def test_brightest_block_finds_blob(self):
+        img = np.zeros((20, 30))
+        img[10:13, 22:25] = 5.0
+        i, j = brightest_block(img, (6, 6))
+        block = extract_block(img, (i, j), (6, 6))
+        assert block.sum() == pytest.approx(img.sum())
+
+    def test_brightest_block_too_small(self):
+        with pytest.raises(ValueError):
+            brightest_block(np.ones((4, 4)), (6, 6))
+
+    def test_extract_block_shape(self):
+        img = np.arange(100.0).reshape(10, 10)
+        blk = extract_block(img, (2, 3), (4, 5))
+        assert blk.shape == (4, 5)
+        assert blk[0, 0] == img[2, 3]
+
+    def test_estimate_compensation_on_shifted_images(self):
+        rng = np.random.default_rng(3)
+        base = 0.05 * rng.standard_normal((16, 40))
+        ii, jj = np.mgrid[0:16, 0:40]
+        base += 4.0 * np.exp(-((ii - 8) ** 2 + (jj - 20) ** 2) / 3.0)
+        minus = base[:, 1:33]
+        plus = base[:, 0:32]
+        res = estimate_compensation(minus, plus, default_candidates(2.0, 9))
+        assert res.best.range_shift == pytest.approx(1.0)
+
+    def test_estimate_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            estimate_compensation(np.ones((8, 8)), np.ones((8, 9)))
+
+
+class TestShiftStageData:
+    def test_zero_shift_is_noop(self):
+        stage = np.ones((2, 4, 16), dtype=np.complex64)
+        assert shift_stage_data(stage, Compensation()) is stage
+
+    def test_shift_moves_rows(self):
+        stage = np.zeros((1, 1, 16), dtype=np.complex64)
+        stage[0, 0, 8] = 1.0
+        out = shift_stage_data(stage, Compensation(range_shift=1.0))
+        # Sampling at j+1: the peak moves to index 7.
+        assert int(np.argmax(np.abs(out[0, 0]))) == 7
+
+
+class TestFfbpWithAutofocus:
+    @pytest.fixture(scope="class")
+    def focus_cfg(self):
+        """A geometry deep enough for reliable criterion surfaces."""
+        from repro.sar.config import RadarConfig
+
+        return RadarConfig.small(n_pulses=128, n_ranges=257)
+
+    @pytest.fixture(scope="class")
+    def perturbed(self, focus_cfg):
+        c = focus_cfg.scene_center()
+        from repro.geometry.scene import Scene
+
+        traj = PerturbedTrajectory(
+            base=LinearTrajectory(spacing=focus_cfg.spacing),
+            amplitude=1.5,
+            wavelength=200.0,
+        )
+        return simulate_compressed(
+            focus_cfg, Scene.single(c[0], c[1]), trajectory=traj
+        )
+
+    def test_autofocus_improves_focus(self, focus_cfg, perturbed):
+        """The headline behaviour: with a perturbed (unknown) flight
+        path, autofocus compensation recovers peak energy."""
+        img_plain = ffbp(perturbed, focus_cfg)
+        final, results = ffbp_with_autofocus(perturbed, focus_cfg)
+        assert len(results) >= 1
+        assert np.abs(final[0]).max() > 1.05 * np.abs(img_plain.data).max()
+
+    def test_no_compensation_for_clean_data(self, small_cfg, center_data):
+        """On an ideal linear track the confidence gate holds every
+        compensation at zero and the image matches plain FFBP."""
+        final, results = ffbp_with_autofocus(center_data, small_cfg)
+        img_plain = ffbp(center_data, small_cfg)
+        assert np.allclose(final[0], img_plain.data)
+
+    def test_one_search_per_bright_pair(self, small_cfg, center_data):
+        """Each sufficiently bright child pair of each eligible merge
+        level gets its own compensation search."""
+        _, results = ffbp_with_autofocus(center_data, small_cfg, min_beams=8)
+        from repro.geometry.apertures import SubapertureTree
+
+        tree = SubapertureTree(small_cfg.n_pulses, small_cfg.spacing)
+        max_searches = sum(
+            tree.stage(level).n_subapertures
+            for level in range(1, tree.n_stages + 1)
+            if tree.stage(level).beams >= 8
+        )
+        assert 1 <= len(results) <= max_searches

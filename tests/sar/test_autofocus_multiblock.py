@@ -1,0 +1,108 @@
+"""Tests for the multi-block autofocus extensions."""
+
+import numpy as np
+import pytest
+
+from repro.sar.autofocus import (
+    autofocus_search_multi,
+    default_candidates,
+    estimate_compensation,
+    top_blocks,
+)
+
+
+def field_with_blobs(blobs, shape=(24, 40), seed=11):
+    rng = np.random.default_rng(seed)
+    img = 0.05 * rng.standard_normal(shape)
+    ii, jj = np.mgrid[0 : shape[0], 0 : shape[1]]
+    for (bi, bj, amp) in blobs:
+        img = img + amp * np.exp(-((ii - bi) ** 2 + (jj - bj) ** 2) / 2.0)
+    return img
+
+
+class TestTopBlocks:
+    def test_finds_separated_blobs(self):
+        img = field_with_blobs([(6, 8, 5.0), (18, 30, 4.0)])
+        corners = top_blocks(img, 2)
+        assert len(corners) == 2
+        # Each corner's window must contain one of the blobs.
+        hits = set()
+        for (i, j) in corners:
+            for b, (bi, bj, _a) in enumerate([(6, 8, 5.0), (18, 30, 4.0)]):
+                if i <= bi < i + 6 and j <= bj < j + 6:
+                    hits.add(b)
+        assert hits == {0, 1}
+
+    def test_blocks_do_not_overlap(self):
+        img = field_with_blobs([(12, 20, 5.0)])
+        corners = top_blocks(img, 3)
+        for a in range(len(corners)):
+            for b in range(a + 1, len(corners)):
+                ia, ja = corners[a]
+                ib, jb = corners[b]
+                assert abs(ia - ib) >= 6 or abs(ja - jb) >= 6
+
+    def test_single_block_matches_brightest(self):
+        from repro.sar.autofocus import brightest_block
+
+        img = field_with_blobs([(10, 10, 5.0)])
+        assert top_blocks(img, 1)[0] == brightest_block(img)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_blocks(np.ones((10, 10)), 0)
+        with pytest.raises(ValueError):
+            top_blocks(np.ones((4, 4)), 1)
+
+
+class TestMultiSearch:
+    def test_joint_search_recovers_shift(self):
+        base = field_with_blobs([(3, 10, 5.0), (15, 28, 4.0)])
+        minus = base[:, 1:]
+        plus = base[:, :-1]
+        blocks_m = [minus[1:7, 8:14], minus[13:19, 26:32]]
+        blocks_p = [plus[1:7, 8:14], plus[13:19, 26:32]]
+        res = autofocus_search_multi(
+            blocks_m, blocks_p, default_candidates(2.0, 9)
+        )
+        assert res.best.range_shift == pytest.approx(1.0)
+
+    def test_empty_lists_rejected(self):
+        with pytest.raises(ValueError):
+            autofocus_search_multi([], [], default_candidates(1.0, 3))
+
+    def test_mismatched_lists_rejected(self):
+        b = np.ones((6, 6))
+        with pytest.raises(ValueError):
+            autofocus_search_multi([b, b], [b], default_candidates(1.0, 3))
+
+    def test_consistency_beats_single_outlier_block(self):
+        """With one clean pair and one noise-only pair, the joint
+        search still finds the true shift."""
+        rng = np.random.default_rng(3)
+        base = field_with_blobs([(6, 12, 6.0)])
+        minus = base[:, 1:]
+        plus = base[:, :-1]
+        clean_m = minus[3:9, 9:15]
+        clean_p = plus[3:9, 9:15]
+        junk_m = 0.5 * rng.standard_normal((6, 6))
+        junk_p = 0.5 * rng.standard_normal((6, 6))  # uncorrelated pair
+        res = autofocus_search_multi(
+            [clean_m, junk_m], [clean_p, junk_p], default_candidates(2.0, 9)
+        )
+        assert res.best.range_shift == pytest.approx(1.0)
+
+
+class TestEstimateMultiBlock:
+    def test_n_blocks_parameter(self):
+        base = field_with_blobs([(4, 8, 5.0), (17, 30, 4.5)])
+        minus = base[:, 1:]
+        plus = base[:, :-1]
+        res1 = estimate_compensation(
+            minus, plus, default_candidates(2.0, 9), n_blocks=1
+        )
+        res2 = estimate_compensation(
+            minus, plus, default_candidates(2.0, 9), n_blocks=2
+        )
+        assert res1.best.range_shift == pytest.approx(1.0)
+        assert res2.best.range_shift == pytest.approx(1.0)

@@ -1,0 +1,90 @@
+"""Tests for the radar configuration."""
+
+import numpy as np
+import pytest
+
+from repro.sar.config import RadarConfig
+
+
+class TestRadarConfig:
+    def test_paper_preset_dimensions(self):
+        cfg = RadarConfig.paper()
+        assert cfg.n_pulses == 1024
+        assert cfg.n_ranges == 1001
+        assert cfg.merge_base == 2
+
+    def test_paper_range_sampling_is_lambda_over_8(self):
+        cfg = RadarConfig.paper()
+        assert cfg.dr == pytest.approx(cfg.wavelength / 8.0, rel=1e-3)
+
+    def test_range_axis(self):
+        cfg = RadarConfig.small(n_pulses=16, n_ranges=5)
+        ax = cfg.range_axis()
+        assert ax.shape == (5,)
+        assert ax[0] == cfg.r0
+        assert np.allclose(np.diff(ax), cfg.dr)
+
+    def test_theta_axis_within_window(self):
+        cfg = RadarConfig.small()
+        th = cfg.theta_axis(32)
+        assert th.shape == (32,)
+        assert th[0] > cfg.theta_min
+        assert th[-1] < cfg.theta_max
+        assert np.allclose(np.diff(th), cfg.theta_span / 32)
+
+    def test_theta_axes_nest_across_stages(self):
+        """Beam k of an n-beam grid has the same span as beams 2k,2k+1
+        of the 2n grid -- edges align across FFBP stages."""
+        cfg = RadarConfig.small()
+        coarse = cfg.theta_axis(8)
+        fine = cfg.theta_axis(16)
+        # Midpoint of fine pair == coarse beam centre.
+        mids = 0.5 * (fine[0::2] + fine[1::2])
+        assert np.allclose(mids, coarse)
+
+    def test_default_theta_axis_uses_n_pulses(self):
+        cfg = RadarConfig.small(n_pulses=32)
+        assert cfg.theta_axis().shape == (32,)
+
+    def test_aperture_center_on_track(self):
+        cfg = RadarConfig.small(n_pulses=64)
+        c = cfg.aperture_center()
+        assert c[1] == 0.0
+        assert c[0] == pytest.approx((64 - 1) * cfg.spacing / 2)
+
+    def test_scene_center_at_mid_swath(self):
+        cfg = RadarConfig.small()
+        sc = cfg.scene_center()
+        r = np.hypot(*(sc - cfg.aperture_center()))
+        assert r == pytest.approx(0.5 * (cfg.r0 + cfg.r_max))
+
+    def test_data_bytes_paper_scale(self):
+        cfg = RadarConfig.paper()
+        assert cfg.data_bytes() == 1024 * 1001 * 8
+
+    def test_with_replaces_fields(self):
+        cfg = RadarConfig.small()
+        cfg2 = cfg.with_(n_pulses=128)
+        assert cfg2.n_pulses == 128
+        assert cfg2.dr == cfg.dr
+
+    def test_wavenumber(self):
+        cfg = RadarConfig.paper()
+        assert cfg.wavenumber == pytest.approx(2 * np.pi / cfg.wavelength)
+
+    def test_validation(self):
+        cfg = RadarConfig.small()
+        with pytest.raises(ValueError):
+            cfg.with_(n_pulses=0)
+        with pytest.raises(ValueError):
+            cfg.with_(dr=-1.0)
+        with pytest.raises(ValueError):
+            cfg.with_(theta_span=4.0)
+        with pytest.raises(ValueError):
+            cfg.theta_axis(0)
+
+    def test_dyadic_beam_sampling_adequate(self):
+        """At every stage the beam spacing must not exceed the
+        subaperture angular resolution: Theta <= lambda / (2 d)."""
+        for cfg in (RadarConfig.paper(), RadarConfig.small()):
+            assert cfg.theta_span <= cfg.wavelength / (2 * cfg.spacing)

@@ -1,0 +1,57 @@
+"""Tests for the 3-D compensation candidate grid."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.sar.autofocus import (
+    Compensation,
+    autofocus_search,
+    grid_candidates,
+)
+
+
+class TestGridCandidates:
+    def test_default_matches_workload_candidate_count(self):
+        """The 6x6x6 grid is exactly the 216-candidate workload the
+        timing models assume."""
+        assert len(grid_candidates()) == AutofocusWorkload().n_candidates
+
+    def test_dimensions_multiply(self):
+        assert len(grid_candidates(3, 4, 5)) == 60
+
+    def test_single_point_axes_are_zero(self):
+        cands = grid_candidates(3, 1, 1, max_shift=2.0)
+        assert all(c.range_tilt == 0.0 for c in cands)
+        assert all(c.beam_shift == 0.0 for c in cands)
+        shifts = sorted(c.range_shift for c in cands)
+        assert shifts == [-2.0, 0.0, 2.0]
+
+    def test_extents_respected(self):
+        cands = grid_candidates(5, 5, 5, max_shift=1.5, max_tilt=0.25)
+        assert max(abs(c.range_shift) for c in cands) == 1.5
+        assert max(abs(c.range_tilt) for c in cands) == 0.25
+        assert max(abs(c.beam_shift) for c in cands) == 1.5
+
+    def test_candidates_unique(self):
+        cands = grid_candidates(4, 4, 4)
+        assert len(set(cands)) == len(cands)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_candidates(0, 1, 1)
+
+    def test_recovers_2d_shift(self):
+        """A grid search finds a joint (range, beam) displacement a
+        1-D sweep cannot express."""
+        rng = np.random.default_rng(9)
+        ii, jj = np.mgrid[0:12, 0:20]
+        base = 5.0 * np.exp(-((ii - 6) ** 2 + (jj - 10) ** 2) / 2.0)
+        base += 0.05 * rng.standard_normal((12, 20))
+        # f_minus(i, j) == f_plus(i + 1, j + 1): unit shift in both axes.
+        f_minus = base[4:10, 8:14]
+        f_plus = base[3:9, 7:13]
+        cands = grid_candidates(5, 1, 5, max_shift=2.0)
+        res = autofocus_search(f_minus, f_plus, cands)
+        assert res.best.range_shift == pytest.approx(1.0)
+        assert res.best.beam_shift == pytest.approx(1.0)

@@ -1,0 +1,114 @@
+"""Tests for polar/Cartesian grids and images."""
+
+import numpy as np
+import pytest
+
+from repro.sar.grids import CartesianGrid, CartesianImage, PolarGrid, PolarImage
+
+
+def polar_grid(nb=8, nr=16) -> PolarGrid:
+    return PolarGrid(
+        center=np.array([0.0, 0.0]),
+        r=100.0 + 2.0 * np.arange(nr),
+        theta=np.pi / 2 + 0.01 * (np.arange(nb) - nb / 2),
+    )
+
+
+class TestPolarGrid:
+    def test_shape(self):
+        assert polar_grid(8, 16).shape == (8, 16)
+
+    def test_rejects_bad_center(self):
+        with pytest.raises(ValueError):
+            PolarGrid(np.zeros(3), np.arange(4.0), np.arange(4.0))
+
+    def test_pixel_positions_geometry(self):
+        g = polar_grid()
+        pos = g.pixel_positions()
+        assert pos.shape == (8, 16, 2)
+        # Every pixel at the declared range from centre.
+        rr = np.hypot(pos[..., 0], pos[..., 1])
+        assert np.allclose(rr, np.broadcast_to(g.r, (8, 16)))
+
+    def test_locate_roundtrip(self):
+        g = polar_grid()
+        pos = g.pixel_positions()
+        fb, fr = g.locate(pos[3, 7])
+        assert fb == pytest.approx(3.0, abs=1e-9)
+        assert fr == pytest.approx(7.0, abs=1e-9)
+
+
+class TestPolarImage:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PolarImage(polar_grid(4, 4), np.zeros((4, 5)))
+
+    def test_peak_pixel(self):
+        g = polar_grid(4, 4)
+        data = np.zeros((4, 4), dtype=complex)
+        data[2, 1] = 5.0
+        assert PolarImage(g, data).peak_pixel() == (2, 1)
+
+    def test_db_scaling(self):
+        g = polar_grid(4, 4)
+        data = np.zeros((4, 4))
+        data[0, 0] = 1.0
+        data[1, 1] = 0.1
+        db = PolarImage(g, data).db()
+        assert db[0, 0] == pytest.approx(0.0)
+        assert db[1, 1] == pytest.approx(-20.0)
+        assert db[2, 2] == -80.0  # floor
+
+    def test_db_all_zero(self):
+        g = polar_grid(2, 2)
+        db = PolarImage(g, np.zeros((2, 2))).db()
+        assert np.all(db == -80.0)
+
+    def test_to_cartesian_preserves_peak_location(self):
+        g = polar_grid(16, 16)
+        data = np.zeros((16, 16), dtype=complex)
+        data[8, 8] = 1.0
+        img = PolarImage(g, data)
+        peak_pos = g.pixel_positions()[8, 8]
+        cart = CartesianGrid.centered(peak_pos, 16.0, 16.0, 33, 33)
+        out = img.to_cartesian(cart)
+        i, j = out.peak_pixel()
+        got = cart.pixel_positions()[i, j]
+        assert np.hypot(*(got - peak_pos)) < 2.0
+
+    def test_to_cartesian_outside_footprint_is_zero(self):
+        g = polar_grid(4, 4)
+        img = PolarImage(g, np.ones((4, 4)))
+        far = CartesianGrid.centered(np.array([1e5, 1e5]), 10, 10, 4, 4)
+        out = img.to_cartesian(far)
+        assert np.all(out.data == 0)
+
+
+class TestCartesianGrid:
+    def test_centered_factory(self):
+        g = CartesianGrid.centered(np.array([10.0, 20.0]), 8.0, 4.0, 5, 3)
+        assert g.shape == (3, 5)
+        assert g.x[0] == pytest.approx(6.0)
+        assert g.x[-1] == pytest.approx(14.0)
+        assert g.y[0] == pytest.approx(18.0)
+
+    def test_pixel_positions(self):
+        g = CartesianGrid(x=np.array([0.0, 1.0]), y=np.array([5.0]))
+        pos = g.pixel_positions()
+        assert pos.shape == (1, 2, 2)
+        assert np.allclose(pos[0, 1], [1.0, 5.0])
+
+
+class TestCartesianImage:
+    def test_validation(self):
+        g = CartesianGrid(x=np.arange(3.0), y=np.arange(2.0))
+        with pytest.raises(ValueError):
+            CartesianImage(g, np.zeros((3, 2)))  # transposed
+
+    def test_db_and_peak(self):
+        g = CartesianGrid(x=np.arange(3.0), y=np.arange(3.0))
+        data = np.zeros((3, 3))
+        data[1, 2] = 2.0
+        img = CartesianImage(g, data)
+        assert img.peak_pixel() == (1, 2)
+        assert img.db()[1, 2] == pytest.approx(0.0)

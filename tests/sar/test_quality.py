@@ -1,0 +1,111 @@
+"""Tests for image-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sar.quality import (
+    QualityReport,
+    image_entropy,
+    normalized_rmse,
+    peak_position_error,
+    peak_to_background_db,
+)
+
+
+class TestPeakToBackground:
+    def test_clean_point_high_ratio(self):
+        img = np.full((32, 32), 0.01)
+        img[16, 16] = 1.0
+        assert peak_to_background_db(img) > 30.0
+
+    def test_noise_raises_background(self):
+        rng = np.random.default_rng(0)
+        clean = np.full((32, 32), 0.01)
+        clean[16, 16] = 1.0
+        noisy = clean + 0.1 * np.abs(rng.standard_normal((32, 32)))
+        assert peak_to_background_db(noisy) < peak_to_background_db(clean)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            peak_to_background_db(np.array([]))
+
+    def test_all_energy_at_peak_is_inf(self):
+        img = np.zeros((5, 5))
+        img[2, 2] = 1.0
+        assert peak_to_background_db(img, guard=2) == np.inf
+
+
+class TestEntropy:
+    def test_point_image_has_zero_entropy(self):
+        img = np.zeros((8, 8))
+        img[3, 3] = 1.0
+        assert image_entropy(img) == pytest.approx(0.0)
+
+    def test_uniform_image_has_max_entropy(self):
+        img = np.ones((8, 8))
+        assert image_entropy(img) == pytest.approx(np.log(64.0))
+
+    def test_zero_image(self):
+        assert image_entropy(np.zeros((4, 4))) == 0.0
+
+    def test_sharper_image_lower_entropy(self):
+        sharp = np.zeros((16, 16))
+        sharp[8, 8] = 1.0
+        sharp[8, 9] = 0.5
+        blurry = np.ones((16, 16)) * 0.1
+        blurry[8, 8] = 0.3
+        assert image_entropy(sharp) < image_entropy(blurry)
+
+
+class TestNormalizedRmse:
+    def test_identical_images_zero(self):
+        rng = np.random.default_rng(1)
+        img = rng.standard_normal((10, 10))
+        assert normalized_rmse(img, img) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gain_invariant(self):
+        """A pure amplitude scale should not count as error."""
+        rng = np.random.default_rng(2)
+        img = np.abs(rng.standard_normal((10, 10)))
+        assert normalized_rmse(3.0 * img, img) == pytest.approx(0.0, abs=1e-12)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_rmse(np.ones((2, 2)), np.ones((3, 3)))
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_rmse(np.ones((2, 2)), np.zeros((2, 2)))
+
+    def test_monotone_in_noise(self):
+        rng = np.random.default_rng(3)
+        ref = np.abs(rng.standard_normal((16, 16))) + 1.0
+        small = ref + 0.05 * rng.standard_normal((16, 16))
+        large = ref + 0.5 * rng.standard_normal((16, 16))
+        assert normalized_rmse(small, ref) < normalized_rmse(large, ref)
+
+
+class TestPeakPositionError:
+    def test_exact_position(self):
+        img = np.zeros((8, 8))
+        img[5, 2] = 1.0
+        assert peak_position_error(img, (5.0, 2.0)) == 0.0
+
+    def test_distance(self):
+        img = np.zeros((8, 8))
+        img[3, 4] = 1.0
+        assert peak_position_error(img, (0.0, 0.0)) == pytest.approx(5.0)
+
+
+class TestQualityReport:
+    def test_bundle(self):
+        img = np.zeros((8, 8))
+        img[4, 4] = 1.0
+        rep = QualityReport.of(img, reference=img)
+        assert rep.entropy == pytest.approx(0.0)
+        assert rep.rmse_vs_reference == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_reference(self):
+        img = np.ones((4, 4))
+        rep = QualityReport.of(img)
+        assert rep.rmse_vs_reference is None

@@ -1,0 +1,100 @@
+"""Tests for continuous strip processing."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.scene import PointTarget, Scene
+from repro.sar.config import RadarConfig
+from repro.sar.strip import StripProcessor, simulate_strip
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return RadarConfig.small(n_pulses=64, n_ranges=129)
+
+
+@pytest.fixture(scope="module")
+def strip_setup(cfg):
+    """A 3-aperture data take with targets spread along the strip."""
+    total = 3 * cfg.n_pulses
+    r_mid = 0.5 * (cfg.r0 + cfg.r_max)
+    # One target opposite the middle of each aperture-sized segment.
+    targets = tuple(
+        PointTarget((k + 0.5) * cfg.n_pulses * cfg.spacing, r_mid)
+        for k in range(3)
+    )
+    scene = Scene(targets)
+    data = simulate_strip(cfg, scene, total)
+    return scene, data
+
+
+class TestFrameArithmetic:
+    def test_frame_count(self, cfg):
+        sp = StripProcessor(cfg)  # hop = 32
+        assert sp.n_frames(64) == 1
+        assert sp.n_frames(96) == 2
+        assert sp.n_frames(63) == 0
+        assert sp.n_frames(192) == 5
+
+    def test_custom_hop(self, cfg):
+        sp = StripProcessor(cfg, hop=64)
+        assert sp.n_frames(192) == 3
+
+    def test_hop_validated(self, cfg):
+        with pytest.raises(ValueError):
+            StripProcessor(cfg, hop=0)
+
+    def test_simulate_strip_validates_length(self, cfg):
+        with pytest.raises(ValueError):
+            simulate_strip(cfg, Scene(), 10)
+
+
+class TestFrames:
+    def test_frames_advance_along_track(self, cfg, strip_setup):
+        _scene, data = strip_setup
+        sp = StripProcessor(cfg, hop=64)
+        frames = list(sp.frames(data))
+        assert len(frames) == 3
+        centers = [f.center_x for f in frames]
+        assert centers == sorted(centers)
+        assert centers[1] - centers[0] == pytest.approx(64 * cfg.spacing)
+
+    def test_each_target_focused_in_its_frame(self, cfg, strip_setup):
+        scene, data = strip_setup
+        sp = StripProcessor(cfg, hop=64)
+        for frame, target in zip(sp.frames(data), scene):
+            fb, fr = frame.image.grid.locate(target.position)
+            pb, pr = frame.image.peak_pixel()
+            assert abs(pb - fb) <= 3
+            assert abs(pr - fr) <= 3
+
+    def test_range_count_validated(self, cfg):
+        sp = StripProcessor(cfg)
+        with pytest.raises(ValueError):
+            list(sp.frames(np.zeros((128, 5), dtype=np.complex64)))
+
+
+class TestMosaic:
+    def test_mosaic_contains_all_targets(self, cfg, strip_setup):
+        scene, data = strip_setup
+        sp = StripProcessor(cfg, hop=64)
+        mosaic = sp.mosaic(data, pixels_per_meter=0.5)
+        mag = mosaic.magnitude
+        pos = mosaic.grid.pixel_positions()
+        for t in scene:
+            d = np.hypot(pos[..., 0] - t.x, pos[..., 1] - t.y)
+            near = mag[d < 10.0]
+            assert near.size > 0
+            assert near.max() > 0.3 * mag.max()
+
+    def test_mosaic_requires_one_full_aperture(self, cfg):
+        sp = StripProcessor(cfg)
+        with pytest.raises(ValueError):
+            sp.mosaic(np.zeros((10, cfg.n_ranges), dtype=np.complex64))
+
+    def test_mosaic_shape_tracks_take_length(self, cfg, strip_setup):
+        _scene, data = strip_setup
+        sp = StripProcessor(cfg, hop=64)
+        m = sp.mosaic(data, pixels_per_meter=0.25)
+        x_extent = m.grid.x[-1] - m.grid.x[0]
+        assert x_extent == pytest.approx(data.shape[0] * cfg.spacing, rel=0.01)

@@ -1,0 +1,71 @@
+"""Tests for LFM chirp waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.signal.chirp import C0, LfmChirp
+
+
+def make_chirp(**kw) -> LfmChirp:
+    defaults = dict(
+        center_frequency=50e6,
+        bandwidth=25e6,
+        duration=4e-6,
+        sample_rate=50e6,
+    )
+    defaults.update(kw)
+    return LfmChirp(**defaults)
+
+
+class TestLfmChirp:
+    def test_wavelength(self):
+        assert make_chirp().wavelength == pytest.approx(C0 / 50e6)
+
+    def test_range_resolution(self):
+        assert make_chirp().range_resolution == pytest.approx(C0 / 50e6)
+
+    def test_chirp_rate(self):
+        assert make_chirp().chirp_rate == pytest.approx(25e6 / 4e-6)
+
+    def test_time_bandwidth_product(self):
+        assert make_chirp().time_bandwidth_product() == pytest.approx(100.0)
+
+    def test_n_samples(self):
+        assert make_chirp().n_samples == 200
+
+    def test_time_axis_centred(self):
+        t = make_chirp().time_axis()
+        assert t[0] == pytest.approx(-t[-1])
+
+    def test_baseband_unit_magnitude(self):
+        b = make_chirp().baseband()
+        assert np.allclose(np.abs(b), 1.0)
+
+    def test_baseband_symmetric_phase(self):
+        """Even quadratic phase: s(-t) == s(t)."""
+        b = make_chirp().baseband()
+        assert np.allclose(b, b[::-1], atol=1e-12)
+
+    def test_instantaneous_frequency_sweeps_bandwidth(self):
+        chirp = make_chirp(sample_rate=200e6)
+        b = chirp.baseband()
+        phase = np.unwrap(np.angle(b))
+        inst_f = np.diff(phase) / (2 * np.pi) * chirp.sample_rate
+        swept = inst_f.max() - inst_f.min()
+        assert swept == pytest.approx(chirp.bandwidth, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("center_frequency", 0.0),
+            ("bandwidth", -1.0),
+            ("duration", 0.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            make_chirp(**{field: value})
+
+    def test_undersampling_rejected(self):
+        with pytest.raises(ValueError):
+            make_chirp(sample_rate=10e6)

@@ -1,0 +1,74 @@
+"""Tests for the focus criterion (paper eq. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.signal.correlation import focus_criterion, intensity_correlation
+
+
+class TestIntensityCorrelation:
+    def test_simple_value(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 1.0]])
+        # |1|^2*|3|^2 + |2|^2*|1|^2 = 9 + 4
+        assert intensity_correlation(a, b) == pytest.approx(13.0)
+
+    def test_phase_invariance(self):
+        """Only intensities enter the criterion."""
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+        b = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+        rotated = a * np.exp(1j * 0.7)
+        assert intensity_correlation(a, b) == pytest.approx(
+            intensity_correlation(rotated, b)
+        )
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 4))
+        assert intensity_correlation(a, b) == pytest.approx(
+            intensity_correlation(b, a)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            intensity_correlation(np.ones((2, 2)), np.ones((3, 3)))
+
+    def test_zero_if_either_zero(self):
+        a = np.zeros((3, 3))
+        b = np.ones((3, 3))
+        assert intensity_correlation(a, b) == 0.0
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (3, 3),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        hnp.arrays(
+            np.float64,
+            (3, 3),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nonnegative(self, a, b):
+        assert intensity_correlation(a, b) >= 0.0
+
+    def test_aligned_blocks_beat_misaligned(self):
+        """The core autofocus property: coinciding bright pixels
+        maximise the criterion."""
+        a = np.zeros((6, 6))
+        a[2, 3] = 10.0
+        aligned = intensity_correlation(a, a)
+        shifted = np.roll(a, 1, axis=1)
+        misaligned = intensity_correlation(a, shifted)
+        assert aligned > misaligned
+
+    def test_alias(self):
+        a = np.ones((2, 2))
+        assert focus_criterion(a, a) == intensity_correlation(a, a)

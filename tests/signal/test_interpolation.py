@@ -1,0 +1,170 @@
+"""Tests for interpolation kernels, including Hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.interpolation import (
+    cubic_neville,
+    interp_linear,
+    interp_nearest,
+    neville,
+    neville_weights,
+)
+
+
+class TestNearest:
+    def test_exact_at_integers(self):
+        s = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(interp_nearest(s, np.array([0.0, 2.0])), [1.0, 3.0])
+
+    def test_rounds_to_nearest(self):
+        s = np.array([10.0, 20.0])
+        assert interp_nearest(s, np.array([0.4]))[0] == 10.0
+        assert interp_nearest(s, np.array([0.6]))[0] == 20.0
+
+    def test_out_of_range_returns_zero(self):
+        s = np.array([1.0, 2.0])
+        got = interp_nearest(s, np.array([-1.0, 5.0]))
+        assert np.all(got == 0.0)
+
+    def test_complex_dtype_preserved(self):
+        s = np.array([1 + 2j, 3 + 4j])
+        got = interp_nearest(s, np.array([1.0]))
+        assert got.dtype == s.dtype
+        assert got[0] == 3 + 4j
+
+
+class TestLinear:
+    def test_midpoint(self):
+        s = np.array([0.0, 10.0])
+        assert interp_linear(s, np.array([0.5]))[0] == pytest.approx(5.0)
+
+    def test_exact_at_nodes(self):
+        s = np.array([3.0, -1.0, 7.0])
+        got = interp_linear(s, np.array([0.0, 1.0, 2.0]))
+        assert np.allclose(got, s)
+
+    def test_out_of_range_zero(self):
+        s = np.arange(4.0)
+        assert np.all(interp_linear(s, np.array([-0.1, 3.1])) == 0.0)
+
+    @given(
+        slope=st.floats(-5, 5),
+        intercept=st.floats(-5, 5),
+        pos=st.floats(0, 7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reproduces_affine_functions(self, slope, intercept, pos):
+        x = np.arange(8.0)
+        s = slope * x + intercept
+        got = interp_linear(s, np.array([pos]))[0]
+        assert got == pytest.approx(slope * pos + intercept, abs=1e-9)
+
+
+class TestNevilleScalar:
+    def test_two_point_is_linear(self):
+        got = neville(np.array([0.0, 1.0]), np.array([4.0, 8.0]), 0.25)
+        assert got == pytest.approx(5.0)
+
+    def test_reproduces_cubic_polynomial(self):
+        xs = np.array([0.0, 1.0, 2.0, 3.0])
+        poly = lambda x: 2 * x**3 - x**2 + 3 * x - 5
+        ys = poly(xs)
+        for x in [0.3, 1.5, 2.9, -0.5, 3.5]:
+            assert neville(xs, ys, x) == pytest.approx(poly(x), rel=1e-9)
+
+    def test_nonuniform_nodes(self):
+        xs = np.array([0.0, 0.5, 2.0, 3.5])
+        poly = lambda x: x**2 + 1
+        ys = poly(xs)
+        # Degree-3 interpolation of a quadratic is exact everywhere.
+        assert neville(xs, ys, 1.7) == pytest.approx(poly(1.7), rel=1e-9)
+
+    def test_complex_values(self):
+        xs = np.array([0.0, 1.0, 2.0])
+        ys = np.array([1 + 1j, 2 + 4j, 3 + 9j])
+        got = neville(xs, ys, 1.0)
+        assert got == pytest.approx(2 + 4j)
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            neville(np.array([0.0, 0.0]), np.array([1.0, 2.0]), 0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            neville(np.array([0.0, 1.0]), np.array([1.0]), 0.5)
+
+
+class TestNevilleWeights:
+    def test_exact_at_stencil_nodes(self):
+        assert np.allclose(neville_weights(0.0), [0, 1, 0, 0])
+        assert np.allclose(neville_weights(1.0), [0, 0, 1, 0])
+
+    @given(t=st.floats(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_of_unity(self, t):
+        assert np.sum(neville_weights(t)) == pytest.approx(1.0, abs=1e-12)
+
+    @given(t=st.floats(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_equals_neville_recursion_on_uniform_grid(self, t):
+        """The fast uniform-grid path == the general recursion."""
+        xs = np.array([-1.0, 0.0, 1.0, 2.0])
+        rng = np.random.default_rng(42)
+        ys = rng.standard_normal(4)
+        w = neville_weights(t)
+        assert float(w @ ys) == pytest.approx(
+            float(neville(xs, ys, t)), rel=1e-9, abs=1e-9
+        )
+
+    def test_vectorised_shape(self):
+        w = neville_weights(np.linspace(0, 1, 7))
+        assert w.shape == (7, 4)
+
+
+class TestCubicNeville:
+    def test_exact_at_nodes(self):
+        s = np.array([1.0, -2.0, 4.0, 0.5, 3.0])
+        got = cubic_neville(s, np.arange(5.0))
+        assert np.allclose(got, s, atol=1e-12)
+
+    @given(
+        c3=st.floats(-2, 2),
+        c2=st.floats(-2, 2),
+        c1=st.floats(-2, 2),
+        c0=st.floats(-2, 2),
+        pos=st.floats(0, 9),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_reproduces_cubics_exactly(self, c3, c2, c1, c0, pos):
+        """A 4-point cubic kernel must be exact on cubic polynomials --
+        the defining property of the interpolator."""
+        x = np.arange(10.0)
+        s = c3 * x**3 + c2 * x**2 + c1 * x + c0
+        want = c3 * pos**3 + c2 * pos**2 + c1 * pos + c0
+        got = cubic_neville(s, np.array([pos]))[0]
+        assert got == pytest.approx(want, abs=1e-7 * (1 + abs(want)))
+
+    def test_out_of_range_zero(self):
+        s = np.arange(6.0) + 1
+        got = cubic_neville(s, np.array([-0.5, 5.5]))
+        assert np.all(got == 0.0)
+
+    def test_needs_four_samples(self):
+        with pytest.raises(ValueError):
+            cubic_neville(np.array([1.0, 2.0, 3.0]), np.array([1.0]))
+
+    def test_complex_signal(self):
+        x = np.arange(8.0)
+        s = np.exp(1j * 0.3 * x)
+        got = cubic_neville(s, np.array([2.5]))[0]
+        assert got == pytest.approx(np.exp(1j * 0.3 * 2.5), abs=2e-3)
+
+    def test_2d_positions_broadcast(self):
+        s = np.arange(10.0)
+        pos = np.array([[1.5, 2.5], [3.5, 4.5]])
+        got = cubic_neville(s, pos)
+        assert got.shape == (2, 2)
+        assert np.allclose(got, pos)  # linear data -> exact

@@ -1,0 +1,86 @@
+"""Tests for matched-filter pulse compression."""
+
+import numpy as np
+import pytest
+
+from repro.signal.chirp import LfmChirp
+from repro.signal.pulse_compression import MatchedFilter, pulse_compress
+
+
+def chirp() -> LfmChirp:
+    return LfmChirp(
+        center_frequency=50e6, bandwidth=25e6, duration=4e-6, sample_rate=50e6
+    )
+
+
+class TestMatchedFilter:
+    def test_zero_delay_echo_peaks_at_zero(self):
+        rep = chirp().baseband()
+        echo = np.zeros(512, dtype=complex)
+        echo[: rep.size] = rep
+        out = MatchedFilter(rep).apply(echo)
+        assert int(np.argmax(np.abs(out))) == 0
+
+    def test_delayed_echo_peaks_at_delay(self):
+        rep = chirp().baseband()
+        for delay in (17, 100, 250):
+            echo = np.zeros(512, dtype=complex)
+            echo[delay : delay + rep.size] = rep
+            out = MatchedFilter(rep).apply(echo)
+            assert int(np.argmax(np.abs(out))) == delay
+
+    def test_normalized_peak_is_unity(self):
+        rep = chirp().baseband()
+        echo = np.zeros(512, dtype=complex)
+        echo[40 : 40 + rep.size] = rep
+        out = MatchedFilter(rep).apply(echo)
+        assert np.abs(out[40]) == pytest.approx(1.0, rel=1e-9)
+
+    def test_unnormalized_peak_is_pulse_energy(self):
+        rep = chirp().baseband()
+        echo = np.zeros(512, dtype=complex)
+        echo[0 : rep.size] = rep
+        out = MatchedFilter(rep, normalize=False).apply(echo)
+        assert np.abs(out[0]) == pytest.approx(np.sum(np.abs(rep) ** 2), rel=1e-9)
+
+    def test_compression_gain_narrow_mainlobe(self):
+        """The compressed pulse is much narrower than the chirp."""
+        rep = chirp().baseband()
+        echo = np.zeros(1024, dtype=complex)
+        echo[100 : 100 + rep.size] = rep
+        out = np.abs(MatchedFilter(rep).apply(echo))
+        above_half = np.sum(out > 0.5 * out.max())
+        assert above_half < rep.size / 20
+
+    def test_batch_axis(self):
+        rep = chirp().baseband()
+        echoes = np.zeros((3, 400), dtype=complex)
+        for i, d in enumerate((5, 50, 120)):
+            echoes[i, d : d + rep.size] = rep
+        out = MatchedFilter(rep).apply(echoes)
+        assert out.shape == echoes.shape
+        assert [int(np.argmax(np.abs(o))) for o in out] == [5, 50, 120]
+
+    def test_linearity(self):
+        rep = chirp().baseband()
+        e1 = np.zeros(400, dtype=complex)
+        e1[10 : 10 + rep.size] = rep
+        e2 = np.zeros(400, dtype=complex)
+        e2[90 : 90 + rep.size] = 2j * rep
+        mf = MatchedFilter(rep)
+        assert np.allclose(mf.apply(e1 + e2), mf.apply(e1) + mf.apply(e2))
+
+    def test_rejects_empty_replica(self):
+        with pytest.raises(ValueError):
+            MatchedFilter(np.array([]))
+
+    def test_rejects_2d_replica(self):
+        with pytest.raises(ValueError):
+            MatchedFilter(np.ones((2, 2)))
+
+    def test_helper_function(self):
+        rep = chirp().baseband()
+        echo = np.zeros(300, dtype=complex)
+        echo[30 : 30 + rep.size] = rep
+        out = pulse_compress(echo, rep)
+        assert int(np.argmax(np.abs(out))) == 30

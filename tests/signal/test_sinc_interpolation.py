@@ -1,0 +1,80 @@
+"""Tests for windowed-sinc interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.interpolation import cubic_neville, interp_sinc
+
+
+class TestSincBasics:
+    def test_exact_at_nodes(self):
+        rng = np.random.default_rng(0)
+        s = rng.standard_normal(32)
+        pos = np.arange(4.0, 28.0)
+        assert np.allclose(interp_sinc(s, pos), s[4:28], atol=1e-12)
+
+    def test_constant_reproduced(self):
+        s = np.full(32, 3.7)
+        pos = np.linspace(4, 27, 50)
+        assert np.allclose(interp_sinc(s, pos), 3.7, atol=1e-12)
+
+    def test_out_of_range_zero(self):
+        s = np.ones(16)
+        assert np.all(interp_sinc(s, np.array([-1.0, 16.0])) == 0.0)
+
+    def test_taps_validated(self):
+        s = np.ones(16)
+        with pytest.raises(ValueError):
+            interp_sinc(s, np.array([5.0]), taps=3)
+        with pytest.raises(ValueError):
+            interp_sinc(np.ones(4), np.array([2.0]), taps=8)
+
+    @given(freq=st.floats(0.02, 0.2), pos=st.floats(8, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_bandlimited_exponential_near_exact(self, freq, pos):
+        """A mid-band complex exponential is reconstructed to <1%."""
+        n = 64
+        x = np.arange(n)
+        s = np.exp(2j * np.pi * freq * x)
+        got = interp_sinc(s, np.array([pos]))[0]
+        want = np.exp(2j * np.pi * freq * pos)
+        assert abs(got - want) < 1e-2
+
+
+class TestSincVsCubic:
+    def test_beats_cubic_on_carrier_data(self):
+        """On a fast carrier (the SAR range signal regime, ~4 samples
+        per cycle) the 8-tap sinc is far more accurate than the cubic."""
+        n = 128
+        x = np.arange(n)
+        s = np.exp(2j * np.pi * 0.22 * x)
+        pos = np.linspace(10, 110, 333)
+        want = np.exp(2j * np.pi * 0.22 * pos)
+        err_sinc = np.abs(interp_sinc(s, pos) - want).max()
+        err_cubic = np.abs(cubic_neville(s, pos) - want).max()
+        assert err_sinc < 0.3 * err_cubic
+
+
+class TestGbpSincOption:
+    def test_gbp_sinc_beats_linear_fidelity(self):
+        """The quality ceiling: sinc-interpolated GBP recovers more of
+        the coherent peak than linear-interpolated GBP."""
+        from repro.eval.figures import default_scene
+        from repro.sar.config import RadarConfig
+        from repro.sar.gbp import gbp_polar
+        from repro.sar.simulate import simulate_compressed
+
+        cfg = RadarConfig.small(n_pulses=64, n_ranges=129)
+        c = cfg.scene_center()
+        from repro.geometry.scene import Scene
+
+        data = simulate_compressed(
+            cfg, Scene.single(float(c[0]), float(c[1])), dtype=np.complex128
+        )
+        lin = gbp_polar(data, cfg, interpolation="linear")
+        sinc = gbp_polar(data, cfg, interpolation="sinc")
+        assert sinc.magnitude.max() > lin.magnitude.max()
+        # Approaching the coherent limit.
+        assert sinc.magnitude.max() > 0.85 * cfg.n_pulses

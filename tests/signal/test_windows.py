@@ -1,0 +1,46 @@
+"""Tests for the Taylor taper."""
+
+import numpy as np
+import pytest
+
+from repro.signal.windows import taylor_window
+
+
+class TestTaylorWindow:
+    def test_length_and_peak(self):
+        w = taylor_window(65)
+        assert w.shape == (65,)
+        assert w.max() == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        w = taylor_window(64)
+        assert np.allclose(w, w[::-1], atol=1e-12)
+
+    def test_positive(self):
+        assert np.all(taylor_window(128, sll_db=-35.0) > 0)
+
+    def test_tapers_toward_edges(self):
+        w = taylor_window(101)
+        assert w[0] < w[50]
+        assert w[-1] < w[50]
+
+    def test_sidelobe_suppression(self):
+        """Windowed spectrum sidelobes sit near the requested level."""
+        n = 256
+        w = taylor_window(n, nbar=4, sll_db=-30.0)
+        spec = np.abs(np.fft.fft(w, 8192))
+        spec /= spec.max()
+        db = 20 * np.log10(np.maximum(spec, 1e-12))
+        # Mainlobe occupies the first few bins of the zero-padded FFT;
+        # everything past it must be at or below ~-29 dB.
+        mainlobe = 8192 // n * 6
+        assert db[mainlobe : 4096].max() < -28.0
+
+    def test_length_one(self):
+        assert np.allclose(taylor_window(1), [1.0])
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            taylor_window(0)
+        with pytest.raises(ValueError):
+            taylor_window(16, sll_db=5.0)

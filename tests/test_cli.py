@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["image"])
+        assert args.algorithm == "ffbp"
+        assert args.pulses == 256
+
+
+class TestCommands:
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "Epiphany" in out
+        assert "ext_read_latency_cycles" in out
+
+    def test_image_ffbp(self, capsys):
+        rc = main(["image", "--pulses", "64", "--ranges", "129",
+                   "--width", "32", "--height", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().split("\n")) == 8
+
+    def test_image_rda(self, capsys):
+        rc = main(["image", "--algorithm", "rda", "--pulses", "64",
+                   "--ranges", "129", "--width", "32", "--height", "8"])
+        assert rc == 0
+
+    def test_image_gbp(self, capsys):
+        rc = main(["image", "--algorithm", "gbp", "--pulses", "32",
+                   "--ranges", "65", "--width", "16", "--height", "4"])
+        assert rc == 0
+
+    def test_fig7(self, capsys):
+        rc = main(["fig7", "--pulses", "64", "--ranges", "129",
+                   "--width", "24", "--height", "6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7(b) GBP" in out
+
+    def test_table1(self, capsys):
+        rc = main(["table1", "--pulses", "64", "--ranges", "129"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ffbp_epi_par" in out
+        assert "af_epi_par" in out
+
+    def test_speedups(self, capsys):
+        rc = main(["speedups", "--pulses", "64", "--ranges", "129"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput/W" in out
+
+    def test_profile_ffbp(self, capsys):
+        rc = main(["profile", "--pulses", "64", "--ranges", "129"])
+        assert rc == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_profile_autofocus(self, capsys):
+        rc = main(["profile", "--kernel", "autofocus"])
+        assert rc == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_profile_timeline(self, capsys):
+        rc = main(["profile", "--kernel", "autofocus", "--timeline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "#=compute" in out
+
+    def test_profile_trace_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        rc = main(["profile", "--kernel", "autofocus", "--trace-json", str(path)])
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) > 10

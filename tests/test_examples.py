@@ -1,0 +1,80 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example's ``main()`` is executed in-process (monkey-patching argv
+where the script reads it) so breakage of the public API surfaces in
+the test suite, not in a user's terminal.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "FFBP peak" in out
+
+    def test_stripmap_imaging(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["stripmap_imaging.py", "64", "129"])
+        load_example("stripmap_imaging").main()
+        out = capsys.readouterr().out
+        assert "GBP" in out
+        assert "quality vs GBP" in out
+
+    def test_autofocus_recovery(self, capsys):
+        load_example("autofocus_recovery").main()
+        out = capsys.readouterr().out
+        assert "with    autofocus" in out
+
+    def test_manycore_simulation(self, capsys):
+        load_example("manycore_simulation").main()
+        out = capsys.readouterr().out
+        assert "SPMD" in out
+        assert "MPMD" in out
+        assert "400 MHz" in out
+
+    def test_frequency_vs_time(self, capsys):
+        load_example("frequency_vs_time").main()
+        out = capsys.readouterr().out
+        assert "FFBP + autofocus" in out
+
+    def test_dataflow_pipeline(self, capsys):
+        load_example("dataflow_pipeline").main()
+        out = capsys.readouterr().out
+        assert "verdict: compute-bound" in out
+
+    def test_realtime_strip(self, capsys):
+        load_example("realtime_strip").main()
+        out = capsys.readouterr().out
+        assert "strip mosaic" in out
+        assert "keeps up" in out
+
+    def test_physics_validation(self, capsys):
+        load_example("physics_validation").main()
+        out = capsys.readouterr().out
+        assert "impulse response" in out
+        assert "Taylor" in out
+
+    @pytest.mark.slow
+    def test_reproduce_paper_sections(self, capsys, monkeypatch):
+        """The headline script, at its default (reduced-Fig.7) scale."""
+        monkeypatch.setattr(sys, "argv", ["reproduce_paper.py"])
+        load_example("reproduce_paper").main()
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "SECTION VI" in out
+        assert "FIG. 7" in out

@@ -1,0 +1,158 @@
+"""Failure-injection tests: the system fails loudly, not silently.
+
+Exercises the error paths a downstream user can hit: deadlocked
+communication patterns, local-memory overflow, protocol misuse of
+channels and contexts, and malformed configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.machine.event import SimulationError, Wait
+from repro.runtime.channels import Channel
+from repro.sar.config import RadarConfig
+
+
+class TestDeadlocks:
+    def test_mutual_recv_deadlock_detected(self):
+        """Two cores each waiting for the other's message: the engine
+        reports deadlock instead of hanging."""
+        chip = EpiphanyChip()
+        ab = Channel(chip, 0, 1)
+        ba = Channel(chip, 1, 0)
+
+        def core0(ctx):
+            yield from ba.recv(ctx)  # waits for 1, who waits for 0
+            yield from ab.send(ctx, 8)
+
+        def core1(ctx):
+            yield from ab.recv(ctx)
+            yield from ba.send(ctx, 8)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            chip.run({0: core0, 1: core1})
+
+    def test_missing_sender_deadlock(self):
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1)
+
+        def idle(ctx):
+            yield from ctx.work(OpBlock(flops=10))
+
+        def consumer(ctx):
+            yield from ch.recv(ctx)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            chip.run({0: idle, 1: consumer})
+
+    def test_barrier_party_missing(self):
+        """A core exiting before the barrier strands the others."""
+        chip = EpiphanyChip()
+
+        def waits(ctx):
+            yield from ctx.work(OpBlock(flops=5))
+            yield from ctx.barrier()
+
+        def leaves(ctx):
+            yield from ctx.work(OpBlock(flops=5))
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            chip.run({0: waits, 1: leaves, 2: waits})
+
+    def test_credit_starvation_with_dead_consumer(self):
+        """Producer blocks on a full channel whose consumer died."""
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1, capacity=1)
+
+        def producer(ctx):
+            yield from ch.send(ctx, 8)
+            yield from ch.send(ctx, 8)  # no credit ever returns
+
+        def consumer(ctx):
+            yield from ctx.work(OpBlock(flops=1))  # never recvs
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            chip.run({0: producer, 1: consumer})
+
+
+class TestResourceLimits:
+    def test_local_memory_overflow_is_loud(self):
+        chip = EpiphanyChip()
+
+        def prog(ctx):
+            ctx.local.allocate(33 * 1024)
+            yield from ctx.work(OpBlock())
+
+        with pytest.raises(MemoryError, match="overflow"):
+            chip.run({0: prog})
+
+    def test_channel_buffers_cannot_exceed_scratchpad(self):
+        chip = EpiphanyChip()
+        Channel(chip, 0, 1, capacity=2, payload_bytes=8 * 1024)
+        with pytest.raises(MemoryError):
+            Channel(chip, 2, 1, capacity=2, payload_bytes=12 * 1024)
+
+    def test_oversized_message_rejected(self):
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1, payload_bytes=64)
+
+        def producer(ctx):
+            yield from ch.send(ctx, 65)
+
+        def consumer(ctx):
+            yield from ch.recv(ctx)
+
+        with pytest.raises(ValueError, match="exceeds"):
+            chip.run({0: producer, 1: consumer})
+
+
+class TestProtocolMisuse:
+    def test_foreign_core_cannot_recv(self):
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1)
+
+        def thief(ctx):
+            yield from ch.recv(ctx)
+
+        with pytest.raises(ValueError, match="recv on core"):
+            chip.run({2: thief})
+
+    def test_waiting_on_foreign_flag_object(self):
+        """Waiting on a flag that is never set deadlocks cleanly."""
+        chip = EpiphanyChip()
+        orphan = chip.engine.flag("orphan")
+
+        def prog(ctx):
+            yield Wait(orphan)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            chip.run({0: prog})
+
+
+class TestConfigurationErrors:
+    def test_angular_sampling_bound_enforced(self):
+        """A geometry whose parallax margin breaks the beam-sampling
+        bound is rejected with an actionable message."""
+        from repro.sar.ffbp import ffbp
+
+        cfg = RadarConfig.small(n_pulses=1024, n_ranges=65)  # 4 km aperture
+        data = np.zeros((1024, 65), dtype=np.complex64)
+        with pytest.raises(ValueError, match="sampling bound"):
+            ffbp(data, cfg)
+
+    def test_ffbp_rejects_non_power_pulse_count(self):
+        from repro.sar.ffbp import ffbp
+
+        cfg = RadarConfig.small(n_pulses=48, n_ranges=65)
+        data = np.zeros((48, 65), dtype=np.complex64)
+        with pytest.raises(ValueError, match="not a power"):
+            ffbp(data, cfg)
+
+    def test_plan_rejects_inconsistent_merge_base(self):
+        from repro.kernels.ffbp_common import plan_ffbp
+
+        cfg = RadarConfig.small(n_pulses=32, n_ranges=65).with_(merge_base=3)
+        with pytest.raises(ValueError):
+            plan_ffbp(cfg)

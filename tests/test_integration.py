@@ -1,0 +1,136 @@
+"""End-to-end integration tests across all layers.
+
+These tie the numerical pipeline (simulate -> process -> image) to the
+machine pipeline (plan -> kernels -> cycles/energy) the way the
+examples and benchmarks use them together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import default_scene
+from repro.eval.table1 import autofocus_table, ffbp_table
+from repro.geometry.trajectory import LinearTrajectory, PerturbedTrajectory
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.machine.chip import EpiphanyChip
+from repro.sar.autofocus import default_candidates, estimate_compensation
+from repro.sar.config import RadarConfig
+from repro.sar.ffbp import FfbpOptions, ffbp, ffbp_partial
+from repro.sar.gbp import gbp_polar
+from repro.sar.quality import QualityReport
+from repro.sar.simulate import simulate_compressed
+
+
+class TestEndToEndImaging:
+    def test_full_chain_six_targets(self, small_cfg, six_scene, six_data):
+        """Simulate -> FFBP -> all six targets resolved near truth."""
+        img = ffbp(six_data, small_cfg)
+        mag = img.magnitude
+        threshold = 0.35 * mag.max()
+        for t in six_scene:
+            fb, fr = img.grid.locate(t.position)
+            b0, b1 = int(fb) - 3, int(fb) + 4
+            r0, r1 = int(fr) - 3, int(fr) + 4
+            assert mag[max(b0, 0) : b1, max(r0, 0) : r1].max() > threshold
+
+    def test_quality_hierarchy(self, small_cfg, six_data):
+        """GBP >= FFBP-bilinear >= FFBP-nearest in fidelity to GBP."""
+        ref = gbp_polar(np.asarray(six_data, np.complex128), small_cfg)
+        nn = ffbp(six_data, small_cfg, FfbpOptions())
+        bl = ffbp(six_data, small_cfg, FfbpOptions(interpolation="bilinear"))
+        q_nn = QualityReport.of(nn.data, ref.data)
+        q_bl = QualityReport.of(bl.data, ref.data)
+        assert q_bl.rmse_vs_reference < q_nn.rmse_vs_reference
+
+    def test_autofocus_on_mid_stage_subapertures(self, small_cfg, center_scene):
+        """The paper's actual autofocus setting: estimate compensation
+        between the two contributing subaperture images of a merge."""
+        traj = PerturbedTrajectory(
+            base=LinearTrajectory(spacing=small_cfg.spacing),
+            amplitude=1.0,
+            wavelength=150.0,
+        )
+        data = simulate_compressed(small_cfg, center_scene, trajectory=traj)
+        level = 4
+        stage = ffbp_partial(data, small_cfg, level)
+        res = estimate_compensation(
+            stage[0], stage[1], default_candidates(2.0, 9)
+        )
+        assert res.best_criterion >= res.criteria.min()
+        assert abs(res.best.range_shift) <= 2.0
+
+
+class TestNumericsPlusTiming:
+    def test_same_config_drives_both_pipelines(self, small_cfg, center_data):
+        """One RadarConfig produces both the image and the timing."""
+        img = ffbp(center_data, small_cfg)
+        plan = plan_ffbp(small_cfg)
+        res = run_ffbp_spmd(EpiphanyChip(), plan, 16)
+        # The timing model must account for exactly the image's samples.
+        samples = img.data.size * plan.n_stages
+        assert plan.total_samples == samples
+        assert res.cycles > 0
+
+    def test_tables_generate_at_reduced_scale(self):
+        f = ffbp_table(RadarConfig.small(n_pulses=32, n_ranges=65))
+        a = autofocus_table(AutofocusWorkload(n_candidates=8))
+        assert len(f.rows) == 3
+        assert len(a.rows) == 3
+
+    def test_energy_follows_time_not_just_work(self):
+        """Two runs with the same arithmetic but different memory
+        behaviour must differ in energy (time-dependent static/idle
+        power) -- the architecture-level effect the paper exploits."""
+        shallow = plan_ffbp(RadarConfig.small(n_pulses=64, n_ranges=129))
+        res_a = run_ffbp_spmd(EpiphanyChip(), shallow, 16)
+        res_b = run_ffbp_spmd(EpiphanyChip(), shallow, 4)
+        assert res_b.cycles > res_a.cycles
+        # Fewer cores -> longer run; energy should not collapse to a
+        # single work-proportional number.
+        assert res_b.energy_joules != pytest.approx(
+            res_a.energy_joules, rel=0.02
+        )
+
+
+class TestScenarioRobustness:
+    def test_off_center_target(self, small_cfg):
+        """A target near the swath edge still focuses at its pixel."""
+        center = small_cfg.scene_center()
+        edge = center + np.array([40.0, 30.0])
+        from repro.geometry.scene import Scene
+
+        data = simulate_compressed(small_cfg, Scene.single(edge[0], edge[1]))
+        img = ffbp(data, small_cfg)
+        fb, fr = img.grid.locate(edge)
+        pb, pr = img.peak_pixel()
+        assert abs(pb - fb) <= 3 and abs(pr - fr) <= 3
+
+    def test_empty_scene_gives_silent_image(self, small_cfg):
+        from repro.geometry.scene import Scene
+
+        data = simulate_compressed(small_cfg, Scene())
+        img = ffbp(data, small_cfg)
+        assert img.magnitude.max() == 0.0
+
+    def test_strong_and_weak_target_dynamic_range(self, small_cfg):
+        from repro.geometry.scene import PointTarget, Scene
+
+        c = small_cfg.scene_center()
+        scene = Scene(
+            (
+                PointTarget(c[0] - 40, c[1], 1.0),
+                PointTarget(c[0] + 40, c[1], 0.2),
+            )
+        )
+        data = simulate_compressed(small_cfg, scene, dtype=np.complex128)
+        img = gbp_polar(data, small_cfg)
+        strong = img.grid.locate(scene.targets[0].position)
+        weak = img.grid.locate(scene.targets[1].position)
+        mag = img.magnitude
+        s = mag[int(strong[0]) - 2 : int(strong[0]) + 3,
+                int(strong[1]) - 2 : int(strong[1]) + 3].max()
+        w = mag[int(weak[0]) - 2 : int(weak[0]) + 3,
+                int(weak[1]) - 2 : int(weak[1]) + 3].max()
+        assert s / w == pytest.approx(5.0, rel=0.3)

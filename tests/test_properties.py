@@ -1,0 +1,154 @@
+"""Cross-module property-based tests (Hypothesis).
+
+These pin down the invariants that hold across layer boundaries --
+linearity of the imaging operators, coincidence of GBP and FFBP peaks,
+determinism and monotonicity of the machine models -- over randomly
+drawn configurations, scenes and workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.scene import PointTarget, Scene
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.machine.cpu import CpuContext, CpuMachine
+from repro.machine.context import MemOp
+from repro.sar.config import RadarConfig
+from repro.sar.ffbp import ffbp
+from repro.sar.gbp import gbp_polar
+from repro.sar.simulate import simulate_compressed
+
+SMALL = RadarConfig.small(n_pulses=32, n_ranges=65)
+
+
+def scene_at(dx: float, dy: float, amp: complex = 1.0) -> Scene:
+    c = SMALL.scene_center()
+    return Scene((PointTarget(float(c[0] + dx), float(c[1] + dy), amp),))
+
+
+class TestImagingOperators:
+    @given(
+        dx=st.floats(-20, 20),
+        dy=st.floats(-15, 15),
+    )
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_gbp_and_ffbp_peaks_coincide(self, dx, dy):
+        """Wherever the target is, both imagers put the peak there."""
+        scene = scene_at(dx, dy)
+        data = simulate_compressed(SMALL, scene)
+        g = gbp_polar(np.asarray(data, np.complex128), SMALL)
+        f = ffbp(data, SMALL)
+        fb, fr = g.grid.locate(scene.targets[0].position)
+        for img, tol in ((g, 1.5), (f, 2.5)):
+            pb, pr = img.peak_pixel()
+            assert abs(pb - fb) <= tol
+            assert abs(pr - fr) <= tol
+
+    @given(scale=st.floats(0.1, 10.0), phase=st.floats(0, 2 * np.pi))
+    @settings(max_examples=10, deadline=None)
+    def test_ffbp_homogeneity(self, scale, phase):
+        """FFBP(a x) == a FFBP(x) for complex scalars a."""
+        data = simulate_compressed(SMALL, scene_at(0, 0), dtype=np.complex128)
+        a = scale * np.exp(1j * phase)
+        base = ffbp(data, SMALL, options=None).data
+        scaled = ffbp(a * data, SMALL, options=None).data
+        assert np.allclose(scaled, a * base.astype(np.complex128), rtol=1e-3, atol=1e-4)
+
+    @given(
+        dx1=st.floats(-25, -5),
+        dx2=st.floats(5, 25),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_ffbp_additivity_over_targets(self, dx1, dx2):
+        """The image of two targets is the sum of their images."""
+        d_both = simulate_compressed(
+            SMALL, Scene(scene_at(dx1, 0).targets + scene_at(dx2, 0).targets),
+            dtype=np.complex128,
+        )
+        d1 = simulate_compressed(SMALL, scene_at(dx1, 0), dtype=np.complex128)
+        d2 = simulate_compressed(SMALL, scene_at(dx2, 0), dtype=np.complex128)
+        img_both = ffbp(d_both, SMALL).data.astype(np.complex128)
+        img_sum = (
+            ffbp(d1, SMALL).data.astype(np.complex128)
+            + ffbp(d2, SMALL).data.astype(np.complex128)
+        )
+        peak = np.abs(img_both).max()
+        assert np.allclose(img_both, img_sum, atol=3e-3 * max(peak, 1.0))
+
+
+class TestMachineModels:
+    @given(
+        fmas=st.integers(0, 5000),
+        ints=st.integers(0, 5000),
+        reads=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_chip_run_deterministic(self, fmas, ints, reads):
+        def make():
+            def prog(ctx):
+                yield from ctx.work(OpBlock(fmas=fmas, int_ops=ints))
+                yield from ctx.ext_scatter_read(reads)
+
+            chip = EpiphanyChip()
+            return chip.run({i: prog for i in range(4)}).cycles
+
+        assert make() == make()
+
+    @given(extra=st.integers(1, 10000))
+    @settings(max_examples=25, deadline=None)
+    def test_more_work_never_faster(self, extra):
+        def run(n):
+            def prog(ctx):
+                yield from ctx.work(OpBlock(fmas=n))
+
+            return EpiphanyChip().run({0: prog}).cycles
+
+        assert run(1000 + extra) >= run(1000)
+
+    @given(
+        nbytes=st.floats(64, 1e6),
+        ws=st.floats(1e3, 1e8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cpu_memory_cycles_nonnegative_and_monotone_in_size(self, nbytes, ws):
+        ctx = CpuContext(CpuMachine())
+        small = ctx.memory_cycles(MemOp("load", nbytes, working_set=ws))
+        large = ctx.memory_cycles(MemOp("load", 2 * nbytes, working_set=ws))
+        assert small >= 0.0
+        assert large >= small
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_nonnegative_for_random_programs(self, seed):
+        rng = np.random.default_rng(seed)
+        plan = [
+            (int(rng.integers(0, 2000)), int(rng.integers(0, 20)))
+            for _ in range(4)
+        ]
+
+        def prog(ctx):
+            for fmas, reads in plan:
+                yield from ctx.work(OpBlock(fmas=fmas))
+                yield from ctx.ext_scatter_read(reads)
+
+        chip = EpiphanyChip()
+        res = chip.run({0: prog, 5: prog})
+        assert res.energy_joules >= 0.0
+        assert res.average_power_w >= 0.0
+
+
+class TestSimulationPhysics:
+    @given(
+        dy=st.floats(-10, 10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_energy_conservation_of_range_shift(self, dy):
+        """Moving the target in range moves the echo, not its energy."""
+        base = simulate_compressed(SMALL, scene_at(0, 0), dtype=np.complex128)
+        moved = simulate_compressed(SMALL, scene_at(0, dy), dtype=np.complex128)
+        e0 = float(np.sum(np.abs(base) ** 2))
+        e1 = float(np.sum(np.abs(moved) ** 2))
+        assert e1 == pytest.approx(e0, rel=0.05)
