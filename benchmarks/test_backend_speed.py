@@ -1,0 +1,71 @@
+"""Benchmark: analytic-backend fidelity and speed at paper scale.
+
+The analytic backend exists so design-space sweeps don't pay the event
+engine's price.  Two claims back that:
+
+1. **fidelity** -- on the Table I workloads (16-core FFBP, 13-core
+   autofocus) the analytic cycle and energy totals agree with the
+   calibrated event engine within 5%;
+2. **speed** -- a core-count sweep runs at least 10x faster wall-clock
+   on the analytic backend.
+
+Run with ``pytest benchmarks/test_backend_speed.py -s`` to see the
+measured ratios.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.kernels.autofocus_mpmd import run_autofocus_mpmd
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.machine.backends import get_machine
+
+PARITY = 0.05
+SPEEDUP_FLOOR = 10.0
+SWEEP_CORES = (1, 2, 4, 8, 16)
+
+
+class TestParityAtPaperScale:
+    def test_ffbp_16_core_cycles_and_energy(self, paper_plan):
+        ev = run_ffbp_spmd(get_machine("event"), paper_plan, 16)
+        an = run_ffbp_spmd(get_machine("analytic"), paper_plan, 16)
+        print(
+            f"\nFFBP-16  cycles: event {ev.cycles:,}  analytic {an.cycles:,}"
+            f"  ratio {an.cycles / ev.cycles:.4f}"
+        )
+        assert an.cycles == pytest.approx(ev.cycles, rel=PARITY)
+        assert an.energy_joules == pytest.approx(ev.energy_joules, rel=PARITY)
+
+    def test_autofocus_13_core_cycles_and_energy(self):
+        work = AutofocusWorkload()
+        ev = run_autofocus_mpmd(get_machine("event"), work)
+        an = run_autofocus_mpmd(get_machine("analytic"), work)
+        print(
+            f"\nAF-13    cycles: event {ev.cycles:,}  analytic {an.cycles:,}"
+            f"  ratio {an.cycles / ev.cycles:.4f}"
+        )
+        assert an.cycles == pytest.approx(ev.cycles, rel=PARITY)
+        assert an.energy_joules == pytest.approx(ev.energy_joules, rel=PARITY)
+
+
+class TestSweepSpeed:
+    def test_core_sweep_at_least_10x_faster(self, paper_plan):
+        def sweep(backend: str) -> float:
+            start = time.perf_counter()
+            for n in SWEEP_CORES:
+                run_ffbp_spmd(get_machine(backend), paper_plan, n)
+            return time.perf_counter() - start
+
+        sweep("analytic")  # warm caches so the comparison is steady-state
+        t_analytic = sweep("analytic")
+        t_event = sweep("event")
+        ratio = t_event / t_analytic
+        print(
+            f"\ncore sweep {SWEEP_CORES}: event {t_event:.2f}s  "
+            f"analytic {t_analytic:.3f}s  speedup {ratio:.1f}x"
+        )
+        assert ratio >= SPEEDUP_FLOOR

@@ -8,7 +8,13 @@ driven without writing Python:
 - ``fig7``        render the Fig. 7 panels as ASCII art,
 - ``image``       simulate a scene and form an image (ffbp/gbp/rda),
 - ``profile``     cycle breakdown of a kernel on the simulated chip,
+- ``sweep``       parameter sweeps (cores, window, clock, ...) as charts,
 - ``specs``       dump the machine models' constants.
+
+Commands that run the simulator accept ``--backend`` with a
+``[backend][:spec]`` string (see :mod:`repro.machine.backends`):
+``event`` is the calibrated default, ``analytic`` the fast closed-form
+engine, and specs select the chip (``e16``, ``e64``, ``8x8@800e6``).
 """
 
 from __future__ import annotations
@@ -34,6 +40,34 @@ def _add_scale_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(p: argparse.ArgumentParser, default: str = "event") -> None:
+    p.add_argument(
+        "--backend",
+        default=default,
+        metavar="SPEC",
+        help="simulation backend as '[backend][:spec]', e.g. 'event', "
+        "'analytic', 'analytic:e64', '8x8@800e6' (default: %(default)s)",
+    )
+
+
+def _backend_with_default_spec(token: str, spec: str) -> str:
+    """Give a bare backend token (``analytic``) a default chip spec.
+
+    Sweep series that need a particular chip (the unit-scaling series
+    wants an E64) still honour an explicit spec in the token.
+    """
+    from repro.machine.backends import available_backends
+
+    token = (token or "").strip()
+    if not token:
+        return ":" + spec
+    if ":" in token:
+        return token
+    if token.lower() in available_backends():
+        return f"{token}:{spec}"
+    return token
+
+
 def _config(args: argparse.Namespace):
     from repro.sar.config import RadarConfig
 
@@ -48,9 +82,9 @@ def cmd_table1(args: argparse.Namespace) -> int:
     from repro.sar.config import RadarConfig
 
     cfg = RadarConfig.paper() if args.paper_scale else _config(args)
-    print(ffbp_table(plan=plan_ffbp(cfg)).format())
+    print(ffbp_table(plan=plan_ffbp(cfg), backend=args.backend).format())
     print()
-    print(autofocus_table().format())
+    print(autofocus_table(backend=args.backend).format())
     return 0
 
 
@@ -60,8 +94,8 @@ def cmd_speedups(args: argparse.Namespace) -> int:
     from repro.kernels.ffbp_common import plan_ffbp
 
     cfg = _config(args)
-    f = ffbp_table(plan=plan_ffbp(cfg))
-    a = autofocus_table()
+    f = ffbp_table(plan=plan_ffbp(cfg), backend=args.backend)
+    a = autofocus_table(backend=args.backend)
     fb = energy_efficiency_ratios(f, "ffbp_epi_par", "ffbp_cpu")
     af = energy_efficiency_ratios(a, "af_epi_par", "af_cpu")
     print(f"FFBP  parallel speedup vs i7: {fb.speedup:6.2f}x   "
@@ -114,25 +148,58 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.kernels.ffbp_common import plan_ffbp
     from repro.kernels.ffbp_spmd import run_ffbp_spmd
     from repro.kernels.opcounts import AutofocusWorkload
-    from repro.machine.chip import EpiphanyChip
+    from repro.machine.backends import get_machine
     from repro.machine.profile import profile_run
     from repro.machine.tracing import ActivityRecorder
 
-    chip = EpiphanyChip()
+    machine = get_machine(args.backend)
     if args.timeline or args.trace_json:
-        chip.recorder = ActivityRecorder()
+        if not hasattr(machine, "recorder"):
+            print(
+                f"--timeline/--trace-json need an event backend; "
+                f"{args.backend!r} does not record activity",
+                file=sys.stderr,
+            )
+            return 2
+        machine.recorder = ActivityRecorder()
     if args.kernel == "ffbp":
-        res = run_ffbp_spmd(chip, plan_ffbp(_config(args)), 16)
+        res = run_ffbp_spmd(machine, plan_ffbp(_config(args)), 16)
     else:
-        res = run_autofocus_mpmd(chip, AutofocusWorkload())
+        res = run_autofocus_mpmd(machine, AutofocusWorkload())
     print(profile_run(res).format())
     if args.timeline:
         print()
-        print(chip.recorder.ascii_timeline(width=72))
+        print(machine.recorder.ascii_timeline(width=72))
     if args.trace_json:
         with open(args.trace_json, "w") as fh:
-            fh.write(chip.recorder.chrome_trace(chip.spec.clock_hz))
+            fh.write(machine.recorder.chrome_trace(machine.spec.clock_hz))
         print(f"\nChrome trace written to {args.trace_json}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.eval import sweeps
+    from repro.kernels.ffbp_common import plan_ffbp
+
+    backend = args.backend
+    if args.series == "ffbp-cores":
+        cores = tuple(int(c) for c in args.cores.split(","))
+        series = sweeps.ffbp_core_sweep(
+            plan=plan_ffbp(_config(args)), cores=cores, backend=backend
+        )
+    elif args.series == "ffbp-window":
+        series = sweeps.ffbp_window_sweep(_config(args), backend=backend)
+    elif args.series == "af-units":
+        series = sweeps.autofocus_unit_sweep(
+            backend=_backend_with_default_spec(backend, "e64")
+        )
+    elif args.series == "clock":
+        series = sweeps.clock_sweep(
+            plan=plan_ffbp(_config(args)), backend=backend
+        )
+    else:  # candidates
+        series = sweeps.candidate_sweep(backend=backend)
+    print(series.chart(width=args.chart_width))
     return 0
 
 
@@ -158,10 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="regenerate Table I")
     _add_scale_args(p)
+    _add_backend_arg(p)
     p.set_defaults(fn=cmd_table1)
 
     p = sub.add_parser("speedups", help="Section VI speedups + energy ratios")
     _add_scale_args(p)
+    _add_backend_arg(p)
     p.set_defaults(fn=cmd_speedups)
 
     p = sub.add_parser("fig7", help="render the Fig. 7 panels")
@@ -194,7 +263,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome/Perfetto trace file",
     )
+    _add_backend_arg(p)
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "sweep", help="run a parameter sweep and chart the series"
+    )
+    _add_scale_args(p)
+    _add_backend_arg(p, default="analytic")
+    p.add_argument(
+        "series",
+        choices=(
+            "ffbp-cores",
+            "ffbp-window",
+            "af-units",
+            "clock",
+            "candidates",
+        ),
+        help="which data series to produce",
+    )
+    p.add_argument(
+        "--cores",
+        default="1,2,4,8,16",
+        help="comma-separated core counts (ffbp-cores series)",
+    )
+    p.add_argument("--chart-width", type=int, default=48)
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("specs", help="dump machine-model constants")
     p.set_defaults(fn=cmd_specs)

@@ -4,6 +4,11 @@ Packages the experiments the ablation benchmarks run into reusable
 series producers (core count, prefetch window, clock, candidate grid,
 chip generation), each returning a :class:`Series` that the report
 helpers can render as an ASCII chart.
+
+Every sweep takes a ``backend`` spec string (see
+:mod:`repro.machine.backends`); design-space exploration normally runs
+on ``"analytic"`` (an order of magnitude faster), while calibrated
+figures use the default event engine.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from repro.kernels.autofocus_mpmd import run_autofocus_mpmd, run_autofocus_scale
 from repro.kernels.ffbp_common import FfbpPlan, plan_ffbp
 from repro.kernels.ffbp_spmd import run_ffbp_spmd
 from repro.kernels.opcounts import AutofocusWorkload
-from repro.machine.chip import EpiphanyChip
+from repro.machine.backends import resolve_backend
 from repro.machine.specs import EpiphanySpec
 from repro.sar.config import RadarConfig
 
@@ -51,11 +56,13 @@ def ffbp_core_sweep(
     plan: FfbpPlan | None = None,
     cores: Sequence[int] = (1, 2, 4, 8, 16),
     spec: EpiphanySpec | None = None,
+    backend: str = "event",
 ) -> Series:
     """Parallel-FFBP speedup versus core count (Fig. 6 scalability)."""
     plan = plan or plan_ffbp(RadarConfig.paper())
-    spec = spec or EpiphanySpec()
-    cycles = [run_ffbp_spmd(EpiphanyChip(spec), plan, n).cycles for n in cores]
+    make, base_spec = resolve_backend(backend)
+    spec = spec or base_spec
+    cycles = [run_ffbp_spmd(make(spec), plan, n).cycles for n in cores]
     base = cycles[0]
     speedups = tuple(round(base / c, 3) for c in cycles)
     return Series(
@@ -71,13 +78,15 @@ def ffbp_window_sweep(
     cfg: RadarConfig | None = None,
     windows: Sequence[int] = (8, 8008, 16016, 32032, 64064),
     n_cores: int = 16,
+    backend: str = "event",
 ) -> Series:
     """Parallel-FFBP time versus prefetch-window bytes."""
     cfg = cfg or RadarConfig.paper()
+    make, spec = resolve_backend(backend)
     ys = []
     for w in windows:
         plan = plan_ffbp(cfg, window_bytes=w)
-        ys.append(run_ffbp_spmd(EpiphanyChip(), plan, n_cores).seconds * 1e3)
+        ys.append(run_ffbp_spmd(make(spec), plan, n_cores).seconds * 1e3)
     return Series(
         name="FFBP vs prefetch window",
         x_label="window bytes",
@@ -91,13 +100,14 @@ def autofocus_unit_sweep(
     work: AutofocusWorkload | None = None,
     units: Sequence[int] = (1, 2, 3, 4),
     lanes: int = 3,
+    backend: str = "event:e64",
 ) -> Series:
     """Autofocus throughput versus replicated pipeline units (E64)."""
     w = work or AutofocusWorkload()
+    make, spec = resolve_backend(backend)
     ys = []
     for u in units:
-        chip = EpiphanyChip(EpiphanySpec.e64())
-        res = run_autofocus_scaled(chip, w, lanes=lanes, units=u)
+        res = run_autofocus_scaled(make(spec), w, lanes=lanes, units=u)
         ys.append(u * w.pixels / res.seconds)
     return Series(
         name="autofocus unit scaling (E64)",
@@ -112,13 +122,15 @@ def clock_sweep(
     plan: FfbpPlan | None = None,
     clocks_hz: Sequence[float] = (400e6, 600e6, 800e6, 1e9),
     n_cores: int = 16,
+    backend: str = "event",
 ) -> Series:
     """Parallel-FFBP wall time versus core clock (board vs spec)."""
     plan = plan or plan_ffbp(RadarConfig.paper())
+    make, base_spec = resolve_backend(backend)
     ys = []
     for clk in clocks_hz:
-        spec = EpiphanySpec().with_clock(clk)
-        ys.append(run_ffbp_spmd(EpiphanyChip(spec), plan, n_cores).seconds * 1e3)
+        spec = base_spec.with_clock(clk)
+        ys.append(run_ffbp_spmd(make(spec), plan, n_cores).seconds * 1e3)
     return Series(
         name="FFBP vs clock",
         x_label="clock (Hz)",
@@ -130,12 +142,14 @@ def clock_sweep(
 
 def candidate_sweep(
     candidates: Sequence[int] = (27, 54, 108, 216, 432),
+    backend: str = "event",
 ) -> Series:
     """Autofocus throughput versus candidate-grid size."""
+    make, spec = resolve_backend(backend)
     ys = []
     for n in candidates:
         w = AutofocusWorkload(n_candidates=n)
-        res = run_autofocus_mpmd(EpiphanyChip(), w)
+        res = run_autofocus_mpmd(make(spec), w)
         ys.append(w.pixels / res.seconds)
     return Series(
         name="autofocus vs candidate grid",

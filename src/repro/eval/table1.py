@@ -20,7 +20,7 @@ from repro.kernels.ffbp_common import FfbpPlan, plan_ffbp
 from repro.kernels.ffbp_seq import run_ffbp_seq_epiphany
 from repro.kernels.ffbp_spmd import run_ffbp_spmd
 from repro.kernels.opcounts import AutofocusWorkload
-from repro.machine.chip import EpiphanyChip
+from repro.machine.backends import resolve_backend
 from repro.machine.cpu import CpuMachine
 from repro.machine.specs import CpuSpec, EpiphanySpec
 from repro.sar.config import RadarConfig
@@ -107,18 +107,23 @@ def ffbp_table(
     n_cores: int = 16,
     epiphany_spec: EpiphanySpec | None = None,
     cpu_spec: CpuSpec | None = None,
+    backend: str = "event",
 ) -> Table1:
-    """Reproduce the three FFBP rows of Table I."""
-    espec = epiphany_spec or EpiphanySpec()
+    """Reproduce the three FFBP rows of Table I.
+
+    ``backend`` selects the Epiphany simulation engine; Table-I-grade
+    numbers come from the default calibrated event engine, the analytic
+    backend gives a fast (few-percent) approximation.
+    """
+    make, base_spec = resolve_backend(backend)
+    espec = epiphany_spec or base_spec
     cspec = cpu_spec or CpuSpec()
     if plan is None:
         plan = plan_ffbp(cfg or RadarConfig.paper())
 
     r_cpu = run_ffbp_cpu(CpuMachine(cspec), plan)
-    chip_seq = EpiphanyChip(espec)
-    r_seq = run_ffbp_seq_epiphany(chip_seq, plan)
-    chip_par = EpiphanyChip(espec)
-    r_par = run_ffbp_spmd(chip_par, plan, n_cores)
+    r_seq = run_ffbp_seq_epiphany(make(espec), plan)
+    r_par = run_ffbp_spmd(make(espec), plan, n_cores)
 
     rows = (
         Table1Row(
@@ -159,15 +164,17 @@ def autofocus_table(
     work: AutofocusWorkload | None = None,
     epiphany_spec: EpiphanySpec | None = None,
     cpu_spec: CpuSpec | None = None,
+    backend: str = "event",
 ) -> Table1:
     """Reproduce the three autofocus rows of Table I."""
     w = work or AutofocusWorkload()
-    espec = epiphany_spec or EpiphanySpec()
+    make, base_spec = resolve_backend(backend)
+    espec = epiphany_spec or base_spec
     cspec = cpu_spec or CpuSpec()
 
     r_cpu = run_autofocus_cpu(CpuMachine(cspec), w)
-    r_seq = run_autofocus_seq_epiphany(EpiphanyChip(espec), w)
-    r_par = run_autofocus_mpmd(EpiphanyChip(espec), w)
+    r_seq = run_autofocus_seq_epiphany(make(espec), w)
+    r_par = run_autofocus_mpmd(make(espec), w)
 
     def tput(seconds: float) -> float:
         return w.pixels / seconds
@@ -210,6 +217,10 @@ def autofocus_table(
 def full_table1(
     cfg: RadarConfig | None = None,
     work: AutofocusWorkload | None = None,
+    backend: str = "event",
 ) -> tuple[Table1, Table1]:
     """Both halves of Table I at the paper's workload scale."""
-    return ffbp_table(cfg), autofocus_table(work)
+    return (
+        ffbp_table(cfg, backend=backend),
+        autofocus_table(work, backend=backend),
+    )

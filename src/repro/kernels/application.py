@@ -25,8 +25,7 @@ from repro.kernels.autofocus_mpmd import build_pipeline, paper_placement
 from repro.kernels.ffbp_common import FfbpPlan, StagePlan
 from repro.kernels.ffbp_spmd import _core_row_spans
 from repro.kernels.opcounts import COMPLEX_BYTES, AutofocusWorkload, row_op_block
-from repro.machine.chip import EpiphanyChip
-from repro.machine.context import store
+from repro.machine.api import Machine, store
 from repro.sar.config import RadarConfig
 
 
@@ -62,9 +61,14 @@ class ApplicationResult:
 
 def _merge_stage_kernel(stage: StagePlan, n_cores: int):
     """SPMD kernel for a single merge stage (one barrier at the end)."""
+    row_bytes = stage.n_ranges * COMPLEX_BYTES
+    row_store = (store(row_bytes),)
+    blocks = [
+        row_op_block(v, stage.n_ranges) for v in stage.valid_frac.tolist()
+    ]
+    reads_ext = [int(r) for r in stage.reads_row_ext.tolist()]
 
     def kernel(ctx):
-        row_bytes = stage.n_ranges * COMPLEX_BYTES
         spans = _core_row_spans(stage, ctx.core_id, n_cores)
         n_rows = sum(k1 - k0 for _p, k0, k1 in spans)
         if n_rows == 0:
@@ -80,9 +84,8 @@ def _merge_stage_kernel(stage: StagePlan, n_cores: int):
             for k in range(k0, k1):
                 yield from ctx.dma_wait(token)
                 token = ctx.dma_prefetch(per_row)
-                yield from ctx.ext_scatter_read(int(stage.reads_row_ext[k]))
-                block = row_op_block(stage.valid_frac[k], stage.n_ranges)
-                yield from ctx.work(block, [store(row_bytes)])
+                yield from ctx.ext_scatter_read(reads_ext[k])
+                yield from ctx.work(blocks[k], row_store)
         yield from ctx.dma_wait(token)
         yield from ctx.barrier()
 
@@ -90,17 +93,17 @@ def _merge_stage_kernel(stage: StagePlan, n_cores: int):
 
 
 def run_focused_image(
-    chip: EpiphanyChip,
+    machine: Machine,
     plan: FfbpPlan,
     af_work: AutofocusWorkload | None = None,
     min_beams: int = 8,
     n_cores: int = 16,
     exact: bool = False,
 ) -> ApplicationResult:
-    """Execute one full image formation with autofocus on ``chip``.
+    """Execute one full image formation with autofocus on ``machine``.
 
-    The same chip object carries the clock across phases; per-phase
-    cycle counts come from engine-time deltas.
+    The same machine object carries the clock across phases; per-phase
+    cycle counts come from machine-time deltas.
 
     ``exact=False`` (default) simulates one criterion calculation per
     level in full and advances the clock for the remaining identical
@@ -113,52 +116,54 @@ def run_focused_image(
     cfg: RadarConfig = plan.cfg
     tree = SubapertureTree(cfg.n_pulses, cfg.spacing, cfg.merge_base)
     phases: list[PhaseReport] = []
-    start_total = chip.engine.now
+    start_total = machine.now
 
     for stage in plan.stages:
         level = stage.level
         parents = tree.stage(level)
         if parents.beams >= min_beams:
             # One criterion calculation per parent of this merge.
-            before = chip.engine.now
+            before = machine.now
             n_calcs = parents.n_subapertures
             simulated = n_calcs if exact else 1
             for _parent in range(simulated):
                 pipe = build_pipeline(
-                    chip,
+                    machine,
                     work,
                     paper_placement(
-                        work, chip.spec.mesh_rows, chip.spec.mesh_cols
+                        work, machine.spec.mesh_rows, machine.spec.mesh_cols
                     ),
                 )
                 pipe.run()
-                _release_pipeline_buffers(chip, pipe)
+                _release_pipeline_buffers(machine, pipe)
             if not exact and n_calcs > 1:
-                per_calc = chip.engine.now - before
-                _advance_clock(chip, (n_calcs - 1) * per_calc, n_cores=13)
+                per_calc = machine.now - before
+                machine.advance((n_calcs - 1) * per_calc, busy_cores=13)
             phases.append(
                 PhaseReport(
                     level=level,
                     kind="autofocus",
-                    cycles=chip.engine.now - before,
+                    cycles=machine.now - before,
                     detail=f"{parents.n_subapertures} criterion calc(s)",
                 )
             )
-        before = chip.engine.now
-        chip.run({c: _merge_stage_kernel(stage, n_cores) for c in range(n_cores)})
+        before = machine.now
+        machine.run(
+            {c: _merge_stage_kernel(stage, n_cores) for c in range(n_cores)}
+        )
         phases.append(
             PhaseReport(
                 level=level,
                 kind="merge",
-                cycles=chip.engine.now - before,
+                cycles=machine.now - before,
                 detail=f"{stage.rows} output rows",
             )
         )
 
-    total = chip.engine.now - start_total
-    seconds = total / chip.spec.clock_hz
-    energy = chip.energy.energy_joules(chip.engine.now, active_cores=n_cores)
-    power = chip.energy.average_power_w(chip.engine.now, active_cores=n_cores)
+    total = machine.now - start_total
+    seconds = total / machine.spec.clock_hz
+    energy = machine.energy.energy_joules(machine.now, active_cores=n_cores)
+    power = machine.energy.average_power_w(machine.now, active_cores=n_cores)
     return ApplicationResult(
         phases=tuple(phases),
         total_cycles=total,
@@ -168,26 +173,11 @@ def run_focused_image(
     )
 
 
-def _advance_clock(chip: EpiphanyChip, cycles: int, n_cores: int) -> None:
-    """Advance the engine by ``cycles`` of replicated steady-state work
-    (the cores stay busy: their energy is charged as active time)."""
-    if cycles <= 0:
-        return
-    from repro.machine.event import Delay
-
-    def tick():
-        yield Delay(int(cycles))
-
-    proc = chip.engine.spawn(tick(), name="steady-state")
-    chip.engine.run()
-    assert proc.done
-    for core in range(n_cores):
-        chip.energy.add_busy(core, cycles)
-
-
-def _release_pipeline_buffers(chip: EpiphanyChip, pipe) -> None:
+def _release_pipeline_buffers(machine: Machine, pipe) -> None:
     """Free the channel slots a finished pipeline reserved, so repeated
     criterion calculations do not leak scratchpad."""
     for (a, b), ch in pipe.channels.items():
         if ch.payload_bytes is not None:
-            chip.context(ch.dst_core).local.free(ch.capacity * ch.payload_bytes)
+            machine.context(ch.dst_core).local.free(
+                ch.capacity * ch.payload_bytes
+            )

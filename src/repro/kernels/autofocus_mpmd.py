@@ -21,12 +21,10 @@ the naive alternative is available for the mapping ablation.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
-from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
-from repro.machine.context import store
+from repro.machine.api import Machine, MachineContext, RunResult, store
 from repro.machine.core import OpBlock
-from repro.machine.event import Waitable
 from repro.kernels.opcounts import (
     AUTOFOCUS_CORR,
     AUTOFOCUS_INTERP,
@@ -89,19 +87,20 @@ def naive_placement(work: AutofocusWorkload, rows: int = 4, cols: int = 4) -> Pl
 
 def _ri_program(work: AutofocusWorkload, lane_pixels: int):
     def program(
-        ctx: EpiphanyContext,
+        ctx: MachineContext,
         ins: dict[str, Channel],
         outs: dict[str, Channel],
-    ) -> Iterator[Waitable]:
+    ) -> Iterator[Any]:
         (out,) = outs.values()
         lane_bytes = lane_pixels * COMPLEX_BYTES
+        interp = AUTOFOCUS_INTERP.scaled(lane_pixels)
         # Input share arrives once from SDRAM; the paper also copies
         # input pixels to the adjacent core's local memory.
         ctx.local.allocate(2 * lane_bytes)
         yield from ctx.ext_scatter_read(lane_pixels)
         for _it in range(work.iterations):
             for _cand in range(work.n_candidates):
-                yield from ctx.work(AUTOFOCUS_INTERP.scaled(lane_pixels))
+                yield from ctx.work(interp)
                 yield from out.send(ctx, lane_bytes)
         ctx.local.free(2 * lane_bytes)
 
@@ -110,17 +109,18 @@ def _ri_program(work: AutofocusWorkload, lane_pixels: int):
 
 def _bi_program(work: AutofocusWorkload, lane_pixels: int):
     def program(
-        ctx: EpiphanyContext,
+        ctx: MachineContext,
         ins: dict[str, Channel],
         outs: dict[str, Channel],
-    ) -> Iterator[Waitable]:
+    ) -> Iterator[Any]:
         (inp,) = ins.values()
         (out,) = outs.values()
         lane_bytes = lane_pixels * COMPLEX_BYTES
+        interp = AUTOFOCUS_INTERP.scaled(lane_pixels)
         for _it in range(work.iterations):
             for _cand in range(work.n_candidates):
                 yield from inp.recv(ctx)
-                yield from ctx.work(AUTOFOCUS_INTERP.scaled(lane_pixels))
+                yield from ctx.work(interp)
                 yield from out.send(ctx, lane_bytes)
 
     return program
@@ -128,18 +128,17 @@ def _bi_program(work: AutofocusWorkload, lane_pixels: int):
 
 def _corr_program(work: AutofocusWorkload):
     def program(
-        ctx: EpiphanyContext,
+        ctx: MachineContext,
         ins: dict[str, Channel],
         outs: dict[str, Channel],
-    ) -> Iterator[Waitable]:
+    ) -> Iterator[Any]:
         inputs = list(ins.values())
+        corr = AUTOFOCUS_CORR.scaled(work.corr_pixels_per_candidate)
         for _it in range(work.iterations):
             for _cand in range(work.n_candidates):
                 for ch in inputs:
                     yield from ch.recv(ctx)
-                yield from ctx.work(
-                    AUTOFOCUS_CORR.scaled(work.corr_pixels_per_candidate)
-                )
+                yield from ctx.work(corr)
         # Final criterion value to SDRAM (posted write).
         yield from ctx.work(OpBlock(), [store(8)])
 
@@ -147,19 +146,19 @@ def _corr_program(work: AutofocusWorkload):
 
 
 def build_pipeline(
-    chip: EpiphanyChip,
+    machine: Machine,
     work: AutofocusWorkload,
     placement: Placement | None = None,
     channel_capacity: int = 2,
 ) -> Pipeline:
-    """Assemble the 13-task pipeline on a chip."""
+    """Assemble the 13-task pipeline on a machine."""
     if work.pixels % LANES != 0:
         raise ValueError(
             f"block of {work.pixels} pixels does not split over {LANES} lanes"
         )
     lane_pixels = work.pixels // LANES
     place = placement or paper_placement(
-        work, chip.spec.mesh_rows, chip.spec.mesh_cols
+        work, machine.spec.mesh_rows, machine.spec.mesh_cols
     )
     payloads = {
         edge: lane_pixels * COMPLEX_BYTES for edge in place.graph.edges
@@ -173,7 +172,7 @@ def build_pipeline(
         else:
             tasks.append(Task(name, _bi_program(work, lane_pixels)))
     return Pipeline(
-        chip,
+        machine,
         tasks,
         place,
         channel_capacity=channel_capacity,
@@ -182,12 +181,12 @@ def build_pipeline(
 
 
 def run_autofocus_mpmd(
-    chip: EpiphanyChip,
+    machine: Machine,
     work: AutofocusWorkload,
     placement: Placement | None = None,
 ) -> RunResult:
     """Run the 13-core autofocus pipeline timing model."""
-    return build_pipeline(chip, work, placement).run()
+    return build_pipeline(machine, work, placement).run()
 
 
 # ---------------------------------------------------------------------------
@@ -224,7 +223,7 @@ def scaled_task_graph(
 
 
 def build_scaled_pipeline(
-    chip: EpiphanyChip,
+    machine: Machine,
     work: AutofocusWorkload,
     lanes: int = 3,
     units: int = 1,
@@ -237,14 +236,14 @@ def build_scaled_pipeline(
     comes from :func:`repro.runtime.mapping.greedy_place`.
     """
     cores_needed = units * (4 * lanes + 1)
-    if cores_needed > chip.spec.n_cores:
+    if cores_needed > machine.n_cores:
         raise ValueError(
-            f"{cores_needed} cores needed, chip has {chip.spec.n_cores}"
+            f"{cores_needed} cores needed, chip has {machine.n_cores}"
         )
     from repro.runtime.mapping import greedy_place
 
     graph = scaled_task_graph(work, lanes, units)
-    place = greedy_place(graph, chip.spec.mesh_rows, chip.spec.mesh_cols)
+    place = greedy_place(graph, machine.spec.mesh_rows, machine.spec.mesh_cols)
     lane_pixels = work.pixels // lanes
     payloads = {edge: lane_pixels * COMPLEX_BYTES for edge in graph.edges}
     tasks = []
@@ -256,7 +255,7 @@ def build_scaled_pipeline(
         else:
             tasks.append(Task(name, _bi_program(work, lane_pixels)))
     return Pipeline(
-        chip,
+        machine,
         tasks,
         place,
         channel_capacity=channel_capacity,
@@ -265,11 +264,11 @@ def build_scaled_pipeline(
 
 
 def run_autofocus_scaled(
-    chip: EpiphanyChip,
+    machine: Machine,
     work: AutofocusWorkload,
     lanes: int = 3,
     units: int = 1,
 ) -> RunResult:
     """Run a scaled autofocus pipeline; throughput multiplies by
     ``units`` (each unit completes one criterion calculation)."""
-    return build_scaled_pipeline(chip, work, lanes, units).run()
+    return build_scaled_pipeline(machine, work, lanes, units).run()

@@ -12,11 +12,9 @@ one result write.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
-from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
-from repro.machine.context import store
-from repro.machine.event import Waitable
+from repro.machine.api import Machine, MachineContext, RunResult, store
 from repro.kernels.opcounts import (
     AUTOFOCUS_CORR,
     AUTOFOCUS_INTERP,
@@ -27,18 +25,16 @@ from repro.kernels.opcounts import (
 def autofocus_seq_kernel(work: AutofocusWorkload):
     """Build the single-core kernel generator for a workload."""
 
-    def kernel(ctx: EpiphanyContext) -> Iterator[Waitable]:
+    def kernel(ctx: MachineContext) -> Iterator[Any]:
         # Input blocks arrive once from SDRAM into local memory.
         ctx.local.allocate(2 * work.block_bytes)
         yield from ctx.ext_scatter_read(2 * work.pixels)
+        interp = AUTOFOCUS_INTERP.scaled(work.interps_per_candidate)
+        corr = AUTOFOCUS_CORR.scaled(work.corr_pixels_per_candidate)
         for _iteration in range(work.iterations):
             for _cand in range(work.n_candidates):
-                yield from ctx.work(
-                    AUTOFOCUS_INTERP.scaled(work.interps_per_candidate)
-                )
-                yield from ctx.work(
-                    AUTOFOCUS_CORR.scaled(work.corr_pixels_per_candidate)
-                )
+                yield from ctx.work(interp)
+                yield from ctx.work(corr)
         # The final criterion value goes back to SDRAM (posted).
         yield from ctx.work(type(AUTOFOCUS_CORR)(), [store(8)])
         ctx.local.free(2 * work.block_bytes)
@@ -47,7 +43,7 @@ def autofocus_seq_kernel(work: AutofocusWorkload):
 
 
 def run_autofocus_seq_epiphany(
-    chip: EpiphanyChip, work: AutofocusWorkload
+    machine: Machine, work: AutofocusWorkload
 ) -> RunResult:
     """Run the sequential autofocus timing model on one Epiphany core."""
-    return chip.run({0: autofocus_seq_kernel(work)})
+    return machine.run({0: autofocus_seq_kernel(work)})

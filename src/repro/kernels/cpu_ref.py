@@ -11,11 +11,10 @@ prefetch instead of scratchpads and scatter reads.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
-from repro.machine.context import load, store
+from repro.machine.api import load, store
 from repro.machine.cpu import CpuContext, CpuMachine, CpuRunResult
-from repro.machine.event import Waitable
 from repro.kernels.ffbp_common import FfbpPlan
 from repro.kernels.opcounts import (
     AUTOFOCUS_CORR,
@@ -37,7 +36,7 @@ def ffbp_cpu_kernel(plan: FfbpPlan):
     """
     image_bytes = plan.cfg.n_pulses * plan.cfg.n_ranges * COMPLEX_BYTES
 
-    def kernel(ctx: CpuContext) -> Iterator[Waitable]:
+    def kernel(ctx: CpuContext) -> Iterator[Any]:
         for stage in plan.stages:
             row_bytes = stage.n_ranges * COMPLEX_BYTES
             for k in range(stage.beams):
@@ -74,7 +73,7 @@ def autofocus_cpu_kernel(work: AutofocusWorkload):
     pixels/s) despite the 2.67x clock gap.
     """
 
-    def kernel(ctx: CpuContext) -> Iterator[Waitable]:
+    def kernel(ctx: CpuContext) -> Iterator[Any]:
         yield from ctx.work(
             type(AUTOFOCUS_CORR)(),
             [load(2.0 * work.block_bytes, working_set=2.0 * work.block_bytes)],

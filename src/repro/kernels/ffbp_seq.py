@@ -11,43 +11,49 @@ posted writes.  This is the configuration the paper measures at
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
-from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
-from repro.machine.context import store
-from repro.machine.core import OpBlock
-from repro.machine.event import Waitable
+from repro.machine.api import Machine, MachineContext, RunResult, store
 from repro.kernels.ffbp_common import FfbpPlan
 from repro.kernels.opcounts import COMPLEX_BYTES, row_op_block
 
 
 def ffbp_seq_kernel(plan: FfbpPlan):
-    """Build the single-core kernel generator for a plan."""
+    """Build the single-core kernel generator for a plan.
 
-    def kernel(ctx: EpiphanyContext) -> Iterator[Waitable]:
-        for stage in plan.stages:
-            row_bytes = stage.n_ranges * COMPLEX_BYTES
+    Per-beam row tables are resolved once up front -- every parent of a
+    stage repeats the same beam profile, so the per-row loop reduces to
+    list indexing (the blocks are memoised and frozen).
+    """
+    stage_rows = []
+    for stage in plan.stages:
+        stage_rows.append(
+            (
+                [
+                    # The child lookups go word-by-word to external
+                    # memory (``external_lookups=True`` strips the
+                    # local loads).
+                    row_op_block(v, stage.n_ranges, external_lookups=True)
+                    for v in stage.valid_frac.tolist()
+                ],
+                [int(r) for r in stage.reads_row_total.tolist()],
+                (store(stage.n_ranges * COMPLEX_BYTES),),
+            )
+        )
+
+    def kernel(ctx: MachineContext) -> Iterator[Any]:
+        for stage, (blocks, reads_total, row_store) in zip(
+            plan.stages, stage_rows
+        ):
             for _parent in range(stage.n_parents):
                 for k in range(stage.beams):
-                    # Geometry + combining for one output row; the
-                    # child lookups go word-by-word to external memory.
-                    yield from ctx.ext_scatter_read(int(stage.reads_row_total[k]))
-                    block = row_op_block(stage.valid_frac[k], stage.n_ranges)
-                    # Lookups were external, not local.
-                    block = OpBlock(
-                        flops=block.flops,
-                        fmas=block.fmas,
-                        sqrts=block.sqrts,
-                        specials=block.specials,
-                        int_ops=block.int_ops,
-                        local_loads=0.0,
-                        local_stores=block.local_stores,
-                    )
-                    yield from ctx.work(block, [store(row_bytes)])
+                    # Geometry + combining for one output row.
+                    yield from ctx.ext_scatter_read(reads_total[k])
+                    yield from ctx.work(blocks[k], row_store)
 
     return kernel
 
 
-def run_ffbp_seq_epiphany(chip: EpiphanyChip, plan: FfbpPlan) -> RunResult:
+def run_ffbp_seq_epiphany(machine: Machine, plan: FfbpPlan) -> RunResult:
     """Run the sequential FFBP timing model on one Epiphany core."""
-    return chip.run({0: ffbp_seq_kernel(plan)})
+    return machine.run({0: ffbp_seq_kernel(plan)})

@@ -19,12 +19,9 @@ split between the two is computed from the real index maps by
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
-from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
-from repro.machine.context import store
-
-from repro.machine.event import Waitable
+from repro.machine.api import Machine, MachineContext, RunResult, store
 from repro.kernels.ffbp_common import FfbpPlan, StagePlan
 from repro.kernels.opcounts import COMPLEX_BYTES, row_op_block
 from repro.runtime.spmd import partition
@@ -51,12 +48,33 @@ def _core_row_spans(
 
 
 def ffbp_spmd_kernel(plan: FfbpPlan, n_cores: int, interpolation: str = "nearest"):
-    """Build the per-core SPMD kernel generator for a plan."""
+    """Build the per-core SPMD kernel generator for a plan.
 
-    def kernel(ctx: EpiphanyContext) -> Iterator[Waitable]:
+    Per-beam row tables (op blocks, external-read counts, store lists)
+    are resolved once here and shared by every core's generator: the
+    blocks are memoised and frozen, so per-row lookups reduce to list
+    indexing on both backends.
+    """
+    stage_rows = []
+    for stage in plan.stages:
+        row_bytes = stage.n_ranges * COMPLEX_BYTES
+        stage_rows.append(
+            (
+                [
+                    row_op_block(v, stage.n_ranges, interpolation)
+                    for v in stage.valid_frac.tolist()
+                ],
+                [int(r) for r in stage.reads_row_ext.tolist()],
+                (store(row_bytes),),
+                row_bytes,
+            )
+        )
+
+    def kernel(ctx: MachineContext) -> Iterator[Any]:
         core = ctx.core_id
-        for stage in plan.stages:
-            row_bytes = stage.n_ranges * COMPLEX_BYTES
+        for stage, (blocks, reads_ext, row_store, row_bytes) in zip(
+            plan.stages, stage_rows
+        ):
             spans = _core_row_spans(stage, core, n_cores)
             n_rows = sum(k1 - k0 for _p, k0, k1 in spans)
             if n_rows == 0:
@@ -75,11 +93,8 @@ def ffbp_spmd_kernel(plan: FfbpPlan, n_cores: int, interpolation: str = "nearest
                     yield from ctx.dma_wait(token)
                     token = ctx.dma_prefetch(per_row_prefetch)
                     # Window spill: word-granular blocking reads.
-                    yield from ctx.ext_scatter_read(int(stage.reads_row_ext[k]))
-                    block = row_op_block(
-                        stage.valid_frac[k], stage.n_ranges, interpolation
-                    )
-                    yield from ctx.work(block, [store(row_bytes)])
+                    yield from ctx.ext_scatter_read(reads_ext[k])
+                    yield from ctx.work(blocks[k], row_store)
             yield from ctx.dma_wait(token)
             # Merge iterations are bulk-synchronous: the next stage
             # reads this stage's output from external memory.
@@ -89,14 +104,14 @@ def ffbp_spmd_kernel(plan: FfbpPlan, n_cores: int, interpolation: str = "nearest
 
 
 def run_ffbp_spmd(
-    chip: EpiphanyChip,
+    machine: Machine,
     plan: FfbpPlan,
     n_cores: int | None = None,
     interpolation: str = "nearest",
 ) -> RunResult:
     """Run the parallel FFBP timing model on ``n_cores`` cores."""
-    cores = n_cores if n_cores is not None else chip.spec.n_cores
-    if not 1 <= cores <= chip.spec.n_cores:
-        raise ValueError(f"n_cores must be in 1..{chip.spec.n_cores}")
+    cores = n_cores if n_cores is not None else machine.n_cores
+    if not 1 <= cores <= machine.n_cores:
+        raise ValueError(f"n_cores must be in 1..{machine.n_cores}")
     kernel = ffbp_spmd_kernel(plan, cores, interpolation)
-    return chip.run({c: kernel for c in range(cores)})
+    return machine.run({c: kernel for c in range(cores)})

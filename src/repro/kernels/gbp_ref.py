@@ -16,14 +16,12 @@ one data fetch and one accumulate.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.kernels.opcounts import COMPLEX_BYTES
-from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
-from repro.machine.context import load, store
+from repro.machine.api import Machine, MachineContext, RunResult, load, store
 from repro.machine.core import OpBlock
 from repro.machine.cpu import CpuContext, CpuMachine, CpuRunResult
-from repro.machine.event import Waitable
 from repro.runtime.spmd import partition
 from repro.sar.config import RadarConfig
 
@@ -52,7 +50,7 @@ def gbp_cpu_kernel(cfg: RadarConfig, n_pixels: int | None = None):
     pixels = n_pixels if n_pixels is not None else cfg.n_pulses * cfg.n_ranges
     image_bytes = cfg.n_pulses * cfg.n_ranges * COMPLEX_BYTES
 
-    def kernel(ctx: CpuContext) -> Iterator[Waitable]:
+    def kernel(ctx: CpuContext) -> Iterator[Any]:
         # One work item per pulse sweep over all pixels.
         per_pulse = GBP_SAMPLE_PER_PULSE.scaled(pixels)
         for _pulse in range(cfg.n_pulses):
@@ -91,7 +89,7 @@ def gbp_spmd_kernel(cfg: RadarConfig, n_cores: int, n_pixels: int | None = None)
     pixels = n_pixels if n_pixels is not None else cfg.n_pulses * cfg.n_ranges
     row_bytes = cfg.n_ranges * COMPLEX_BYTES
 
-    def kernel(ctx: EpiphanyContext) -> Iterator[Waitable]:
+    def kernel(ctx: MachineContext) -> Iterator[Any]:
         share = partition(pixels, n_cores)[ctx.core_id]
         my_pixels = share.stop - share.start
         if my_pixels == 0:
@@ -110,12 +108,12 @@ def gbp_spmd_kernel(cfg: RadarConfig, n_cores: int, n_pixels: int | None = None)
 
 
 def run_gbp_spmd(
-    chip: EpiphanyChip,
+    machine: Machine,
     cfg: RadarConfig,
     n_cores: int | None = None,
     n_pixels: int | None = None,
 ) -> RunResult:
     """Run the parallel GBP timing model."""
-    cores = n_cores if n_cores is not None else chip.spec.n_cores
+    cores = n_cores if n_cores is not None else machine.n_cores
     kernel = gbp_spmd_kernel(cfg, cores, n_pixels)
-    return chip.run({c: kernel for c in range(cores)})
+    return machine.run({c: kernel for c in range(cores)})

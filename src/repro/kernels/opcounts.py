@@ -12,6 +12,7 @@ optimization is applied in the case of both architectures").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -188,6 +189,7 @@ def row_op_block(
     valid_fraction: np.ndarray | float,
     n_ranges: int,
     interpolation: str = "nearest",
+    external_lookups: bool = False,
 ) -> OpBlock:
     """Op mix of one FFBP output row given its valid-sample fraction.
 
@@ -196,17 +198,61 @@ def row_op_block(
     optimisation at row granularity.  ``interpolation`` adds the extra
     per-sample cost of the richer kernels (the price side of the
     paper's "could be considerably improved" remark).
+
+    ``external_lookups=True`` strips the local child-lookup loads (the
+    sequential Epiphany configuration fetches children word-by-word
+    from SDRAM, charged separately as scattered external reads).
+
+    Row blocks repeat heavily -- every parent of a stage shares the
+    same per-beam valid fractions, and design-space sweeps replay the
+    same plans -- so results are memoised.  The returned
+    :class:`~repro.machine.core.OpBlock` is frozen; treat it as shared.
     """
-    try:
-        extra = FFBP_INTERP_EXTRA[interpolation]
-    except KeyError:
+    if interpolation not in FFBP_INTERP_EXTRA:
         raise ValueError(
             f"unknown interpolation {interpolation!r}; "
             f"choose from {sorted(FFBP_INTERP_EXTRA)}"
-        ) from None
-    f = float(np.mean(valid_fraction))
+        )
+    if isinstance(valid_fraction, np.ndarray):
+        f = float(np.mean(valid_fraction))
+    else:
+        f = float(valid_fraction)
     f = min(1.0, max(0.0, f))
-    block = FFBP_SAMPLE.scaled(f * n_ranges) + FFBP_SAMPLE_INVALID.scaled(
-        (1.0 - f) * n_ranges
+    return _row_op_block(f, int(n_ranges), interpolation, external_lookups)
+
+
+@lru_cache(maxsize=None)
+def _row_op_block(
+    f: float, n_ranges: int, interpolation: str, external_lookups: bool
+) -> OpBlock:
+    """Memoised core of :func:`row_op_block` (normalised arguments)."""
+    extra = FFBP_INTERP_EXTRA[interpolation]
+    nv = f * n_ranges
+    ni = (1.0 - f) * n_ranges
+    # Field-wise (FFBP_SAMPLE*nv + FFBP_SAMPLE_INVALID*ni) + extra*nv,
+    # in the same association order as the original scaled()/__add__
+    # chain so results are bit-identical to the unfused arithmetic.
+    return OpBlock(
+        flops=(FFBP_SAMPLE.flops * nv + FFBP_SAMPLE_INVALID.flops * ni)
+        + extra.flops * nv,
+        fmas=(FFBP_SAMPLE.fmas * nv + FFBP_SAMPLE_INVALID.fmas * ni)
+        + extra.fmas * nv,
+        sqrts=(FFBP_SAMPLE.sqrts * nv + FFBP_SAMPLE_INVALID.sqrts * ni)
+        + extra.sqrts * nv,
+        specials=(FFBP_SAMPLE.specials * nv + FFBP_SAMPLE_INVALID.specials * ni)
+        + extra.specials * nv,
+        int_ops=(FFBP_SAMPLE.int_ops * nv + FFBP_SAMPLE_INVALID.int_ops * ni)
+        + extra.int_ops * nv,
+        local_loads=0.0
+        if external_lookups
+        else (
+            FFBP_SAMPLE.local_loads * nv
+            + FFBP_SAMPLE_INVALID.local_loads * ni
+        )
+        + extra.local_loads * nv,
+        local_stores=(
+            FFBP_SAMPLE.local_stores * nv
+            + FFBP_SAMPLE_INVALID.local_stores * ni
+        )
+        + extra.local_stores * nv,
     )
-    return block + extra.scaled(f * n_ranges)

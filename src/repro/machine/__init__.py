@@ -11,6 +11,10 @@ energy.
 
 Modules
 -------
+- :mod:`repro.machine.api` -- the backend-neutral Machine /
+  MachineContext Protocols and the typed :class:`RunResult`,
+- :mod:`repro.machine.backends` -- backend registry and the
+  :func:`get_machine` spec-string factory,
 - :mod:`repro.machine.event` -- discrete-event engine (processes,
   resources, flags, barriers),
 - :mod:`repro.machine.specs` -- datasheet constants with provenance,
@@ -19,11 +23,21 @@ Modules
 - :mod:`repro.machine.memory` -- local banks and external SDRAM,
 - :mod:`repro.machine.dma` -- per-core DMA engines,
 - :mod:`repro.machine.energy` -- activity-based energy accounting,
-- :mod:`repro.machine.chip` -- the assembled Epiphany chip,
+- :mod:`repro.machine.chip` -- the assembled event-driven Epiphany
+  chip (the calibrated reference backend),
+- :mod:`repro.machine.analytic` -- the fast closed-form backend for
+  design-space sweeps,
 - :mod:`repro.machine.cpu` -- the i7-like reference model,
 - :mod:`repro.machine.trace` -- operation counters.
 """
 
+from repro.machine.analytic import AnalyticMachine
+from repro.machine.api import Machine, MachineContext, RunResult
+from repro.machine.backends import (
+    available_backends,
+    get_machine,
+    register_backend,
+)
 from repro.machine.chip import EpiphanyChip
 from repro.machine.core import OpBlock
 from repro.machine.cpu import CpuMachine
@@ -34,7 +48,14 @@ from repro.machine.specs import CpuSpec, EpiphanySpec
 from repro.machine.tracing import ActivityRecorder
 
 __all__ = [
+    "Machine",
+    "MachineContext",
+    "RunResult",
+    "AnalyticMachine",
     "EpiphanyChip",
+    "get_machine",
+    "register_backend",
+    "available_backends",
     "OpBlock",
     "CpuMachine",
     "Engine",

@@ -1,0 +1,226 @@
+"""The machine-abstraction layer: what a backend must provide.
+
+Kernels (:mod:`repro.kernels`) and runtimes (:mod:`repro.runtime`) are
+written against the two Protocols below -- :class:`MachineContext` (one
+core's view: compute, external memory, mesh messages, DMA, flags,
+barriers) and :class:`Machine` (the whole chip: run programs, time,
+energy, flag fabric).  They never import a concrete backend, which is
+what makes the backends pluggable:
+
+- :mod:`repro.machine.chip` -- the calibrated cycle-accurate
+  **event-driven** Epiphany model (``EpiphanyChip``).  Ground truth for
+  Table I; resolves contention by per-event scheduling.
+- :mod:`repro.machine.analytic` -- the fast **analytic** model
+  (``AnalyticMachine``).  Replays the same kernel generators but
+  aggregates compute/stall/channel occupancy in closed form, trading
+  queueing detail for an order-of-magnitude wall-clock speedup.
+  Design-space sweeps (core count x clock x prefetch window) run here.
+
+Backends are constructed by name through the registry in
+:mod:`repro.machine.backends` (``get_machine("event:e16")``,
+``get_machine("analytic:8x8@800e6")``).
+
+The Protocols are ``runtime_checkable`` so tests can assert structural
+conformance; the yield vocabulary (what context generators produce) is
+backend-specific and opaque to kernels -- a kernel only ever writes
+``yield from ctx.work(...)`` and lets its machine interpret the items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Protocol,
+    runtime_checkable,
+)
+
+from repro.machine.context import MemOp, load, store  # noqa: F401 (re-export)
+from repro.machine.core import OpBlock
+from repro.machine.trace import Trace
+
+__all__ = [
+    "MemOp",
+    "load",
+    "store",
+    "RunResult",
+    "FlagLike",
+    "LocalStore",
+    "MachineContext",
+    "Machine",
+    "KernelFn",
+    "Programs",
+]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one machine run (any backend).
+
+    ``cycles`` is the machine clock *after* the run -- backends carry
+    their clock across successive :meth:`Machine.run` calls, so the
+    application executive can phase runs back-to-back on one timeline.
+    """
+
+    cycles: int
+    seconds: float
+    energy_joules: float
+    average_power_w: float
+    traces: tuple[Trace, ...]
+    results: tuple[Any, ...]
+
+    @property
+    def trace(self) -> Trace:
+        """All core traces merged."""
+        merged = Trace()
+        for t in self.traces:
+            merged = merged.merged(t)
+        return merged
+
+
+@runtime_checkable
+class FlagLike(Protocol):
+    """A one-shot synchronisation flag (Epiphany mailbox-flag idiom)."""
+
+    is_set: bool
+
+    def set(self) -> None: ...
+
+    def clear(self) -> None: ...
+
+
+@runtime_checkable
+class LocalStore(Protocol):
+    """A core's scratchpad: capacity accounting for explicit buffers."""
+
+    allocated: int
+    peak: int
+
+    def allocate(self, nbytes: int) -> None: ...
+
+    def free(self, nbytes: int) -> None: ...
+
+
+@runtime_checkable
+class MachineContext(Protocol):
+    """One core's view of its machine.
+
+    Methods documented as *generators* must be consumed with
+    ``yield from``; what they yield is backend-private.  Plain methods
+    return immediately.
+    """
+
+    core_id: int
+    n_cores: int
+    trace: Trace
+    local: LocalStore
+
+    @property
+    def now(self) -> int:
+        """This core's current clock (machine time for event backends,
+        the core-local clock for analytic backends)."""
+        ...
+
+    # -- compute + external memory --------------------------------------
+    def work(
+        self, block: OpBlock, mem: Iterable[MemOp] = ()
+    ) -> Iterator[Any]:
+        """Generator: a compute block plus its external memory traffic."""
+        ...
+
+    def ext_scatter_read(self, n_accesses: int) -> Iterator[Any]:
+        """Generator: blocking word-granular gathers from external
+        memory (FFBP's child-lookup access pattern)."""
+        ...
+
+    # -- on-chip communication ------------------------------------------
+    def write_remote(self, dst_core: int, nbytes: float) -> Iterator[Any]:
+        """Generator: post data into another core's local memory."""
+        ...
+
+    def read_remote(self, src_core: int, nbytes: float) -> Iterator[Any]:
+        """Generator: blocking read of another core's local memory."""
+        ...
+
+    def remote_write_arrival(self, dst_core: int, nbytes: float) -> int:
+        """Post a remote write; return the cycle its tail lands."""
+        ...
+
+    def issue_stores(self, nbytes: float) -> Iterator[Any]:
+        """Generator: charge the issue cost of streaming ``nbytes``
+        through the core's store port (one 64-bit store per cycle)."""
+        ...
+
+    # -- DMA -------------------------------------------------------------
+    def dma_prefetch(self, nbytes: float) -> Any:
+        """Start a background external->local DMA; returns a token."""
+        ...
+
+    def dma_wait(self, token: Any) -> Iterator[Any]:
+        """Generator: block until a DMA token completes."""
+        ...
+
+    # -- synchronisation -------------------------------------------------
+    def barrier(self) -> Iterator[Any]:
+        """Generator: synchronise with the other cores of the run."""
+        ...
+
+    def set_flag(self, flag: Any) -> None:
+        """Raise a flag at this core's current time."""
+        ...
+
+    def wait_flag(self, flag: Any) -> Iterator[Any]:
+        """Generator: block until a flag is raised."""
+        ...
+
+
+KernelFn = Callable[[MachineContext], Iterator[Any]]
+"""A kernel program: generator function taking a core context."""
+
+Programs = dict[int, KernelFn]
+"""Mapping of core id -> program for one run."""
+
+
+@runtime_checkable
+class Machine(Protocol):
+    """A whole machine: runs per-core programs and reports the outcome.
+
+    Required attributes/properties: ``spec`` (an
+    :class:`~repro.machine.specs.EpiphanySpec`-like object), ``energy``
+    (an :class:`~repro.machine.energy.EnergyMeter`), ``n_cores`` and
+    ``now`` (the machine clock, carried across runs).
+    """
+
+    @property
+    def n_cores(self) -> int: ...
+
+    @property
+    def now(self) -> int: ...
+
+    def context(self, core_id: int) -> MachineContext: ...
+
+    def run(
+        self, programs: Programs, max_cycles: int | None = None
+    ) -> RunResult: ...
+
+    # -- fabric services used by the runtime layer ----------------------
+    def flag(self, name: str = "") -> Any:
+        """Create a synchronisation flag."""
+        ...
+
+    def set_flag_at(self, flag: Any, cycle: int) -> None:
+        """Arrange for ``flag`` to be raised at absolute ``cycle``
+        (e.g. when a posted message's tail lands)."""
+        ...
+
+    def hops(self, src_core: int, dst_core: int) -> int:
+        """Mesh distance between two cores' routers."""
+        ...
+
+    def advance(self, cycles: int, busy_cores: int = 0) -> None:
+        """Advance the machine clock by ``cycles`` of replicated
+        steady-state work, charging ``busy_cores`` as active."""
+        ...

@@ -1,0 +1,174 @@
+"""Backend registry and factory: machines from spec strings.
+
+One string names both *how* to simulate (the backend) and *what* to
+simulate (the chip spec)::
+
+    get_machine("event:e16")            # cycle-accurate 4x4 @ 1 GHz
+    get_machine("event:e64")            # cycle-accurate 8x8 @ 800 MHz
+    get_machine("analytic:e16")         # closed-form replay, same spec
+    get_machine("analytic:8x8@800e6")   # custom mesh and clock
+    get_machine("e16")                  # bare spec -> default backend
+    get_machine("analytic")             # bare backend -> default spec
+
+Grammar: ``[backend][:spec]`` where *backend* is a registered name
+(``event`` is the default) and *spec* is either a named configuration
+(``e16``, ``e64``, ``board``), a custom ``<rows>x<cols>[@<clock_hz>]``
+mesh, or a named configuration with a clock override
+(``e16@700e6``).  Clocks accept any Python float literal (``800e6``,
+``1.0e9``).
+
+New backends register with :func:`register_backend`; the CLI and the
+eval drivers (`--backend`) pass user strings straight to
+:func:`get_machine`, so a registered backend is immediately usable
+everywhere.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.machine.api import Machine
+from repro.machine.specs import EpiphanySpec
+
+__all__ = [
+    "get_machine",
+    "get_spec",
+    "resolve_backend",
+    "register_backend",
+    "available_backends",
+    "DEFAULT_BACKEND",
+    "DEFAULT_SPEC",
+]
+
+BackendFactory = Callable[[EpiphanySpec], Machine]
+
+DEFAULT_BACKEND = "event"
+DEFAULT_SPEC = "e16"
+
+_NAMED_SPECS: dict[str, Callable[[], EpiphanySpec]] = {
+    "e16": EpiphanySpec,
+    "e64": EpiphanySpec.e64,
+    "board": EpiphanySpec.board,
+}
+
+_MESH_RE = re.compile(
+    r"^(?P<rows>\d+)x(?P<cols>\d+)(?:@(?P<clock>[0-9.eE+-]+))?$"
+)
+_NAMED_CLOCK_RE = re.compile(r"^(?P<name>[a-z][a-z0-9]*)@(?P<clock>[0-9.eE+-]+)$")
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a machine factory under ``name``.
+
+    ``factory`` receives a fully resolved :class:`EpiphanySpec` and
+    must return an object satisfying the :class:`~repro.machine.api.
+    Machine` protocol.  Re-registering a name replaces the factory
+    (useful for tests injecting instrumented backends).
+    """
+    if not name or ":" in name:
+        raise ValueError(f"invalid backend name {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_spec(token: str) -> EpiphanySpec:
+    """Resolve a spec token (named, named@clock, or RxC[@clock])."""
+    token = token.strip().lower()
+    named = _NAMED_SPECS.get(token)
+    if named is not None:
+        return named()
+    m = _NAMED_CLOCK_RE.match(token)
+    if m and m.group("name") in _NAMED_SPECS:
+        return _NAMED_SPECS[m.group("name")]().with_clock(
+            _parse_clock(m.group("clock"), token)
+        )
+    m = _MESH_RE.match(token)
+    if m:
+        rows, cols = int(m.group("rows")), int(m.group("cols"))
+        if rows < 1 or cols < 1:
+            raise ValueError(f"mesh {rows}x{cols} must be at least 1x1")
+        spec = EpiphanySpec(mesh_rows=rows, mesh_cols=cols)
+        if m.group("clock"):
+            spec = spec.with_clock(_parse_clock(m.group("clock"), token))
+        return spec
+    raise ValueError(
+        f"unknown machine spec {token!r}; expected one of "
+        f"{sorted(_NAMED_SPECS)}, '<name>@<clock_hz>' or "
+        f"'<rows>x<cols>[@<clock_hz>]'"
+    )
+
+
+def _parse_clock(text: str, token: str) -> float:
+    try:
+        clock = float(text)
+    except ValueError:
+        raise ValueError(f"bad clock {text!r} in spec {token!r}") from None
+    if clock <= 0:
+        raise ValueError(f"clock must be positive in spec {token!r}")
+    return clock
+
+
+def resolve_backend(name: str = "") -> tuple[BackendFactory, EpiphanySpec]:
+    """Split a ``[backend][:spec]`` string into (factory, base spec).
+
+    Callers that derive their own spec variants (clock sweeps, mesh
+    scaling) use the returned factory with a modified copy of the base
+    spec; :func:`get_machine` is the plain compose-and-build shortcut.
+    """
+    token = (name or "").strip().lower()
+    if ":" in token:
+        backend_name, _, spec_token = token.partition(":")
+        backend_name = backend_name or DEFAULT_BACKEND
+        spec_token = spec_token or DEFAULT_SPEC
+    elif not token:
+        backend_name, spec_token = DEFAULT_BACKEND, DEFAULT_SPEC
+    elif token in _REGISTRY:
+        backend_name, spec_token = token, DEFAULT_SPEC
+    else:
+        backend_name, spec_token = DEFAULT_BACKEND, token
+    factory = _REGISTRY.get(backend_name)
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {backend_name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return factory, get_spec(spec_token)
+
+
+def get_machine(name: str = "") -> Machine:
+    """Build a machine from a ``[backend][:spec]`` string.
+
+    An empty string gives the default (``event:e16``).  A bare token is
+    tried first as a backend name, then as a spec for the default
+    backend -- so both ``get_machine("analytic")`` and
+    ``get_machine("e64")`` do what they look like.
+    """
+    factory, spec = resolve_backend(name)
+    return factory(spec)
+
+
+def _register_builtins() -> None:
+    # Imported lazily so importing the registry never drags in both
+    # engines when only one is used.
+    def _event(spec: EpiphanySpec) -> Machine:
+        from repro.machine.chip import EpiphanyChip
+
+        return EpiphanyChip(spec)
+
+    def _analytic(spec: EpiphanySpec) -> Machine:
+        from repro.machine.analytic import AnalyticMachine
+
+        return AnalyticMachine(spec)
+
+    register_backend("event", _event)
+    register_backend("analytic", _analytic)
+
+
+_register_builtins()

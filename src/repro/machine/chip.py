@@ -9,9 +9,9 @@ of core programs and reports cycles, time, power and energy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
+from repro.machine.api import RunResult
 from repro.machine.context import Context, MemOp
 from repro.machine.core import CoreTimingModel, OpBlock
 from repro.machine.dma import DmaEngine
@@ -21,6 +21,8 @@ from repro.machine.memory import ExternalMemory, LocalMemory
 from repro.machine.noc import Mesh
 from repro.machine.specs import EpiphanySpec
 from repro.machine.trace import Trace
+
+__all__ = ["EpiphanyChip", "EpiphanyContext", "RunResult"]
 
 
 class EpiphanyContext(Context):
@@ -35,6 +37,11 @@ class EpiphanyContext(Context):
         self.dma = DmaEngine(chip.engine, chip.spec, chip.ext, core_id)
         self.trace = Trace()
         self._timing = CoreTimingModel(chip.spec)
+
+    @property
+    def now(self) -> int:
+        """The chip clock (event time is global)."""
+        return self.chip.engine.now
 
     def _record(self, kind: str, start: int) -> None:
         rec = self.chip.recorder
@@ -151,6 +158,15 @@ class EpiphanyContext(Context):
         self.trace.remote_write_bytes += nbytes
         return res.finish_cycle
 
+    def issue_stores(self, nbytes: float) -> Iterator[Waitable]:
+        """Charge the core-side issue cost of streaming ``nbytes`` out
+        through the store port (one 64-bit store per cycle)."""
+        issue = int(nbytes / self.chip.spec.local_bytes_per_cycle)
+        self.trace.compute_cycles += issue
+        self.chip.energy.add_busy(self.core_id, issue)
+        if issue:
+            yield Delay(issue)
+
     def read_remote(self, src_core: int, nbytes: float) -> Iterator[Waitable]:
         """Blocking read of another core's local memory (read plane)."""
         chip = self.chip
@@ -195,26 +211,6 @@ class EpiphanyContext(Context):
         self._record("sync", start)
 
 
-@dataclass(frozen=True)
-class RunResult:
-    """Outcome of one chip run."""
-
-    cycles: int
-    seconds: float
-    energy_joules: float
-    average_power_w: float
-    traces: tuple[Trace, ...]
-    results: tuple[Any, ...]
-
-    @property
-    def trace(self) -> Trace:
-        """All core traces merged."""
-        merged = Trace()
-        for t in self.traces:
-            merged = merged.merged(t)
-        return merged
-
-
 class EpiphanyChip:
     """A simulated Epiphany chip ready to run core programs."""
 
@@ -230,6 +226,52 @@ class EpiphanyChip:
             EpiphanyContext(self, i) for i in range(self.spec.n_cores)
         ]
         self.barrier_obj = None  # set per run
+
+    # -- Machine protocol services --------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return self.spec.n_cores
+
+    @property
+    def now(self) -> int:
+        """The chip clock (carried across runs)."""
+        return self.engine.now
+
+    def flag(self, name: str = "") -> Flag:
+        """Create a synchronisation flag on the chip's event engine."""
+        return self.engine.flag(name=name)
+
+    def set_flag_at(self, flag: Flag, cycle: int) -> None:
+        """Raise ``flag`` at absolute ``cycle`` (a background landing)."""
+        engine = self.engine
+
+        def _land() -> Iterator[Waitable]:
+            gap = cycle - engine.now
+            if gap > 0:
+                yield Delay(gap)
+            flag.set()
+
+        engine.spawn(_land(), name=f"land@{cycle}")
+
+    def hops(self, src_core: int, dst_core: int) -> int:
+        """Mesh distance between two cores' routers."""
+        return self.mesh.hops(
+            self.context(src_core).coord, self.context(dst_core).coord
+        )
+
+    def advance(self, cycles: int, busy_cores: int = 0) -> None:
+        """Advance the chip clock by ``cycles`` of replicated
+        steady-state work (``busy_cores`` are charged as active)."""
+        if cycles <= 0:
+            return
+
+        def _tick() -> Iterator[Waitable]:
+            yield Delay(int(cycles))
+
+        self.engine.spawn(_tick(), name="steady-state")
+        self.engine.run()
+        for core in range(busy_cores):
+            self.energy.add_busy(core, cycles)
 
     def context(self, core_id: int) -> EpiphanyContext:
         if not 0 <= core_id < self.spec.n_cores:

@@ -71,10 +71,20 @@ def store(nbytes: float, **kw: Any) -> MemOp:
 
 
 class Context(abc.ABC):
-    """Abstract machine interface a kernel programs against."""
+    """Abstract machine interface a kernel programs against.
+
+    The structural (Protocol) form of this interface lives in
+    :mod:`repro.machine.api`; this ABC is the implementation helper the
+    concrete contexts subclass.
+    """
 
     core_id: int = 0
     n_cores: int = 1
+
+    @property
+    def now(self) -> int:
+        """This core's current clock."""
+        raise NotImplementedError(f"{type(self).__name__} has no clock")
 
     @abc.abstractmethod
     def work(
@@ -88,6 +98,21 @@ class Context(abc.ABC):
         """
 
     # -- optional capabilities (parallel machines override) -------------
+    def ext_scatter_read(self, n_accesses: int) -> Iterator[Waitable]:
+        """Blocking word-granular gathers from external memory."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no scattered external reads"
+        )
+        yield  # pragma: no cover
+
+    def remote_write_arrival(self, dst_core: int, nbytes: float) -> int:
+        """Post a remote write; return the cycle its tail lands."""
+        raise NotImplementedError(f"{type(self).__name__} has no mesh")
+
+    def issue_stores(self, nbytes: float) -> Iterator[Waitable]:
+        """Charge the issue cost of streaming ``nbytes`` of stores."""
+        raise NotImplementedError(f"{type(self).__name__} has no mesh")
+        yield  # pragma: no cover
     def barrier(self) -> Iterator[Waitable]:
         """Synchronise with the other cores of an SPMD program."""
         raise NotImplementedError(f"{type(self).__name__} has no barrier")

@@ -12,15 +12,21 @@ and then raises a flag; the consumer spins on the flag.  Channels are
 credit-flow-controlled (the consumer's buffer has ``capacity`` slots;
 a full channel stalls the producer), which is how pipeline backpressure
 arises in the autofocus mapping.
+
+Channels are written purely against the machine-abstraction layer
+(:mod:`repro.machine.api`): flag creation, deferred flag raising and
+mesh distances come from the :class:`~repro.machine.api.Machine`;
+posting, store issue and flag waits go through the per-core
+:class:`~repro.machine.api.MachineContext`.  The same channel therefore
+runs on the event-driven chip and on the analytic backend.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator
+from typing import Any, Iterator
 
-from repro.machine.chip import EpiphanyChip, EpiphanyContext
-from repro.machine.event import Delay, Flag, Wait, Waitable
+from repro.machine.api import Machine, MachineContext
 
 
 class Channel:
@@ -28,7 +34,7 @@ class Channel:
 
     def __init__(
         self,
-        chip: EpiphanyChip,
+        machine: Machine,
         src_core: int,
         dst_core: int,
         capacity: int = 2,
@@ -39,27 +45,25 @@ class Channel:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if src_core == dst_core:
             raise ValueError("channel endpoints must be distinct cores")
-        self.chip = chip
+        self.machine = machine
         self.src_core = src_core
         self.dst_core = dst_core
         self.capacity = capacity
         self.payload_bytes = payload_bytes
         self.name = name or f"ch{src_core}->{dst_core}"
-        self._data: deque[Flag] = deque()
+        self._data: deque[Any] = deque()
         self._credits = capacity
-        self._credit_flag: Flag | None = None
-        self._recv_flag: Flag | None = None
+        self._credit_flag: Any = None
+        self._recv_flag: Any = None
         self.messages = 0
         self.bytes_moved = 0.0
-        self.hops = chip.mesh.hops(
-            chip.context(src_core).coord, chip.context(dst_core).coord
-        )
+        self.hops = machine.hops(src_core, dst_core)
         # Consumer-side buffer lives in the destination scratchpad.
         if payload_bytes is not None:
-            chip.context(dst_core).local.allocate(capacity * payload_bytes)
+            machine.context(dst_core).local.allocate(capacity * payload_bytes)
 
     # ------------------------------------------------------------------
-    def send(self, ctx: EpiphanyContext, nbytes: float) -> Iterator[Waitable]:
+    def send(self, ctx: MachineContext, nbytes: float) -> Iterator[Any]:
         """Producer side: post a message of ``nbytes``.
 
         Stalls on missing credit (consumer buffer full), then issues
@@ -76,53 +80,40 @@ class Channel:
                 f"{self.payload_bytes} B"
             )
         while self._credits == 0:
-            self._credit_flag = self.chip.engine.flag(name=f"{self.name}.credit")
-            yield Wait(self._credit_flag)
+            self._credit_flag = self.machine.flag(name=f"{self.name}.credit")
+            yield from ctx.wait_flag(self._credit_flag)
         self._credits -= 1
         self.messages += 1
         self.bytes_moved += nbytes
         ctx.trace.messages_sent += 1
 
         arrival = ctx.remote_write_arrival(self.dst_core, nbytes)
-        data_flag = self.chip.engine.flag(name=f"{self.name}.msg{self.messages}")
+        data_flag = self.machine.flag(name=f"{self.name}.msg{self.messages}")
         self._data.append(data_flag)
         if self._recv_flag is not None:
             flag, self._recv_flag = self._recv_flag, None
-            flag.set()
-
-        engine = self.chip.engine
-
-        def _land() -> Iterator[Waitable]:
-            gap = arrival - engine.now
-            if gap > 0:
-                yield Delay(gap)
-            data_flag.set()
-
-        engine.spawn(_land(), name=f"{self.name}.land")
+            ctx.set_flag(flag)
+        self.machine.set_flag_at(data_flag, arrival)
 
         # Store issue cost on the producer.
-        issue = int(nbytes / self.chip.spec.local_bytes_per_cycle)
-        self.chip.energy.add_busy(ctx.core_id, issue)
-        ctx.trace.compute_cycles += issue
-        if issue:
-            yield Delay(issue)
+        yield from ctx.issue_stores(nbytes)
 
-    def recv(self, ctx: EpiphanyContext) -> Iterator[Waitable]:
+    def recv(self, ctx: MachineContext) -> Iterator[Any]:
         """Consumer side: wait for the next message and free its slot."""
         if ctx.core_id != self.dst_core:
             raise ValueError(
                 f"{self.name}: recv on core {ctx.core_id}, expected {self.dst_core}"
             )
         while not self._data:
-            self._recv_flag = self.chip.engine.flag(name=f"{self.name}.empty")
-            yield Wait(self._recv_flag)
+            self._recv_flag = self.machine.flag(name=f"{self.name}.empty")
+            yield from ctx.wait_flag(self._recv_flag)
         flag = self._data.popleft()
-        before = self.chip.engine.now
-        yield Wait(flag)
-        ctx.trace.stall_cycles += self.chip.engine.now - before
+        before = ctx.now
+        yield from ctx.wait_flag(flag)
+        ctx.trace.stall_cycles += ctx.now - before
         ctx.trace.messages_received += 1
         # Free the slot: return a credit to the producer.
         self._credits += 1
         if self._credit_flag is not None:
             cf, self._credit_flag = self._credit_flag, None
-            cf.set()
+            ctx.set_flag(cf)

@@ -18,11 +18,10 @@ graphs (credit-flow channels + topological firing order).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
-from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
+from repro.machine.api import Machine, MachineContext, RunResult
 from repro.machine.core import OpBlock
-from repro.machine.event import Waitable
 from repro.runtime.mapping import Placement, TaskGraph, greedy_place
 from repro.runtime.mpmd import Pipeline, Task
 
@@ -120,10 +119,10 @@ class DataflowGraph:
         spec = self.nodes[name]
 
         def program(
-            ctx: EpiphanyContext,
+            ctx: MachineContext,
             ins: dict[str, "object"],
             outs: dict[str, "object"],
-        ) -> Iterator[Waitable]:
+        ) -> Iterator[Any]:
             for _ in range(firings):
                 for ch in ins.values():
                     yield from ch.recv(ctx)
@@ -141,7 +140,7 @@ class DataflowGraph:
 
     def build(
         self,
-        chip: EpiphanyChip,
+        machine: Machine,
         firings: int,
         placement: Placement | None = None,
         channel_capacity: int = 2,
@@ -158,19 +157,19 @@ class DataflowGraph:
             raise GraphError("need at least one firing")
         self.topological_order()  # validates acyclicity
         graph = self.task_graph()
-        if len(graph.tasks) > chip.spec.n_cores:
+        if len(graph.tasks) > machine.n_cores:
             raise GraphError(
-                f"{len(graph.tasks)} actors exceed {chip.spec.n_cores} cores"
+                f"{len(graph.tasks)} actors exceed {machine.n_cores} cores"
             )
         place = placement or greedy_place(
-            graph, chip.spec.mesh_rows, chip.spec.mesh_cols
+            graph, machine.spec.mesh_rows, machine.spec.mesh_cols
         )
         payloads = {(e.src, e.dst): e.nbytes for e in self.edges}
         tasks = [
             Task(name, self._make_program(name, firings)) for name in self.nodes
         ]
         return Pipeline(
-            chip,
+            machine,
             tasks,
             place,
             channel_capacity=channel_capacity,
@@ -179,12 +178,12 @@ class DataflowGraph:
 
     def run(
         self,
-        chip: EpiphanyChip,
+        machine: Machine,
         firings: int,
         placement: Placement | None = None,
     ) -> RunResult:
         """Build and run in one step."""
-        return self.build(chip, firings, placement).run()
+        return self.build(machine, firings, placement).run()
 
 
 def linear_chain(

@@ -17,14 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
-from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
-from repro.machine.event import Waitable
+from repro.machine.api import Machine, MachineContext, Programs, RunResult
 from repro.runtime.channels import Channel
 from repro.runtime.mapping import Placement
 
 TaskProgram = Callable[
-    [EpiphanyContext, dict[str, Channel], dict[str, Channel]],
-    Iterator[Waitable],
+    [MachineContext, dict[str, Channel], dict[str, Channel]],
+    Iterator[Any],
 ]
 """A task body: ``(ctx, in_channels, out_channels) -> generator``.
 Channel dicts are keyed by the peer task's name."""
@@ -39,17 +38,17 @@ class Task:
 
 
 class Pipeline:
-    """A placed MPMD task pipeline on one chip."""
+    """A placed MPMD task pipeline on one machine (any backend)."""
 
     def __init__(
         self,
-        chip: EpiphanyChip,
+        machine: Machine,
         tasks: list[Task],
         placement: Placement,
         channel_capacity: int = 2,
         payload_bytes: dict[tuple[str, str], int] | None = None,
     ) -> None:
-        self.chip = chip
+        self.machine = machine
         self.placement = placement
         by_name = {t.name: t for t in tasks}
         if set(by_name) != set(placement.graph.tasks):
@@ -62,7 +61,7 @@ class Pipeline:
         payload_bytes = payload_bytes or {}
         for (a, b) in placement.graph.edges:
             self.channels[(a, b)] = Channel(
-                chip,
+                machine,
                 placement.core_id(a),
                 placement.core_id(b),
                 capacity=channel_capacity,
@@ -82,20 +81,20 @@ class Pipeline:
 
     def run(self, max_cycles: int | None = None) -> RunResult:
         """Spawn every task on its placed core and run to completion."""
-        programs: dict[int, Callable[[EpiphanyContext], Iterator[Waitable]]] = {}
+        programs: Programs = {}
         for name, task in self.tasks.items():
             core = self.placement.core_id(name)
             ins = self.inputs_of(name)
             outs = self.outputs_of(name)
 
             def make(body: TaskProgram, i: dict, o: dict):
-                def kernel(ctx: EpiphanyContext) -> Iterator[Waitable]:
+                def kernel(ctx: MachineContext) -> Iterator[Any]:
                     return body(ctx, i, o)
 
                 return kernel
 
             programs[core] = make(task.program, ins, outs)
-        return self.chip.run(programs, max_cycles=max_cycles)
+        return self.machine.run(programs, max_cycles=max_cycles)
 
     def traffic_summary(self) -> dict[tuple[str, str], dict[str, Any]]:
         """Per-edge message/byte/hop statistics after a run."""

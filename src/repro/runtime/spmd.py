@@ -10,12 +10,7 @@ redundant access to the contributing data.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
-
-from repro.machine.chip import EpiphanyChip, EpiphanyContext, RunResult
-from repro.machine.event import Waitable
-
-KernelFn = Callable[[EpiphanyContext], Iterator[Waitable]]
+from repro.machine.api import KernelFn, Machine, RunResult
 
 
 def partition(n_items: int, n_parts: int) -> list[slice]:
@@ -40,19 +35,19 @@ def partition(n_items: int, n_parts: int) -> list[slice]:
 
 
 def run_spmd(
-    chip: EpiphanyChip,
+    machine: Machine,
     n_cores: int,
     kernel: KernelFn,
 ) -> RunResult:
-    """Run the same kernel on cores ``0..n_cores-1``.
+    """Run the same kernel on cores ``0..n_cores-1`` of any backend.
 
     The kernel distinguishes its share of work via ``ctx.core_id`` and
-    ``ctx.n_cores`` (which is the chip's core count; pass the active
+    ``ctx.n_cores`` (which is the machine's core count; pass the active
     count through closure state if it differs) and synchronises with
     ``yield from ctx.barrier()``.
     """
-    if not 1 <= n_cores <= chip.spec.n_cores:
+    if not 1 <= n_cores <= machine.n_cores:
         raise ValueError(
-            f"n_cores must be in 1..{chip.spec.n_cores}, got {n_cores}"
+            f"n_cores must be in 1..{machine.n_cores}, got {n_cores}"
         )
-    return chip.run({core: kernel for core in range(n_cores)})
+    return machine.run({core: kernel for core in range(n_cores)})

@@ -1,0 +1,109 @@
+"""Tests for the backend registry and spec-string factory."""
+
+import pytest
+
+from repro.machine.analytic import AnalyticMachine
+from repro.machine.backends import (
+    available_backends,
+    get_machine,
+    get_spec,
+    register_backend,
+    resolve_backend,
+)
+from repro.machine.chip import EpiphanyChip
+from repro.machine.specs import EpiphanySpec
+
+
+class TestGetSpec:
+    def test_named_specs(self):
+        assert get_spec("e16") == EpiphanySpec()
+        assert get_spec("e64") == EpiphanySpec.e64()
+        assert get_spec("board") == EpiphanySpec.board()
+
+    def test_named_with_clock_override(self):
+        spec = get_spec("e16@700e6")
+        assert spec.clock_hz == 700e6
+        assert spec.mesh_rows == 4
+
+    def test_custom_mesh(self):
+        spec = get_spec("8x8")
+        assert (spec.mesh_rows, spec.mesh_cols) == (8, 8)
+
+    def test_custom_mesh_with_clock(self):
+        spec = get_spec("2x3@400e6")
+        assert (spec.mesh_rows, spec.mesh_cols) == (2, 3)
+        assert spec.clock_hz == 400e6
+
+    def test_case_and_whitespace_insensitive(self):
+        assert get_spec("  E16 ") == EpiphanySpec()
+
+    @pytest.mark.parametrize(
+        "bad", ["nope", "0x4", "4x0", "4x4@0", "4x4@-1", "e16@junk"]
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            get_spec(bad)
+
+
+class TestResolveAndGetMachine:
+    def test_default_is_event_e16(self):
+        machine = get_machine()
+        assert isinstance(machine, EpiphanyChip)
+        assert machine.spec == EpiphanySpec()
+
+    def test_backend_and_spec(self):
+        machine = get_machine("analytic:e64")
+        assert isinstance(machine, AnalyticMachine)
+        assert machine.spec == EpiphanySpec.e64()
+
+    def test_bare_backend_token(self):
+        assert isinstance(get_machine("analytic"), AnalyticMachine)
+
+    def test_bare_spec_token_uses_default_backend(self):
+        machine = get_machine("e64")
+        assert isinstance(machine, EpiphanyChip)
+        assert machine.spec.mesh_rows == 8
+
+    def test_bare_colon_spec(self):
+        machine = get_machine(":board")
+        assert isinstance(machine, EpiphanyChip)
+        assert machine.spec == EpiphanySpec.board()
+
+    def test_resolve_backend_returns_factory_and_spec(self):
+        make, spec = resolve_backend("analytic:4x4@600e6")
+        machine = make(spec.with_clock(500e6))
+        assert isinstance(machine, AnalyticMachine)
+        assert machine.spec.clock_hz == 500e6
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_machine("quantum:e16")
+
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert "event" in names and "analytic" in names
+
+
+class TestRegisterBackend:
+    def test_custom_backend_usable_via_get_machine(self):
+        calls = []
+
+        def factory(spec):
+            calls.append(spec)
+            return AnalyticMachine(spec)
+
+        register_backend("probe", factory)
+        try:
+            machine = get_machine("probe:e64")
+            assert isinstance(machine, AnalyticMachine)
+            assert calls == [EpiphanySpec.e64()]
+        finally:
+            # Restore the registry for other tests.
+            from repro.machine import backends as mod
+
+            mod._REGISTRY.pop("probe", None)
+
+    @pytest.mark.parametrize("bad", ["", "a:b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            register_backend(bad, lambda spec: AnalyticMachine(spec))

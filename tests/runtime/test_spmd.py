@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.machine.analytic import AnalyticMachine
 from repro.machine.chip import EpiphanyChip
 from repro.machine.core import OpBlock
 from repro.runtime.spmd import partition, run_spmd
@@ -27,6 +28,23 @@ class TestPartition:
         got = partition(2, 4)
         sizes = [s.stop - s.start for s in got]
         assert sizes == [1, 1, 0, 0]
+
+    def test_zero_items(self):
+        got = partition(0, 4)
+        assert got == [slice(0, 0)] * 4
+
+    def test_single_part_takes_everything(self):
+        assert partition(7, 1) == [slice(0, 7)]
+
+    def test_balance_invariant_exhaustive_small(self):
+        """Sizes differ by at most one for every small (n, p) pair."""
+        for n in range(0, 40):
+            for p in range(1, 20):
+                sizes = [s.stop - s.start for s in partition(n, p)]
+                assert sum(sizes) == n
+                assert max(sizes) - min(sizes) <= 1
+                # Larger shares come first (remainder spread to front).
+                assert sizes == sorted(sizes, reverse=True)
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -75,6 +93,18 @@ class TestRunSpmd:
             run_spmd(chip, 17, kernel)
         with pytest.raises(ValueError):
             run_spmd(chip, 0, kernel)
+
+    def test_backend_agnostic(self):
+        """The launcher only needs the Machine protocol: both backends
+        run the same kernel and agree on a pure-compute cycle count."""
+
+        def kernel(ctx):
+            yield from ctx.work(OpBlock(fmas=10_000))
+            yield from ctx.barrier()
+
+        ev = run_spmd(EpiphanyChip(), 4, kernel)
+        an = run_spmd(AnalyticMachine(), 4, kernel)
+        assert an.cycles == ev.cycles
 
     def test_parallel_speedup_on_compute_bound_kernel(self):
         """A perfectly parallel compute kernel scales ~linearly."""
