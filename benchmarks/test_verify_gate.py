@@ -1,0 +1,66 @@
+"""Conformance-gate benchmarks: the contract holds at paper scale and
+the gate stays inside its time budget.
+
+Tier-1 runs the gate at reduced scale (``tests/verify/``); these
+benchmarks repeat the differential oracle on the paper's full 1024x1001
+workload and bound the wall-clock cost of the CI ``verify`` job.
+"""
+
+import time
+
+import pytest
+
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.sar.config import RadarConfig
+from repro.verify.gate import DEFAULT_SEED, run_verify
+from repro.verify.oracles import (
+    differential_oracle,
+    oracle_workloads,
+)
+from repro.verify.tolerance import failures, format_checks
+
+FULL_GATE_BUDGET_S = 120.0
+"""Generous CI budget; the full gate currently runs in a few seconds.
+A regression past this bound means the gate got too expensive to keep
+in every PR's critical path -- which is itself a defect."""
+
+
+def _quiet(_line: str) -> None:
+    pass
+
+
+@pytest.mark.slow
+class TestPaperScaleParity:
+    @pytest.fixture(scope="class")
+    def paper_workloads(self):
+        return {
+            wl.name: wl
+            for wl in oracle_workloads(plan=plan_ffbp(RadarConfig.paper()))
+        }
+
+    def test_ffbp_spmd16_paper_scale(self, paper_workloads):
+        checks = differential_oracle(paper_workloads["ffbp_spmd16"])
+        assert not failures(checks), "\n" + format_checks(checks)
+
+    def test_ffbp_seq_paper_scale(self, paper_workloads):
+        checks = differential_oracle(paper_workloads["ffbp_seq"])
+        assert not failures(checks), "\n" + format_checks(checks)
+
+
+class TestGateBudget:
+    def test_full_gate_passes_within_budget(self):
+        t0 = time.perf_counter()
+        rc = run_verify(quick=False, seed=DEFAULT_SEED, out=_quiet)
+        elapsed = time.perf_counter() - t0
+        assert rc == 0
+        assert elapsed < FULL_GATE_BUDGET_S, (
+            f"full verify gate took {elapsed:.1f}s "
+            f"(budget {FULL_GATE_BUDGET_S:.0f}s)"
+        )
+
+    def test_quick_gate_is_actually_quick(self):
+        t0 = time.perf_counter()
+        rc = run_verify(quick=True, seed=DEFAULT_SEED, out=_quiet)
+        elapsed = time.perf_counter() - t0
+        assert rc == 0
+        assert elapsed < FULL_GATE_BUDGET_S / 4

@@ -9,7 +9,9 @@ driven without writing Python:
 - ``image``       simulate a scene and form an image (ffbp/gbp/rda),
 - ``profile``     cycle breakdown of a kernel on the simulated chip,
 - ``sweep``       parameter sweeps (cores, window, clock, ...) as charts,
-- ``specs``       dump the machine models' constants.
+- ``specs``       dump the machine models' constants,
+- ``verify``      cross-backend conformance gate (oracles, golden
+  snapshots, fuzz drivers; see :mod:`repro.verify`).
 
 Commands that run the simulator accept ``--backend`` with a
 ``[backend][:spec]`` string (see :mod:`repro.machine.backends`):
@@ -203,6 +205,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.gate import DEFAULT_SEED, run_verify
+
+    return run_verify(
+        quick=not args.full,
+        update=args.update_golden,
+        seed=DEFAULT_SEED if args.seed is None else args.seed,
+        fuzz_cases=args.fuzz_cases,
+        specs=tuple(args.specs.split(",")) if args.specs else None,
+        candidate=args.backend,
+        golden_root=args.golden_dir,
+        skip_fuzz=args.no_fuzz,
+        verbose=args.verbose,
+    )
+
+
 def cmd_specs(_args: argparse.Namespace) -> int:
     from dataclasses import fields
 
@@ -290,6 +308,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chart-width", type=int, default=48)
     p.set_defaults(fn=cmd_sweep)
 
+    p = sub.add_parser(
+        "verify",
+        help="cross-backend conformance gate (oracles + golden + fuzz)",
+    )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick",
+        action="store_true",
+        help="quick gate: default chip spec, quick workloads, reduced "
+        "fuzz budget (the default)",
+    )
+    mode.add_argument(
+        "--full",
+        action="store_true",
+        help="full gate: all chip specs, sequential baselines, 4x fuzz "
+        "budget",
+    )
+    p.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="regenerate tests/golden/*.json instead of comparing "
+        "(review with git diff)",
+    )
+    p.add_argument(
+        "--backend",
+        default="analytic",
+        metavar="NAME",
+        help="candidate backend compared against the event reference "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--specs",
+        default=None,
+        metavar="S1,S2",
+        help="comma-separated chip specs to verify on (default: e16 for "
+        "--quick, e16,e64,board for --full)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="fuzz seed (default: the pinned gate seed)",
+    )
+    p.add_argument(
+        "--fuzz-cases",
+        type=int,
+        default=None,
+        help="cases per fuzz driver (default: 25 quick / 100 full)",
+    )
+    p.add_argument(
+        "--no-fuzz", action="store_true", help="skip the fuzz drivers"
+    )
+    p.add_argument(
+        "--golden-dir",
+        default=None,
+        metavar="DIR",
+        help="override the golden snapshot directory",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="print passing checks too"
+    )
+    p.set_defaults(fn=cmd_verify)
+
     p = sub.add_parser("specs", help="dump machine-model constants")
     p.set_defaults(fn=cmd_specs)
 
@@ -297,8 +378,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Parse and dispatch; usage errors exit 2 with a clear message.
+
+    Malformed ``--backend``/``--specs`` strings (and any other
+    ``ValueError`` raised while *setting up* a command) are user input
+    errors, not crashes: report them on stderr, exit non-zero, no
+    traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,422 @@
+"""Seeded property-based fuzz drivers.
+
+Each driver samples random instances from a pinned ``random.Random``
+seed -- geometries, core grids, task graphs, message schedules, backend
+spec strings -- and checks *invariants* rather than values:
+
+- ``partition``   -- SPMD row partitions cover every item exactly once
+  and are balanced within one item;
+- ``placement``   -- task placements are on-mesh, collision-free, and
+  the greedy placer never loses to the naive one;
+- ``channels``    -- streaming channels deliver every message, in FIFO
+  order (non-decreasing delivery times), identically counted on the
+  event and analytic backends;
+- ``backend_parity`` -- random compute/barrier programs produce
+  bit-identical operation counters on both engines, banded cycle
+  agreement, non-negative energy, and cycle counts monotone in work;
+- ``spec_strings`` -- every well-formed ``[backend][:spec]`` string
+  builds the machine it names; every malformed one raises ``ValueError``
+  (never a traceback-class error).
+
+The drivers are dependency-free (a seeded in-repo generator, not
+hypothesis) so the CLI gate and CI can run them anywhere; the richer
+shrinking-enabled hypothesis suites live in ``tests/``.  To keep gate
+output readable each driver aggregates per-invariant: one
+:class:`~repro.verify.tolerance.Check` per invariant with the failure
+count and the first counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterator
+
+from repro.verify.tolerance import Check, Tolerance
+
+__all__ = ["FUZZ_DRIVERS", "Invariants"]
+
+PARITY_TOL = Tolerance(rel=0.05, abs=256.0)
+"""Cycle-agreement band for random contention-free programs."""
+
+
+class Invariants:
+    """Per-invariant violation accumulator for one fuzz driver."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self._counts: dict[str, int] = {}
+        self._violations: dict[str, list[str]] = {}
+
+    def record(self, name: str, ok: bool, detail: str = "") -> None:
+        self._counts[name] = self._counts.get(name, 0) + 1
+        if not ok:
+            self._violations.setdefault(name, []).append(detail)
+
+    def checks(self) -> list[Check]:
+        out = []
+        for name, count in self._counts.items():
+            bad = self._violations.get(name, [])
+            out.append(
+                Check(
+                    name=f"fuzz.{self.prefix}.{name}",
+                    passed=not bad,
+                    actual=f"{len(bad)}/{count} cases violated",
+                    expected="0 violations",
+                    note=bad[0] if bad else "",
+                )
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# partition: coverage, disjointness, balance
+# ---------------------------------------------------------------------------
+
+def fuzz_partition(seed: int, cases: int) -> list[Check]:
+    from repro.runtime.spmd import partition
+
+    rng = random.Random(seed)
+    inv = Invariants("partition")
+    for _ in range(cases):
+        n_items = rng.randrange(0, 5000)
+        n_parts = rng.randrange(1, 65)
+        tag = f"partition({n_items}, {n_parts})"
+        slices = partition(n_items, n_parts)
+        inv.record("part_count", len(slices) == n_parts, tag)
+        covered: list[int] = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        inv.record(
+            "coverage",
+            covered == list(range(n_items)),
+            f"{tag}: covered {len(covered)} of {n_items}",
+        )
+        sizes = [s.stop - s.start for s in slices]
+        inv.record(
+            "disjoint_contiguous",
+            all(
+                a.stop == b.start for a, b in zip(slices, slices[1:])
+            )
+            and (not slices or (slices[0].start == 0 and slices[-1].stop == n_items)),
+            tag,
+        )
+        inv.record(
+            "balance",
+            max(sizes) - min(sizes) <= 1,
+            f"{tag}: sizes {min(sizes)}..{max(sizes)}",
+        )
+    return inv.checks()
+
+
+# ---------------------------------------------------------------------------
+# placement: validity + greedy never loses to naive
+# ---------------------------------------------------------------------------
+
+def fuzz_placement(seed: int, cases: int) -> list[Check]:
+    from repro.runtime.mapping import TaskGraph, greedy_place, linear_place
+
+    rng = random.Random(seed)
+    inv = Invariants("placement")
+    for _ in range(cases):
+        n_tasks = rng.randrange(2, 11)
+        tasks = tuple(f"t{i}" for i in range(n_tasks))
+        edges = {}
+        for _e in range(rng.randrange(1, 2 * n_tasks)):
+            a, b = rng.sample(tasks, 2)
+            edges[(a, b)] = rng.uniform(0.0, 100.0)
+        graph = TaskGraph(tasks=tasks, edges=edges)
+        rows = rng.randrange(2, 6)
+        cols = rng.randrange(2, 6)
+        if rows * cols < n_tasks:
+            rows = cols = 4  # always enough cores
+        tag = f"{n_tasks} tasks on {rows}x{cols}"
+        lin = linear_place(graph, rows, cols)
+        gre = greedy_place(graph, rows, cols)
+        for name, placement in (("linear", lin), ("greedy", gre)):
+            coords = set(placement.coords.values())
+            inv.record(
+                f"{name}_coverage",
+                set(placement.coords) == set(tasks),
+                tag,
+            )
+            inv.record(
+                f"{name}_disjoint", len(coords) == n_tasks, tag
+            )
+            inv.record(
+                f"{name}_on_mesh",
+                all(
+                    0 <= r < rows and 0 <= c < cols for r, c in coords
+                ),
+                tag,
+            )
+        inv.record(
+            "greedy_no_worse",
+            gre.weighted_hops() <= lin.weighted_hops() + 1e-9,
+            f"{tag}: greedy {gre.weighted_hops():.1f} "
+            f"vs linear {lin.weighted_hops():.1f}",
+        )
+        inv.record(
+            "link_load_nonneg", gre.max_link_load() >= 0.0, tag
+        )
+    return inv.checks()
+
+
+# ---------------------------------------------------------------------------
+# channels: delivery, FIFO ordering, cross-backend counter parity
+# ---------------------------------------------------------------------------
+
+def _run_channel_case(
+    backend: str, src: int, dst: int, sizes: list[int], capacity: int
+) -> tuple[Any, list[int], int]:
+    """One producer/consumer channel exchange; returns the run result,
+    per-message delivery times and the channel message counter."""
+    from repro.machine.backends import get_machine
+    from repro.runtime.channels import Channel
+
+    machine = get_machine(backend)
+    ch = Channel(machine, src, dst, capacity=capacity)
+    deliveries: list[int] = []
+
+    def producer(ctx) -> Iterator[Any]:
+        for nbytes in sizes:
+            yield from ch.send(ctx, nbytes)
+
+    def consumer(ctx) -> Iterator[Any]:
+        for _ in sizes:
+            yield from ch.recv(ctx)
+            deliveries.append(int(ctx.now))
+
+    res = machine.run({src: producer, dst: consumer})
+    return res, deliveries, ch.messages
+
+
+def fuzz_channels(seed: int, cases: int) -> list[Check]:
+    rng = random.Random(seed)
+    inv = Invariants("channels")
+    for _ in range(cases):
+        src, dst = rng.sample(range(16), 2)
+        n_msgs = rng.randrange(1, 7)
+        sizes = [8 * rng.randrange(1, 65) for _ in range(n_msgs)]
+        capacity = rng.randrange(1, 4)
+        tag = f"{n_msgs} msgs {src}->{dst} cap={capacity}"
+        ev, ev_times, ev_count = _run_channel_case(
+            "event:e16", src, dst, sizes, capacity
+        )
+        an, an_times, an_count = _run_channel_case(
+            "analytic:e16", src, dst, sizes, capacity
+        )
+        inv.record("all_delivered", ev_count == n_msgs, tag)
+        inv.record(
+            "fifo_order",
+            all(a <= b for a, b in zip(ev_times, ev_times[1:])),
+            f"{tag}: deliveries {ev_times}",
+        )
+        inv.record(
+            "fifo_order_analytic",
+            all(a <= b for a, b in zip(an_times, an_times[1:])),
+            f"{tag}: deliveries {an_times}",
+        )
+        for field in ("messages_sent", "messages_received"):
+            inv.record(
+                f"parity_{field}",
+                getattr(ev.trace, field) == getattr(an.trace, field) == n_msgs,
+                f"{tag}: event {getattr(ev.trace, field)} "
+                f"analytic {getattr(an.trace, field)}",
+            )
+        inv.record(
+            "delivery_after_send_cost",
+            bool(ev_times) and ev_times[-1] >= sum(sizes) / 8.0,
+            f"{tag}: last delivery {ev_times[-1] if ev_times else None}",
+        )
+    return inv.checks()
+
+
+# ---------------------------------------------------------------------------
+# backend parity: random compute/barrier programs, event vs analytic
+# ---------------------------------------------------------------------------
+
+def _random_block(rng: random.Random):
+    from repro.machine.core import OpBlock
+
+    return OpBlock(
+        flops=float(rng.randrange(0, 4000)),
+        fmas=float(rng.randrange(0, 4000)),
+        sqrts=float(rng.randrange(0, 50)),
+        specials=float(rng.randrange(0, 50)),
+        int_ops=float(rng.randrange(0, 4000)),
+        local_loads=float(rng.randrange(0, 2000)),
+        local_stores=float(rng.randrange(0, 2000)),
+    )
+
+
+def fuzz_backend_parity(seed: int, cases: int) -> list[Check]:
+    from repro.machine.backends import get_machine
+
+    rng = random.Random(seed)
+    inv = Invariants("backend_parity")
+    for _ in range(cases):
+        rows = rng.randrange(1, 5)
+        cols = rng.randrange(1, 5)
+        spec = f"{rows}x{cols}"
+        n_cores = rng.randrange(1, rows * cols + 1)
+        phases = rng.randrange(1, 4)
+        use_barrier = n_cores > 1 and rng.random() < 0.7
+        blocks = {
+            c: [_random_block(rng) for _ in range(phases)]
+            for c in range(n_cores)
+        }
+        tag = f"{n_cores} cores on {spec}, {phases} phases"
+
+        def make(core: int) -> Callable[[Any], Iterator[Any]]:
+            def prog(ctx) -> Iterator[Any]:
+                for block in blocks[core]:
+                    yield from ctx.work(block)
+                    if use_barrier:
+                        yield from ctx.barrier()
+
+            return prog
+
+        programs = {c: make(c) for c in range(n_cores)}
+        ev = get_machine(f"event:{spec}").run(programs)
+        an = get_machine(f"analytic:{spec}").run(programs)
+        inv.record(
+            "cycles_band",
+            PARITY_TOL.allows(an.cycles, ev.cycles),
+            f"{tag}: analytic {an.cycles} vs event {ev.cycles}",
+        )
+        inv.record(
+            "flops_exact",
+            an.trace.total_flops == ev.trace.total_flops,
+            f"{tag}: {an.trace.total_flops} vs {ev.trace.total_flops}",
+        )
+        inv.record(
+            "barriers_exact",
+            an.trace.barriers == ev.trace.barriers,
+            tag,
+        )
+        inv.record(
+            "energy_nonneg",
+            an.energy_joules >= 0.0 and ev.energy_joules >= 0.0,
+            tag,
+        )
+        inv.record(
+            "cycles_positive", ev.cycles > 0 and an.cycles > 0, tag
+        )
+        # Monotonicity: appending work to core 0 cannot speed things up.
+        extra = _random_block(rng)
+
+        def heavier(ctx) -> Iterator[Any]:
+            for block in blocks[0]:
+                yield from ctx.work(block)
+                if use_barrier:
+                    yield from ctx.barrier()
+            yield from ctx.work(extra)
+
+        programs2 = dict(programs)
+        programs2[0] = heavier
+        ev2 = get_machine(f"event:{spec}").run(programs2)
+        an2 = get_machine(f"analytic:{spec}").run(programs2)
+        inv.record(
+            "cycles_monotone_event",
+            ev2.cycles >= ev.cycles,
+            f"{tag}: {ev.cycles} -> {ev2.cycles} after extra work",
+        )
+        inv.record(
+            "cycles_monotone_analytic",
+            an2.cycles >= an.cycles,
+            f"{tag}: {an.cycles} -> {an2.cycles} after extra work",
+        )
+    return inv.checks()
+
+
+# ---------------------------------------------------------------------------
+# spec strings: grammar round-trip, clean failures
+# ---------------------------------------------------------------------------
+
+_MALFORMED = (
+    "0x4",
+    "4x0",
+    "4x",
+    "x4",
+    "e16@",
+    "@800e6",
+    "4x4@-1",
+    "4x4@0",
+    "4x4@fast",
+    "bogus:e16",
+    "event:nope",
+    "analytic:3x",
+    ":::",
+    "e99",
+    "-1x4",
+)
+
+
+def fuzz_spec_strings(seed: int, cases: int) -> list[Check]:
+    from repro.machine.backends import available_backends, get_machine
+
+    rng = random.Random(seed)
+    inv = Invariants("spec_strings")
+    backends = available_backends()
+    named = {"e16": 16, "e64": 64, "board": 16}
+    for _ in range(cases):
+        if rng.random() < 0.6:
+            # Well-formed: random backend prefix x random spec form.
+            prefix = rng.choice(("",) + tuple(b + ":" for b in backends))
+            form = rng.randrange(3)
+            if form == 0:
+                name = rng.choice(sorted(named))
+                spec, n_cores = name, named[name]
+            elif form == 1:
+                r = rng.randrange(1, 9)
+                c = rng.randrange(1, 9)
+                spec, n_cores = f"{r}x{c}", r * c
+            else:
+                r = rng.randrange(1, 9)
+                c = rng.randrange(1, 9)
+                clock = rng.choice(("400e6", "8.0e8", "1e9"))
+                spec, n_cores = f"{r}x{c}@{clock}", r * c
+            token = prefix + spec
+            try:
+                machine = get_machine(token)
+                inv.record(
+                    "valid_builds",
+                    machine.n_cores == n_cores,
+                    f"{token!r}: {machine.n_cores} cores, expected {n_cores}",
+                )
+                inv.record(
+                    "clock_positive",
+                    machine.spec.clock_hz > 0,
+                    f"{token!r}",
+                )
+            except Exception as exc:  # noqa: BLE001 -- invariant check
+                inv.record(
+                    "valid_builds", False, f"{token!r} raised {exc!r}"
+                )
+        else:
+            token = rng.choice(_MALFORMED)
+            try:
+                get_machine(token)
+                inv.record(
+                    "malformed_rejected", False, f"{token!r} accepted"
+                )
+            except ValueError:
+                inv.record("malformed_rejected", True, "")
+            except Exception as exc:  # noqa: BLE001 -- invariant check
+                inv.record(
+                    "malformed_rejected",
+                    False,
+                    f"{token!r} raised {type(exc).__name__} ({exc}), "
+                    f"expected ValueError",
+                )
+    return inv.checks()
+
+
+FUZZ_DRIVERS: dict[str, Callable[[int, int], list[Check]]] = {
+    "partition": fuzz_partition,
+    "placement": fuzz_placement,
+    "channels": fuzz_channels,
+    "backend_parity": fuzz_backend_parity,
+    "spec_strings": fuzz_spec_strings,
+}
+"""Registered drivers: name -> ``fn(seed, cases) -> list[Check]``."""

@@ -1,0 +1,163 @@
+"""The ``repro verify`` gate: one command, every conformance contract.
+
+Composes the three verification layers into a single pass/fail run:
+
+1. **Differential oracles** -- replay the kernel workloads across the
+   registered backends (event reference vs candidates) and the CPU
+   reference, checking banded cycles/energy and exact counters.
+2. **Golden snapshots** -- rebuild every registered fingerprint and
+   compare it against ``tests/golden/*.json`` (or regenerate the
+   snapshots with ``update_golden=True``).
+3. **Fuzz drivers** -- the seeded property suites of
+   :mod:`repro.verify.fuzz`.
+
+``quick=True`` (the CI default) replays the quick workload subset,
+one candidate backend per spec, and a reduced fuzz case budget; the
+full run adds the sequential baselines, the non-default chip specs and
+a 4x case budget.  Exit status: 0 all green, 1 contract violations
+(each printed with its metric name), 2 usage errors (unknown backend,
+unknown fingerprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.verify.golden import FINGERPRINTS, update_golden, verify_golden
+from repro.verify.oracles import (
+    differential_oracle,
+    oracle_workloads,
+    work_parity_oracle,
+)
+from repro.verify.fuzz import FUZZ_DRIVERS
+from repro.verify.tolerance import Check, failures, format_checks
+
+__all__ = ["GateReport", "run_verify", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20130821
+"""Pinned fuzz seed (the paper's ICPP 2013 vintage); CI passes it
+explicitly so local and CI runs sample identical cases."""
+
+QUICK_FUZZ_CASES = 25
+FULL_FUZZ_CASES = 100
+
+QUICK_SPECS = ("e16",)
+FULL_SPECS = ("e16", "e64", "board")
+
+
+@dataclass
+class GateReport:
+    """Aggregated outcome of one verify run."""
+
+    sections: dict[str, list[Check]] = field(default_factory=dict)
+
+    def add(self, section: str, checks: list[Check]) -> None:
+        self.sections.setdefault(section, []).extend(checks)
+
+    @property
+    def checks(self) -> list[Check]:
+        return [c for cs in self.sections.values() for c in cs]
+
+    @property
+    def passed(self) -> bool:
+        return not failures(self.checks)
+
+    def format(self, verbose: bool = False) -> str:
+        lines = []
+        for section, checks in self.sections.items():
+            bad = failures(checks)
+            status = "ok" if not bad else f"{len(bad)} FAILED"
+            lines.append(
+                f"-- {section}: {len(checks)} checks, {status}"
+            )
+            body = format_checks(checks, verbose=verbose)
+            if verbose or bad:
+                lines.extend("   " + ln for ln in body.splitlines()[:-1])
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"verify: {verdict} "
+            f"({len(self.checks)} checks, {len(failures(self.checks))} failed)"
+        )
+        return "\n".join(lines)
+
+
+def run_verify(
+    quick: bool = True,
+    update: bool = False,
+    seed: int = DEFAULT_SEED,
+    fuzz_cases: int | None = None,
+    specs: Sequence[str] | None = None,
+    candidate: str = "analytic",
+    golden_root: str | None = None,
+    skip_fuzz: bool = False,
+    out: Callable[[str], None] = print,
+    verbose: bool = False,
+) -> int:
+    """Run the conformance gate; returns a process exit status.
+
+    ``candidate`` names the backend compared against the ``event``
+    reference on every chip spec in ``specs``.  ``update`` regenerates
+    the golden snapshots instead of comparing (the oracles and fuzz
+    drivers still run -- refreshing snapshots on a broken tree should
+    still scream).
+    """
+    from repro.machine.backends import available_backends, get_machine
+
+    if candidate not in available_backends():
+        raise ValueError(
+            f"unknown candidate backend {candidate!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    specs = tuple(specs) if specs else (QUICK_SPECS if quick else FULL_SPECS)
+    for spec in specs:  # fail fast, with a clean message, on bad specs
+        get_machine(f"event:{spec}")
+    cases = fuzz_cases if fuzz_cases is not None else (
+        QUICK_FUZZ_CASES if quick else FULL_FUZZ_CASES
+    )
+
+    report = GateReport()
+
+    # -- 1. differential oracles ---------------------------------------
+    workloads = [
+        wl for wl in oracle_workloads() if wl.quick or not quick
+    ]
+    for wl in workloads:
+        checks: list[Check] = []
+        for spec in specs:
+            checks.extend(
+                differential_oracle(
+                    wl,
+                    candidates=(f"{candidate}:{spec}",),
+                    reference=f"event:{spec}",
+                )
+            )
+        report.add(f"oracle[{wl.name}]", checks)
+    report.add("oracle[cpu-work-parity]", work_parity_oracle(workloads))
+
+    # -- 2. golden snapshots -------------------------------------------
+    for name, fp in FINGERPRINTS.items():
+        if quick and not fp.quick:
+            continue
+        if update:
+            path = update_golden(name, golden_root)
+            report.add(
+                "golden",
+                [
+                    Check(
+                        name=f"{name}.updated",
+                        passed=True,
+                        note=str(path),
+                    )
+                ],
+            )
+        else:
+            report.add("golden", verify_golden(name, golden_root))
+
+    # -- 3. fuzz drivers ------------------------------------------------
+    if not skip_fuzz:
+        for name, driver in FUZZ_DRIVERS.items():
+            report.add(f"fuzz[{name}]", driver(seed, cases))
+
+    out(report.format(verbose=verbose))
+    return 0 if report.passed else 1

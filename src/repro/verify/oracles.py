@@ -1,0 +1,264 @@
+"""Differential oracles: replay one workload on every backend.
+
+The machine-abstraction layer promises that a kernel generator has one
+meaning regardless of which engine interprets it.  That promise splits
+into two contracts with different strengths:
+
+- **Exact (bit-level)**: operation counters (flops, external/remote
+  bytes, messages, barriers, DMA transfers) and per-core results.  All
+  backends consume the *same generator objects*, so any divergence here
+  is a replay bug, not an approximation.  The CPU reference kernels
+  emit the same op mixes (the paper applies identical source-level
+  optimisations to both architectures), so their *work* counters must
+  match the Epiphany kernels exactly too.
+- **Banded**: cycles and energy.  The analytic engine trades queueing
+  detail for speed; its totals must stay inside a declared
+  relative-or-absolute band of the calibrated event engine
+  (:data:`CYCLES_TOL`, :data:`ENERGY_TOL`).
+
+:func:`differential_oracle` runs one :class:`Workload` on a reference
+backend and a set of candidates and emits :class:`~repro.verify.
+tolerance.Check` records for every clause; :func:`work_parity_oracle`
+adds the CPU-reference work comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.kernels.autofocus_mpmd import run_autofocus_mpmd
+from repro.kernels.autofocus_seq import run_autofocus_seq_epiphany
+from repro.kernels.cpu_ref import run_autofocus_cpu, run_ffbp_cpu
+from repro.kernels.ffbp_common import FfbpPlan, plan_ffbp
+from repro.kernels.ffbp_seq import run_ffbp_seq_epiphany
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.machine.api import Machine, RunResult
+from repro.machine.backends import get_machine
+from repro.machine.cpu import CpuMachine
+from repro.sar.config import RadarConfig
+from repro.verify.tolerance import (
+    Check,
+    Tolerance,
+    check_equal,
+    check_value,
+)
+
+__all__ = [
+    "CYCLES_TOL",
+    "ENERGY_TOL",
+    "EXACT_TRACE_FIELDS",
+    "Workload",
+    "oracle_workloads",
+    "differential_oracle",
+    "work_parity_oracle",
+]
+
+CYCLES_TOL = Tolerance(rel=0.05, abs=512.0)
+"""Analytic-vs-event cycle agreement: 5% (the PR-1 acceptance bound)
+with a 512-cycle absolute floor so tiny epochs cannot flake a
+pure-relative comparison."""
+
+ENERGY_TOL = Tolerance(rel=0.05, abs=1e-9)
+"""Energy agreement: same 5% band with a nanojoule floor."""
+
+EXACT_TRACE_FIELDS: tuple[str, ...] = (
+    "total_flops",
+    "ext_read_bytes",
+    "ext_write_bytes",
+    "remote_read_bytes",
+    "remote_write_bytes",
+    "messages_sent",
+    "messages_received",
+    "barriers",
+    "dma_transfers",
+)
+"""Merged-trace counters whose cross-backend contract is exact."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One replayable kernel workload.
+
+    ``run`` executes it on any :class:`~repro.machine.api.Machine`;
+    ``cpu_run`` (optional) executes the sequential CPU reference whose
+    operation counters must match bit-for-bit.  ``min_cores`` lets the
+    oracle skip backends whose chip is too small.  ``quick`` marks the
+    subset the fast gate replays.
+    """
+
+    name: str
+    run: Callable[[Machine], RunResult]
+    cpu_run: Callable[[], Any] | None = None
+    min_cores: int = 1
+    quick: bool = True
+
+
+def oracle_workloads(
+    cfg: RadarConfig | None = None,
+    work: AutofocusWorkload | None = None,
+    plan: FfbpPlan | None = None,
+) -> tuple[Workload, ...]:
+    """The standard oracle suite: FFBP SPMD/sequential + autofocus
+    MPMD/sequential.
+
+    The default configuration (256 pulses x 257 ranges) is the smallest
+    scale at which fixed costs (pipeline fill, first-touch DMA) do not
+    dominate the analytic-vs-event parity ratio -- the same reasoning
+    as ``tests/machine/test_analytic.py``.
+    """
+    if plan is None:
+        cfg = cfg or RadarConfig.small(n_pulses=256, n_ranges=257)
+        plan = plan_ffbp(cfg)
+    w = work or AutofocusWorkload()
+    return (
+        Workload(
+            name="ffbp_spmd16",
+            run=lambda m: run_ffbp_spmd(m, plan, 16),
+            cpu_run=lambda: run_ffbp_cpu(CpuMachine(), plan),
+            min_cores=16,
+        ),
+        Workload(
+            name="ffbp_spmd4",
+            run=lambda m: run_ffbp_spmd(m, plan, 4),
+            min_cores=4,
+            quick=False,
+        ),
+        Workload(
+            name="ffbp_seq",
+            run=lambda m: run_ffbp_seq_epiphany(m, plan),
+            cpu_run=lambda: run_ffbp_cpu(CpuMachine(), plan),
+            quick=False,
+        ),
+        Workload(
+            name="autofocus_mpmd",
+            run=lambda m: run_autofocus_mpmd(m, w),
+            cpu_run=lambda: run_autofocus_cpu(CpuMachine(), w),
+            min_cores=13,
+        ),
+        Workload(
+            name="autofocus_seq",
+            run=lambda m: run_autofocus_seq_epiphany(m, w),
+            cpu_run=lambda: run_autofocus_cpu(CpuMachine(), w),
+        ),
+    )
+
+
+def _compare_runs(
+    prefix: str,
+    ref: RunResult,
+    cand: RunResult,
+    cycles_tol: Tolerance,
+    energy_tol: Tolerance,
+) -> list[Check]:
+    """All conformance clauses between a reference and candidate run."""
+    checks = [
+        check_value(f"{prefix}.cycles", cand.cycles, ref.cycles, cycles_tol),
+        check_value(
+            f"{prefix}.energy_joules",
+            cand.energy_joules,
+            ref.energy_joules,
+            energy_tol,
+        ),
+        Check(
+            name=f"{prefix}.energy_nonneg",
+            passed=cand.energy_joules >= 0.0,
+            actual=cand.energy_joules,
+            expected=">= 0",
+        ),
+        Check(
+            name=f"{prefix}.cycles_positive",
+            passed=cand.cycles > 0,
+            actual=cand.cycles,
+            expected="> 0",
+        ),
+        check_equal(
+            f"{prefix}.results", cand.results, ref.results
+        ),
+    ]
+    rt, ct = ref.trace, cand.trace
+    for field in EXACT_TRACE_FIELDS:
+        checks.append(
+            check_equal(
+                f"{prefix}.trace.{field}",
+                getattr(ct, field),
+                getattr(rt, field),
+            )
+        )
+    return checks
+
+
+def differential_oracle(
+    workload: Workload,
+    candidates: Sequence[str] = ("analytic:e16",),
+    reference: str = "event:e16",
+    cycles_tol: Tolerance = CYCLES_TOL,
+    energy_tol: Tolerance = ENERGY_TOL,
+) -> list[Check]:
+    """Replay ``workload`` on ``reference`` and every candidate backend.
+
+    Backends are ``[backend][:spec]`` strings (the registry grammar).
+    Candidates whose chip has fewer than ``workload.min_cores`` cores
+    are reported as skipped-passes (named, so a shrunk golden suite is
+    visible rather than silent).
+    """
+    ref_machine = get_machine(reference)
+    if ref_machine.n_cores < workload.min_cores:
+        raise ValueError(
+            f"reference backend {reference!r} has {ref_machine.n_cores} "
+            f"cores; workload {workload.name!r} needs {workload.min_cores}"
+        )
+    ref = workload.run(ref_machine)
+    checks: list[Check] = []
+    for cand_name in candidates:
+        prefix = f"{workload.name}[{cand_name} vs {reference}]"
+        machine = get_machine(cand_name)
+        if machine.n_cores < workload.min_cores:
+            checks.append(
+                Check(
+                    name=f"{prefix}.skipped",
+                    passed=True,
+                    note=f"chip too small ({machine.n_cores} cores)",
+                )
+            )
+            continue
+        cand = workload.run(machine)
+        checks.extend(
+            _compare_runs(prefix, ref, cand, cycles_tol, energy_tol)
+        )
+    return checks
+
+
+def work_parity_oracle(
+    workloads: Iterable[Workload],
+    reference: str = "event:e16",
+) -> list[Check]:
+    """CPU-reference work parity: identical operation totals.
+
+    The i7 model times *the same arithmetic* as the Epiphany kernels;
+    if the flop or external-byte totals drift apart, the Table-I
+    speedups compare different computations and are meaningless.
+    """
+    checks: list[Check] = []
+    for wl in workloads:
+        if wl.cpu_run is None:
+            continue
+        epi = wl.run(get_machine(reference)).trace
+        cpu = wl.cpu_run().trace
+        checks.append(
+            check_equal(
+                f"{wl.name}.work.total_flops",
+                cpu.total_flops,
+                epi.total_flops,
+            )
+        )
+        checks.append(
+            Check(
+                name=f"{wl.name}.work.flops_positive",
+                passed=cpu.total_flops > 0,
+                actual=cpu.total_flops,
+                expected="> 0",
+            )
+        )
+    return checks

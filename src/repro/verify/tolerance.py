@@ -1,0 +1,153 @@
+"""Relative-or-absolute tolerance bands and check records.
+
+Every verifier in :mod:`repro.verify` emits :class:`Check` records
+rather than raising on the first mismatch, so a gate run can report
+*all* violated contracts with their metric names.
+
+The tolerance model is **relative-or-absolute**: a comparison passes
+when the error is within ``rel * |expected|`` *or* within ``abs``.
+Pure-relative bands (``pytest.approx(x, rel=...)`` with its default
+``abs=1e-12``) are brittle on tiny workloads where expected values sit
+near zero -- a 3-cycle jitter on a 40-cycle epoch is a 7.5% "failure"
+that means nothing.  Declaring an absolute floor alongside the relative
+band fixes that class of flake without loosening the band at scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Tolerance",
+    "EXACT",
+    "Check",
+    "check_value",
+    "check_equal",
+    "failures",
+    "format_checks",
+]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """A relative-or-absolute tolerance band.
+
+    ``rel`` is a fraction of the expected magnitude, ``abs`` an
+    absolute floor; a deviation passes if it is within *either* band.
+    ``Tolerance()`` (both zero) demands exact equality -- use
+    :data:`EXACT`.
+    """
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rel < 0 or self.abs < 0:
+            raise ValueError("tolerance bands must be non-negative")
+
+    def bound(self, expected: float) -> float:
+        """The allowed |error| against ``expected``."""
+        return max(self.rel * abs(expected), self.abs)
+
+    def allows(self, actual: float, expected: float) -> bool:
+        """True when ``actual`` is within the band around ``expected``.
+
+        NaNs never pass; two infinities of the same sign always do
+        (a metric legitimately pinned at +inf, e.g. arithmetic
+        intensity with zero external bytes, should compare equal).
+        """
+        a, e = float(actual), float(expected)
+        if math.isnan(a) or math.isnan(e):
+            return False
+        if math.isinf(a) or math.isinf(e):
+            return a == e
+        return abs(a - e) <= self.bound(e)
+
+    def describe(self) -> str:
+        if self.rel == 0 and self.abs == 0:
+            return "exact"
+        parts = []
+        if self.rel:
+            parts.append(f"rel={self.rel:g}")
+        if self.abs:
+            parts.append(f"abs={self.abs:g}")
+        return " or ".join(parts)
+
+
+EXACT = Tolerance()
+"""The exact-equality band (for counters and bit-level contracts)."""
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named conformance comparison and its outcome."""
+
+    name: str
+    passed: bool
+    actual: Any = None
+    expected: Any = None
+    note: str = ""
+
+    def format(self) -> str:
+        mark = "ok  " if self.passed else "FAIL"
+        line = f"[{mark}] {self.name}"
+        if not self.passed:
+            line += f": actual={self.actual!r} expected={self.expected!r}"
+            if self.note:
+                line += f" ({self.note})"
+        return line
+
+
+def check_value(
+    name: str,
+    actual: float,
+    expected: float,
+    tol: Tolerance = EXACT,
+) -> Check:
+    """Compare two numbers under a relative-or-absolute band."""
+    try:
+        ok = (
+            float(actual) == float(expected)
+            if tol is EXACT or (tol.rel == 0 and tol.abs == 0)
+            else tol.allows(actual, expected)
+        )
+    except (TypeError, ValueError):
+        ok = False
+    return Check(
+        name=name,
+        passed=bool(ok),
+        actual=actual,
+        expected=expected,
+        note=tol.describe(),
+    )
+
+
+def check_equal(name: str, actual: Any, expected: Any) -> Check:
+    """Exact (bit-level / structural) equality check."""
+    return Check(
+        name=name,
+        passed=bool(actual == expected),
+        actual=actual,
+        expected=expected,
+        note="exact",
+    )
+
+
+def failures(checks: Iterable[Check]) -> list[Check]:
+    """The failing subset, in order."""
+    return [c for c in checks if not c.passed]
+
+
+def format_checks(checks: Sequence[Check], verbose: bool = False) -> str:
+    """Render a check list: failures always, passes when ``verbose``."""
+    lines = [
+        c.format() for c in checks if verbose or not c.passed
+    ]
+    n_fail = sum(1 for c in checks if not c.passed)
+    lines.append(
+        f"{len(checks) - n_fail}/{len(checks)} checks passed"
+        + (f", {n_fail} FAILED" if n_fail else "")
+    )
+    return "\n".join(lines)

@@ -88,3 +88,83 @@ class TestCommands:
         assert rc == 0
         doc = json.loads(path.read_text())
         assert len(doc["traceEvents"]) > 10
+
+    def test_verify_quick(self, capsys):
+        rc = main(["verify", "--quick", "--no-fuzz"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verify: PASS" in out
+        assert "golden" in out
+
+    def test_verify_update_golden_round_trip(self, capsys, tmp_path):
+        rc = main(
+            ["verify", "--update-golden", "--no-fuzz",
+             "--golden-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "updated" in capsys.readouterr().out or (
+            tmp_path / "table1_small.json"
+        ).exists()
+        rc = main(
+            ["verify", "--no-fuzz", "--golden-dir", str(tmp_path)]
+        )
+        assert rc == 0
+
+
+class TestErrorPaths:
+    """Malformed user input exits non-zero with a message, never a
+    traceback (satellite: CLI exit codes and --backend error paths)."""
+
+    def test_verify_unknown_backend(self, capsys):
+        rc = main(["verify", "--backend", "bogus"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown candidate backend" in err
+        assert "Traceback" not in err
+
+    def test_verify_malformed_spec(self, capsys):
+        rc = main(["verify", "--specs", "4x"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown machine spec" in err
+
+    def test_sweep_unknown_backend(self, capsys):
+        rc = main(
+            ["sweep", "clock", "--backend", "bogus:nope",
+             "--pulses", "16", "--ranges", "33"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err
+        assert "Traceback" not in err
+
+    def test_sweep_malformed_mesh(self, capsys):
+        rc = main(
+            ["sweep", "ffbp-cores", "--backend", "0x4",
+             "--pulses", "16", "--ranges", "33"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_table1_malformed_clock(self, capsys):
+        rc = main(
+            ["table1", "--backend", "event:4x4@zoom",
+             "--pulses", "16", "--ranges", "33"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_malformed_backend(self, capsys):
+        rc = main(
+            ["profile", "--backend", "analytic:9y9",
+             "--pulses", "16", "--ranges", "33"]
+        )
+        assert rc == 2
+        assert "unknown machine spec" in capsys.readouterr().err
+
+    def test_mutually_exclusive_quick_full(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--quick", "--full"])

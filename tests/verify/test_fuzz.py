@@ -1,0 +1,57 @@
+"""Seeded fuzz drivers: all invariants hold; sampling is reproducible."""
+
+import pytest
+
+from repro.verify.fuzz import FUZZ_DRIVERS, Invariants
+from repro.verify.tolerance import failures
+
+SEED = 20130821
+CASES = 15  # tier-1 budget; the CLI gate runs 25/100
+
+
+class TestDrivers:
+    @pytest.mark.parametrize("name", sorted(FUZZ_DRIVERS))
+    def test_invariants_hold(self, name):
+        checks = FUZZ_DRIVERS[name](SEED, CASES)
+        assert checks, "driver must emit at least one invariant check"
+        assert not failures(checks), "\n".join(
+            c.format() for c in failures(checks)
+        )
+
+    @pytest.mark.parametrize("name", sorted(FUZZ_DRIVERS))
+    def test_deterministic_under_seed(self, name):
+        a = FUZZ_DRIVERS[name](SEED, 5)
+        b = FUZZ_DRIVERS[name](SEED, 5)
+        assert [(c.name, c.passed, c.actual) for c in a] == [
+            (c.name, c.passed, c.actual) for c in b
+        ]
+
+    def test_different_seeds_sample_differently(self):
+        # Not a strict requirement per-driver, but the partition driver
+        # samples sizes directly; two seeds agreeing on every case
+        # would mean the seed is ignored.
+        from repro.verify.fuzz import fuzz_partition
+
+        a = fuzz_partition(1, 10)
+        b = fuzz_partition(2, 10)
+        assert all(not failures(x) for x in (a, b))
+
+
+class TestInvariantsAccumulator:
+    def test_aggregates_violations(self):
+        inv = Invariants("demo")
+        inv.record("coverage", True)
+        inv.record("coverage", False, "case 7")
+        inv.record("coverage", False, "case 9")
+        inv.record("balance", True)
+        checks = {c.name: c for c in inv.checks()}
+        cov = checks["fuzz.demo.coverage"]
+        assert not cov.passed
+        assert "2/3" in cov.actual
+        assert cov.note == "case 7"  # first counterexample kept
+        assert checks["fuzz.demo.balance"].passed
+
+    def test_all_green(self):
+        inv = Invariants("demo")
+        inv.record("x", True)
+        assert all(c.passed for c in inv.checks())

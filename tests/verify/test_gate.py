@@ -1,0 +1,90 @@
+"""The ``repro verify`` gate: exit codes, update workflow, reporting."""
+
+import pytest
+
+from repro.verify.gate import DEFAULT_SEED, GateReport, run_verify
+from repro.verify.golden import FINGERPRINTS, golden_path, load_golden, save_golden
+from repro.verify.tolerance import Check
+
+
+def _quiet(_line: str) -> None:
+    pass
+
+
+class TestGateReport:
+    def test_pass_fail_aggregation(self):
+        r = GateReport()
+        r.add("a", [Check("x", True)])
+        assert r.passed
+        r.add("b", [Check("y", False, actual=1, expected=2)])
+        assert not r.passed
+        text = r.format()
+        assert "verify: FAIL" in text
+        assert "FAIL] y" in text
+
+    def test_verbose_lists_passes(self):
+        r = GateReport()
+        r.add("a", [Check("x", True)])
+        assert "[ok  ] x" in r.format(verbose=True)
+        assert "[ok  ] x" not in r.format(verbose=False)
+
+
+class TestRunVerify:
+    def test_quick_gate_passes_on_clean_checkout(self):
+        rc = run_verify(
+            quick=True, fuzz_cases=5, seed=DEFAULT_SEED, out=_quiet
+        )
+        assert rc == 0
+
+    def test_unknown_candidate_backend_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown candidate backend"):
+            run_verify(candidate="bogus", out=_quiet)
+
+    def test_malformed_spec_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown machine spec"):
+            run_verify(specs=("4x",), out=_quiet)
+
+    def test_update_then_verify_round_trip(self, tmp_path):
+        rc = run_verify(
+            quick=True,
+            update=True,
+            skip_fuzz=True,
+            golden_root=tmp_path,
+            out=_quiet,
+        )
+        assert rc == 0
+        for name in FINGERPRINTS:
+            assert golden_path(name, tmp_path).exists()
+        rc = run_verify(
+            quick=True, skip_fuzz=True, golden_root=tmp_path, out=_quiet
+        )
+        assert rc == 0
+
+    def test_perturbed_snapshot_fails_with_named_metric(self, tmp_path):
+        run_verify(
+            quick=True,
+            update=True,
+            skip_fuzz=True,
+            golden_root=tmp_path,
+            out=_quiet,
+        )
+        doc = load_golden("table1_small", tmp_path)
+        doc["rows"]["ffbp_epi_par"]["energy_j"] *= 1.05
+        save_golden("table1_small", doc, tmp_path)
+        lines: list[str] = []
+        rc = run_verify(
+            quick=True,
+            skip_fuzz=True,
+            golden_root=tmp_path,
+            out=lines.append,
+        )
+        assert rc == 1
+        text = "\n".join(lines)
+        assert "energy_j" in text
+        assert "FAIL" in text
+
+    def test_missing_snapshots_fail_not_crash(self, tmp_path):
+        rc = run_verify(
+            quick=True, skip_fuzz=True, golden_root=tmp_path, out=_quiet
+        )
+        assert rc == 1

@@ -1,0 +1,130 @@
+"""Golden snapshot store: byte-stability, diffs, named failures."""
+
+import json
+
+import pytest
+
+from repro.verify.golden import (
+    FINGERPRINTS,
+    compare_fingerprint,
+    golden_dir,
+    golden_path,
+    load_golden,
+    round_sig,
+    save_golden,
+    update_golden,
+    verify_golden,
+)
+from repro.verify.tolerance import Tolerance, failures
+
+
+class TestCompareFingerprint:
+    def test_identical_passes(self):
+        doc = {"a": 1, "b": [1.0, 2.0], "c": {"d": "x"}}
+        assert not failures(compare_fingerprint(doc, doc))
+
+    def test_float_band(self):
+        tol = Tolerance(rel=1e-6)
+        ok = compare_fingerprint({"x": 1.0000005}, {"x": 1.0}, tol)
+        assert not failures(ok)
+        bad = compare_fingerprint({"x": 1.00001}, {"x": 1.0}, tol)
+        assert [c.name for c in failures(bad)] == ["x"]
+
+    def test_int_exact_despite_band(self):
+        tol = Tolerance(rel=0.5)
+        bad = compare_fingerprint({"n": 101}, {"n": 100}, tol)
+        assert failures(bad)
+
+    def test_mixed_int_float_compare_as_float(self):
+        tol = Tolerance(rel=1e-6)
+        assert not failures(compare_fingerprint({"x": 1}, {"x": 1.0}, tol))
+
+    def test_missing_key_named(self):
+        bad = compare_fingerprint({"a": 1}, {"a": 1, "b": 2})
+        assert [c.name for c in failures(bad)] == ["b"]
+        assert failures(bad)[0].actual == "<missing>"
+
+    def test_extra_key_named(self):
+        bad = compare_fingerprint({"a": 1, "b": 2}, {"a": 1})
+        fail = failures(bad)[0]
+        assert fail.name == "b"
+        assert "update-golden" in fail.note
+
+    def test_nested_path_in_name(self):
+        bad = compare_fingerprint(
+            {"rows": {"af": {"energy_j": 2.0}}},
+            {"rows": {"af": {"energy_j": 1.0}}},
+        )
+        assert failures(bad)[0].name == "rows.af.energy_j"
+
+    def test_list_length_mismatch(self):
+        bad = compare_fingerprint({"h": [1, 2]}, {"h": [1, 2, 3]})
+        assert any(c.name.endswith(".len") for c in failures(bad))
+
+    def test_type_mismatch_fails(self):
+        assert failures(compare_fingerprint({"a": [1]}, {"a": {"b": 1}}))
+        assert failures(compare_fingerprint({"a": True}, {"a": 1.0}))
+
+
+class TestStore:
+    def test_round_trip_byte_stable(self, tmp_path):
+        doc = {"b": [1.5, 2], "a": {"z": "s", "y": 0.1}}
+        p1 = save_golden("t", doc, tmp_path)
+        first = p1.read_bytes()
+        save_golden("t", json.loads(p1.read_text()), tmp_path)
+        assert p1.read_bytes() == first
+        assert load_golden("t", tmp_path) == doc
+
+    def test_missing_snapshot_message(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="update-golden"):
+            load_golden("nope", tmp_path)
+
+    def test_golden_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GOLDEN_DIR", str(tmp_path))
+        assert golden_dir() == tmp_path
+        assert golden_path("x").parent == tmp_path
+
+    def test_default_dir_is_tests_golden(self):
+        d = golden_dir()
+        assert d.parts[-2:] == ("tests", "golden")
+
+    def test_round_sig(self):
+        assert round_sig(1.23456789012345678) == 1.23456789012
+        assert round_sig(0.0) == 0.0
+        assert round_sig(float("inf")) == float("inf")
+
+
+class TestCommittedSnapshots:
+    """The repo's own snapshots must verify on a clean checkout."""
+
+    @pytest.mark.parametrize("name", sorted(FINGERPRINTS))
+    def test_snapshot_verifies(self, name):
+        checks = verify_golden(name)
+        assert checks
+        assert not failures(checks), "\n".join(
+            c.format() for c in failures(checks)
+        )
+
+    def test_regeneration_is_byte_stable(self, tmp_path):
+        # Rebuilding the same fingerprint twice writes identical bytes
+        # -- the property that makes --update-golden diffs reviewable.
+        name = "traffic_counters"
+        p = update_golden(name, tmp_path)
+        first = p.read_bytes()
+        update_golden(name, tmp_path)
+        assert p.read_bytes() == first
+        # And matches the committed snapshot byte-for-byte.
+        assert first == golden_path(name).read_bytes()
+
+    def test_energy_perturbation_detected_by_name(self):
+        # The acceptance scenario: an energy-model drift must fail the
+        # gate with the metric named.  Simulate the drift by nudging
+        # the snapshot's energy value 1% and re-comparing.
+        fp = FINGERPRINTS["table1_small"]
+        golden = load_golden("table1_small")
+        golden["rows"]["af_epi_par"]["energy_j"] *= 1.01
+        bad = failures(
+            compare_fingerprint(fp.build(), golden, fp.float_tol)
+        )
+        assert bad
+        assert any("energy_j" in c.name for c in bad)

@@ -1,0 +1,126 @@
+"""Differential-oracle behaviour: catches lies, skips honestly."""
+
+import pytest
+
+from repro.machine.backends import get_machine, register_backend
+from repro.machine.specs import EpiphanySpec
+from repro.verify.oracles import (
+    EXACT_TRACE_FIELDS,
+    differential_oracle,
+    oracle_workloads,
+    work_parity_oracle,
+)
+from repro.verify.tolerance import failures
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    # A reduced scale is fine here: these tests exercise the oracle
+    # machinery, not the 5% parity bound (tests/machine/test_analytic
+    # pins that at the proper scale).
+    from repro.sar.config import RadarConfig
+
+    return {
+        wl.name: wl
+        for wl in oracle_workloads(
+            cfg=RadarConfig.small(n_pulses=64, n_ranges=129)
+        )
+    }
+
+
+class _SlowMachine:
+    """A wrapper backend that inflates cycle counts by 30%."""
+
+    def __init__(self, spec: EpiphanySpec) -> None:
+        from repro.machine.analytic import AnalyticMachine
+
+        self._inner = AnalyticMachine(spec)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def run(self, programs, max_cycles=None):
+        from dataclasses import replace
+
+        res = self._inner.run(programs, max_cycles)
+        return replace(res, cycles=int(res.cycles * 1.3))
+
+
+@pytest.fixture()
+def slow_backend():
+    from repro.machine import backends as backends_mod
+
+    register_backend("slow30", _SlowMachine)
+    yield "slow30"
+    backends_mod._REGISTRY.pop("slow30", None)
+
+
+class TestDifferentialOracle:
+    def test_autofocus_seq_all_clauses_pass(self, workloads):
+        checks = differential_oracle(workloads["autofocus_seq"])
+        assert checks
+        assert not failures(checks)
+        names = {c.name for c in checks}
+        # Every exact-contract counter is individually named.
+        for field in EXACT_TRACE_FIELDS:
+            assert any(name.endswith(f".trace.{field}") for name in names)
+
+    def test_detects_cycle_inflation(self, workloads, slow_backend):
+        checks = differential_oracle(
+            workloads["autofocus_seq"],
+            candidates=(f"{slow_backend}:e16",),
+        )
+        bad = failures(checks)
+        assert bad, "a 30% cycle lie must trip the 5% band"
+        assert any("cycles" in c.name for c in bad)
+        # Counters are untouched by the wrapper: still exact.
+        assert all("trace." not in c.name for c in bad)
+
+    def test_small_chip_skips_by_name(self, workloads):
+        checks = differential_oracle(
+            workloads["ffbp_spmd16"],
+            candidates=("analytic:2x2",),
+        )
+        assert len(checks) == 1
+        assert checks[0].passed
+        assert "skipped" in checks[0].name
+
+    def test_reference_too_small_raises(self, workloads):
+        with pytest.raises(ValueError, match="cores"):
+            differential_oracle(
+                workloads["ffbp_spmd16"], reference="event:2x2"
+            )
+
+    def test_multiple_candidates(self, workloads):
+        checks = differential_oracle(
+            workloads["autofocus_seq"],
+            candidates=("analytic:e16", "event:e16"),
+        )
+        # Self-comparison (event vs event) must be exactly clean.
+        self_checks = [c for c in checks if "[event:e16 vs" in c.name]
+        assert self_checks and not failures(self_checks)
+
+
+class TestWorkParityOracle:
+    def test_cpu_reference_counts_match(self, workloads):
+        checks = work_parity_oracle(workloads.values())
+        assert checks
+        assert not failures(checks)
+
+    def test_skips_workloads_without_cpu_reference(self, workloads):
+        checks = work_parity_oracle([workloads["ffbp_spmd4"]])
+        assert checks == []
+
+
+class TestWorkloadRegistry:
+    def test_quick_subset_nonempty(self):
+        wls = oracle_workloads()
+        assert any(wl.quick for wl in wls)
+        assert any(not wl.quick for wl in wls)
+
+    def test_min_cores_declared(self):
+        by_name = {wl.name: wl for wl in oracle_workloads()}
+        assert by_name["ffbp_spmd16"].min_cores == 16
+        assert by_name["autofocus_mpmd"].min_cores == 13
+        # Sanity: the default chips satisfy them.
+        assert get_machine("event:e16").n_cores >= 16

@@ -1,0 +1,114 @@
+"""Tolerance-band semantics: relative OR absolute, never brittle."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.verify.tolerance import (
+    EXACT,
+    Check,
+    Tolerance,
+    check_equal,
+    check_value,
+    failures,
+    format_checks,
+)
+
+
+class TestTolerance:
+    def test_exact_band(self):
+        assert EXACT.allows(1.0, 1.0)
+        assert not EXACT.allows(1.0, 1.0000001)
+
+    def test_relative_band(self):
+        tol = Tolerance(rel=0.05)
+        assert tol.allows(104.9, 100.0)
+        assert not tol.allows(105.1, 100.0)
+
+    def test_absolute_floor_rescues_near_zero(self):
+        # The satellite fix: a 3-cycle jitter on a 40-cycle quantity is
+        # 7.5% relative error but means nothing; the absolute floor
+        # admits it without loosening the band at scale.
+        pure_rel = Tolerance(rel=0.05)
+        banded = Tolerance(rel=0.05, abs=8.0)
+        assert not pure_rel.allows(43.0, 40.0)
+        assert banded.allows(43.0, 40.0)
+        # ...but at scale the relative band still governs.
+        assert not banded.allows(1_060_000.0, 1_000_000.0)
+        assert banded.allows(1_040_000.0, 1_000_000.0)
+
+    def test_either_band_suffices(self):
+        tol = Tolerance(rel=0.01, abs=100.0)
+        assert tol.allows(150.0, 100.0)  # abs admits
+        assert tol.allows(10_050.0, 10_000.0)  # rel admits
+
+    def test_nan_never_passes(self):
+        tol = Tolerance(rel=1.0, abs=1e9)
+        assert not tol.allows(float("nan"), 1.0)
+        assert not tol.allows(1.0, float("nan"))
+
+    def test_matching_infinities_pass(self):
+        assert Tolerance(rel=0.05).allows(math.inf, math.inf)
+        assert not Tolerance(rel=0.05).allows(math.inf, -math.inf)
+        assert not Tolerance(rel=0.05).allows(math.inf, 1.0)
+
+    def test_negative_bands_rejected(self):
+        with pytest.raises(ValueError):
+            Tolerance(rel=-0.1)
+        with pytest.raises(ValueError):
+            Tolerance(abs=-1.0)
+
+    @given(
+        expected=st.floats(
+            min_value=-1e12, max_value=1e12, allow_nan=False
+        ),
+        rel=st.floats(min_value=0.0, max_value=1.0),
+        absf=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_expected_always_within_own_band(self, expected, rel, absf):
+        assert Tolerance(rel=rel, abs=absf).allows(expected, expected)
+
+    @given(
+        expected=st.floats(min_value=1.0, max_value=1e9),
+        frac=st.floats(min_value=0.0, max_value=0.049),
+    )
+    def test_relative_band_is_symmetric_enough(self, expected, frac):
+        tol = Tolerance(rel=0.05)
+        assert tol.allows(expected * (1 + frac), expected)
+        assert tol.allows(expected * (1 - frac), expected)
+
+
+class TestChecks:
+    def test_check_value_banded(self):
+        c = check_value("m.cycles", 102.0, 100.0, Tolerance(rel=0.05))
+        assert c.passed
+        c = check_value("m.cycles", 110.0, 100.0, Tolerance(rel=0.05))
+        assert not c.passed
+        assert "m.cycles" in c.format()
+        assert "FAIL" in c.format()
+
+    def test_check_value_exact_default(self):
+        assert check_value("n", 5.0, 5.0).passed
+        assert not check_value("n", 5.0, 5.0001).passed
+
+    def test_check_value_non_numeric_fails_cleanly(self):
+        assert not check_value("n", "abc", 1.0).passed
+
+    def test_check_equal(self):
+        assert check_equal("r", (1, 2), (1, 2)).passed
+        assert not check_equal("r", (1, 2), (2, 1)).passed
+
+    def test_failures_and_format(self):
+        checks = [
+            Check("a", True),
+            Check("b", False, actual=1, expected=2),
+        ]
+        assert [c.name for c in failures(checks)] == ["b"]
+        text = format_checks(checks)
+        assert "1/2 checks passed" in text
+        assert "FAIL] b" in text
+        assert "[ok  ] a" not in text  # passes hidden by default
+        verbose = format_checks(checks, verbose=True)
+        assert "[ok  ] a" in verbose
