@@ -17,6 +17,11 @@ Commands that run the simulator accept ``--backend`` with a
 ``[backend][:spec]`` string (see :mod:`repro.machine.backends`):
 ``event`` is the calibrated default, ``analytic`` the fast closed-form
 engine, and specs select the chip (``e16``, ``e64``, ``8x8@800e6``).
+
+``table1``, ``sweep`` and ``verify`` accept ``--jobs N`` (``-j N``) to
+fan their independent simulations out over N worker processes via the
+execution layer (:mod:`repro.exec`); output is byte-identical at any
+``N``, and ``--jobs 1`` (the default) runs inline exactly as before.
 """
 
 from __future__ import annotations
@@ -52,6 +57,18 @@ def _add_backend_arg(p: argparse.ArgumentParser, default: str = "event") -> None
     )
 
 
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent simulations out over N worker processes; "
+        "output is byte-identical at any N (default: %(default)s)",
+    )
+
+
 def _backend_with_default_spec(token: str, spec: str) -> str:
     """Give a bare backend token (``analytic``) a default chip spec.
 
@@ -84,9 +101,14 @@ def cmd_table1(args: argparse.Namespace) -> int:
     from repro.sar.config import RadarConfig
 
     cfg = RadarConfig.paper() if args.paper_scale else _config(args)
-    print(ffbp_table(plan=plan_ffbp(cfg), backend=args.backend).format())
+    jobs = getattr(args, "jobs", 1)
+    print(
+        ffbp_table(
+            plan=plan_ffbp(cfg), backend=args.backend, jobs=jobs
+        ).format()
+    )
     print()
-    print(autofocus_table(backend=args.backend).format())
+    print(autofocus_table(backend=args.backend, jobs=jobs).format())
     return 0
 
 
@@ -184,23 +206,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.kernels.ffbp_common import plan_ffbp
 
     backend = args.backend
+    jobs = getattr(args, "jobs", 1)
     if args.series == "ffbp-cores":
         cores = tuple(int(c) for c in args.cores.split(","))
         series = sweeps.ffbp_core_sweep(
-            plan=plan_ffbp(_config(args)), cores=cores, backend=backend
+            plan=plan_ffbp(_config(args)),
+            cores=cores,
+            backend=backend,
+            jobs=jobs,
         )
     elif args.series == "ffbp-window":
-        series = sweeps.ffbp_window_sweep(_config(args), backend=backend)
+        series = sweeps.ffbp_window_sweep(
+            _config(args), backend=backend, jobs=jobs
+        )
     elif args.series == "af-units":
         series = sweeps.autofocus_unit_sweep(
-            backend=_backend_with_default_spec(backend, "e64")
+            backend=_backend_with_default_spec(backend, "e64"), jobs=jobs
         )
     elif args.series == "clock":
         series = sweeps.clock_sweep(
-            plan=plan_ffbp(_config(args)), backend=backend
+            plan=plan_ffbp(_config(args)), backend=backend, jobs=jobs
         )
     else:  # candidates
-        series = sweeps.candidate_sweep(backend=backend)
+        series = sweeps.candidate_sweep(backend=backend, jobs=jobs)
     print(series.chart(width=args.chart_width))
     return 0
 
@@ -218,6 +246,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         golden_root=args.golden_dir,
         skip_fuzz=args.no_fuzz,
         verbose=args.verbose,
+        jobs=getattr(args, "jobs", 1),
     )
 
 
@@ -244,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table1", help="regenerate Table I")
     _add_scale_args(p)
     _add_backend_arg(p)
+    _add_jobs_arg(p)
     p.set_defaults(fn=cmd_table1)
 
     p = sub.add_parser("speedups", help="Section VI speedups + energy ratios")
@@ -289,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_args(p)
     _add_backend_arg(p, default="analytic")
+    _add_jobs_arg(p)
     p.add_argument(
         "series",
         choices=(
@@ -369,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verbose", action="store_true", help="print passing checks too"
     )
+    _add_jobs_arg(p)
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("specs", help="dump machine-model constants")
@@ -383,11 +415,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     Malformed ``--backend``/``--specs`` strings (and any other
     ``ValueError`` raised while *setting up* a command) are user input
     errors, not crashes: report them on stderr, exit non-zero, no
-    traceback.
+    traceback.  A task that fails *inside* the parallel executor is an
+    execution failure, not a usage error: its structured report (child
+    traceback included) goes to stderr with exit status 1.
     """
+    from repro.exec import TaskFailure
+
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except TaskFailure as exc:
+        print(exc.format(), file=sys.stderr)
+        return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

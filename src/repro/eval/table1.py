@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.exec import ExperimentRunner, TaskSpec
 from repro.kernels.autofocus_mpmd import run_autofocus_mpmd
 from repro.kernels.autofocus_seq import run_autofocus_seq_epiphany
 from repro.kernels.cpu_ref import run_autofocus_cpu, run_ffbp_cpu
@@ -101,6 +102,39 @@ class Table1:
         )
 
 
+# -- row workers (module level: picklable for parallel fan-out) -------------
+
+def _ffbp_row(
+    kind: str,
+    backend: str,
+    espec: EpiphanySpec,
+    cspec: CpuSpec,
+    plan: FfbpPlan,
+    n_cores: int,
+):
+    make, _ = resolve_backend(backend)
+    if kind == "cpu":
+        return run_ffbp_cpu(CpuMachine(cspec), plan)
+    if kind == "seq":
+        return run_ffbp_seq_epiphany(make(espec), plan)
+    return run_ffbp_spmd(make(espec), plan, n_cores)
+
+
+def _af_row(
+    kind: str,
+    backend: str,
+    espec: EpiphanySpec,
+    cspec: CpuSpec,
+    work: AutofocusWorkload,
+):
+    make, _ = resolve_backend(backend)
+    if kind == "cpu":
+        return run_autofocus_cpu(CpuMachine(cspec), work)
+    if kind == "seq":
+        return run_autofocus_seq_epiphany(make(espec), work)
+    return run_autofocus_mpmd(make(espec), work)
+
+
 def ffbp_table(
     cfg: RadarConfig | None = None,
     plan: FfbpPlan | None = None,
@@ -108,12 +142,15 @@ def ffbp_table(
     epiphany_spec: EpiphanySpec | None = None,
     cpu_spec: CpuSpec | None = None,
     backend: str = "event",
+    jobs: int = 1,
 ) -> Table1:
     """Reproduce the three FFBP rows of Table I.
 
     ``backend`` selects the Epiphany simulation engine; Table-I-grade
     numbers come from the default calibrated event engine, the analytic
-    backend gives a fast (few-percent) approximation.
+    backend gives a fast (few-percent) approximation.  ``jobs > 1``
+    fans the three independent row simulations out over worker
+    processes (byte-identical rows at any jobs level).
     """
     make, base_spec = resolve_backend(backend)
     espec = epiphany_spec or base_spec
@@ -121,9 +158,20 @@ def ffbp_table(
     if plan is None:
         plan = plan_ffbp(cfg or RadarConfig.paper())
 
-    r_cpu = run_ffbp_cpu(CpuMachine(cspec), plan)
-    r_seq = run_ffbp_seq_epiphany(make(espec), plan)
-    r_par = run_ffbp_spmd(make(espec), plan, n_cores)
+    runner = ExperimentRunner(jobs=jobs)
+    r_cpu, r_seq, r_par = (
+        r.value
+        for r in runner.run(
+            [
+                TaskSpec(
+                    key=f"table1/ffbp/{backend}/{kind}",
+                    fn=_ffbp_row,
+                    args=(kind, backend, espec, cspec, plan, n_cores),
+                )
+                for kind in ("cpu", "seq", "par")
+            ]
+        )
+    )
 
     rows = (
         Table1Row(
@@ -165,6 +213,7 @@ def autofocus_table(
     epiphany_spec: EpiphanySpec | None = None,
     cpu_spec: CpuSpec | None = None,
     backend: str = "event",
+    jobs: int = 1,
 ) -> Table1:
     """Reproduce the three autofocus rows of Table I."""
     w = work or AutofocusWorkload()
@@ -172,9 +221,20 @@ def autofocus_table(
     espec = epiphany_spec or base_spec
     cspec = cpu_spec or CpuSpec()
 
-    r_cpu = run_autofocus_cpu(CpuMachine(cspec), w)
-    r_seq = run_autofocus_seq_epiphany(make(espec), w)
-    r_par = run_autofocus_mpmd(make(espec), w)
+    runner = ExperimentRunner(jobs=jobs)
+    r_cpu, r_seq, r_par = (
+        r.value
+        for r in runner.run(
+            [
+                TaskSpec(
+                    key=f"table1/af/{backend}/{kind}",
+                    fn=_af_row,
+                    args=(kind, backend, espec, cspec, w),
+                )
+                for kind in ("cpu", "seq", "par")
+            ]
+        )
+    )
 
     def tput(seconds: float) -> float:
         return w.pixels / seconds
@@ -218,9 +278,10 @@ def full_table1(
     cfg: RadarConfig | None = None,
     work: AutofocusWorkload | None = None,
     backend: str = "event",
+    jobs: int = 1,
 ) -> tuple[Table1, Table1]:
     """Both halves of Table I at the paper's workload scale."""
     return (
-        ffbp_table(cfg, backend=backend),
-        autofocus_table(work, backend=backend),
+        ffbp_table(cfg, backend=backend, jobs=jobs),
+        autofocus_table(work, backend=backend, jobs=jobs),
     )

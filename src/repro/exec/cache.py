@@ -1,0 +1,213 @@
+"""Content-addressed on-disk result cache for experiment tasks.
+
+Sweeps and verification runs re-execute the same deterministic
+simulations over and over (CI re-runs, report regeneration, design
+iterations that only touch one axis of a sweep).  Since every task in
+the execution layer is a pure function of its arguments, its seed and
+the simulator source, the result can be cached under a key that names
+exactly those inputs:
+
+    sha256(task_key \\x1f payload_digest \\x1f seed \\x1f code_version)
+
+- ``payload_digest`` canonically hashes the task's arguments
+  (:func:`stable_digest` walks dataclasses, dicts, numpy arrays ...),
+- ``code_version`` hashes every source file of the ``repro`` package,
+  so *any* code change invalidates the whole cache -- conservative,
+  but it can never serve a stale result after a model retune.
+
+The store lives under ``$REPRO_CACHE_DIR`` if set, else
+``~/.cache/repro`` (:func:`cache_dir`); it is **opt-in**: the runner
+only caches when handed a :class:`ResultCache` (the CLI consumers
+enable it exactly when ``REPRO_CACHE_DIR`` is set, see
+:func:`default_cache`).  Entries are pickles written atomically
+(temp file + rename) so concurrent writers on the same key are safe;
+unreadable/corrupt entries count as misses and are discarded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "ResultCache",
+    "cache_dir",
+    "default_cache",
+    "code_version",
+    "stable_digest",
+]
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file (memoised per process).
+
+    Cache entries embed this, so rebuilding after *any* edit under
+    ``src/repro`` misses cleanly instead of replaying stale physics.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        root = Path(__file__).resolve().parents[1]  # src/repro
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\x00")
+            h.update(path.read_bytes())
+            h.update(b"\x00")
+        _CODE_VERSION = h.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def _hash_into(h: "hashlib._Hash", obj: Any) -> None:
+    """Canonical recursive hashing of task payloads.
+
+    Handles the payload vocabulary the experiment layer actually uses
+    (primitives, containers, frozen dataclasses, numpy arrays and
+    scalars); anything else falls back to its pickle bytes, which is
+    deterministic within one interpreter version -- acceptable because
+    the cache key also embeds :func:`code_version`.
+    """
+    import numpy as np
+
+    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes)):
+        h.update(f"{type(obj).__name__}:{obj!r}\x1e".encode())
+    elif isinstance(obj, (list, tuple)):
+        h.update(f"{type(obj).__name__}[{len(obj)}](\x1e".encode())
+        for item in obj:
+            _hash_into(h, item)
+        h.update(b")\x1e")
+    elif isinstance(obj, dict):
+        h.update(f"dict[{len(obj)}](\x1e".encode())
+        for key in sorted(obj, key=repr):
+            _hash_into(h, key)
+            _hash_into(h, obj[key])
+        h.update(b")\x1e")
+    elif isinstance(obj, np.ndarray):
+        h.update(f"ndarray:{obj.dtype}:{obj.shape}\x1e".encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, np.generic):
+        h.update(f"np:{obj.dtype}:{obj!r}\x1e".encode())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(f"dc:{type(obj).__qualname__}(\x1e".encode())
+        for f in dataclasses.fields(obj):
+            h.update(f.name.encode())
+            h.update(b"=")
+            _hash_into(h, getattr(obj, f.name))
+        h.update(b")\x1e")
+    else:
+        h.update(b"pickle:")
+        h.update(pickle.dumps(obj, protocol=4))
+
+
+def stable_digest(obj: Any) -> str:
+    """Hex digest of an arbitrary task payload (see :func:`_hash_into`)."""
+    h = hashlib.sha256()
+    _hash_into(h, obj)
+    return h.hexdigest()
+
+
+def cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def default_cache() -> "ResultCache | None":
+    """The opt-in default: a cache iff ``REPRO_CACHE_DIR`` is set.
+
+    Keeping the implicit default *off* preserves exact pre-existing
+    behaviour (and CI determinism); exporting ``REPRO_CACHE_DIR``
+    turns on cross-run memoisation everywhere at once.
+    """
+    if os.environ.get("REPRO_CACHE_DIR"):
+        return ResultCache(cache_dir())
+    return None
+
+
+class ResultCache:
+    """Pickle store keyed by spec + workload + seed + code version.
+
+    Counters (``hits``/``misses``/``stores``) accumulate over the
+    cache's lifetime; :meth:`stats` snapshots them for reports.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keying ----------------------------------------------------------
+
+    def entry_key(
+        self,
+        task_key: str,
+        payload: Any = None,
+        seed: int | None = None,
+        version: str | None = None,
+    ) -> str:
+        """Content address of one task's result."""
+        material = "\x1f".join(
+            (
+                task_key,
+                stable_digest(payload),
+                "" if seed is None else str(seed),
+                version if version is not None else code_version(),
+            )
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- store -----------------------------------------------------------
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(hit, value)``; corrupt/unreadable entries are misses."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:  # corrupt entry: drop it, report a miss
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomic write (temp + rename); unpicklable values are skipped."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            blob = pickle.dumps(value, protocol=4)
+        except Exception:
+            return  # caching is best-effort; the caller has the value
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+            self.stores += 1
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

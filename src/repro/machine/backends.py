@@ -123,6 +123,7 @@ def resolve_backend(name: str = "") -> tuple[BackendFactory, EpiphanySpec]:
     spec; :func:`get_machine` is the plain compose-and-build shortcut.
     """
     token = (name or "").strip().lower()
+    bare = False
     if ":" in token:
         backend_name, _, spec_token = token.partition(":")
         backend_name = backend_name or DEFAULT_BACKEND
@@ -132,14 +133,32 @@ def resolve_backend(name: str = "") -> tuple[BackendFactory, EpiphanySpec]:
     elif token in _REGISTRY:
         backend_name, spec_token = token, DEFAULT_SPEC
     else:
+        # A bare token that names no backend *might* be a spec -- or a
+        # misspelled backend.  Remember the ambiguity so a parse
+        # failure below can name both interpretations.
         backend_name, spec_token = DEFAULT_BACKEND, token
+        bare = True
     factory = _REGISTRY.get(backend_name)
     if factory is None:
         raise ValueError(
             f"unknown backend {backend_name!r}; "
             f"available: {', '.join(available_backends())}"
         )
-    return factory, get_spec(spec_token)
+    try:
+        spec = get_spec(spec_token)
+    except ValueError:
+        if not bare:
+            raise
+        # e.g. "analytc": neither a registered backend nor a parsable
+        # spec.  A spec-only error here would send a user who merely
+        # misspelled a backend name down the wrong path, so name both.
+        raise ValueError(
+            f"unknown backend or machine spec {token!r}; "
+            f"backends: {', '.join(available_backends())}; "
+            f"specs: {', '.join(sorted(_NAMED_SPECS))}, "
+            f"'<name>@<clock_hz>' or '<rows>x<cols>[@<clock_hz>]'"
+        ) from None
+    return factory, spec
 
 
 def get_machine(name: str = "") -> Machine:

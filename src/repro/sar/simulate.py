@@ -29,6 +29,16 @@ from repro.sar.config import RadarConfig
 from repro.signal.chirp import C0
 from repro.signal.pulse_compression import MatchedFilter
 
+DEFAULT_NOISE_SEED = 1234
+"""Documented default seed for the additive-noise draw.
+
+A *single* fixed seed keeps one-off simulations reproducible, but it
+silently correlates nominally independent Monte-Carlo draws: callers
+running ensembles MUST pass per-draw seeds, e.g. derived with
+:func:`repro.exec.derive_seed` from the run's root seed and a stable
+task key (this is exactly what the parallel experiment executor
+does)."""
+
 
 def target_ranges(
     cfg: RadarConfig, scene: Scene, trajectory: Trajectory | None = None
@@ -61,7 +71,7 @@ def simulate_compressed(
     dtype: np.dtype | type = np.complex64,
     antenna: "Antenna | None" = None,
     noise_sigma: float = 0.0,
-    rng: np.random.Generator | None = None,
+    seed: int | np.random.Generator = DEFAULT_NOISE_SEED,
 ) -> np.ndarray:
     """Pulse-compressed data matrix, shape ``(n_pulses, n_ranges)``.
 
@@ -78,9 +88,13 @@ def simulate_compressed(
     noise_sigma:
         Standard deviation per real/imaginary component of additive
         complex white noise (post-compression thermal noise).
-    rng:
-        Generator for the noise; a fixed default seed keeps runs
-        reproducible.
+    seed:
+        Seed (or ready :class:`numpy.random.Generator`) for the noise
+        draw.  Defaults to :data:`DEFAULT_NOISE_SEED` (= 1234) so a
+        single simulation stays reproducible, and is **explicit** so
+        Monte-Carlo ensembles cannot silently share one stream:
+        independent draws must pass independent seeds (derive them
+        with :func:`repro.exec.derive_seed`).
     """
     ranges = target_ranges(cfg, scene, trajectory)  # (P, T)
     amps = scene.amplitudes()  # (T,)
@@ -103,7 +117,11 @@ def simulate_compressed(
             echo = echo * gains[:, t, None]
         data += echo
     if noise_sigma > 0.0:
-        gen = rng if rng is not None else np.random.default_rng(1234)
+        gen = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
         data += noise_sigma * (
             gen.standard_normal(data.shape)
             + 1j * gen.standard_normal(data.shape)

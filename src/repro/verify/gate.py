@@ -17,6 +17,15 @@ full run adds the sequential baselines, the non-default chip specs and
 a 4x case budget.  Exit status: 0 all green, 1 contract violations
 (each printed with its metric name), 2 usage errors (unknown backend,
 unknown fingerprint).
+
+With ``jobs > 1`` the independent gate cells -- one oracle replay per
+(workload, spec), one golden fingerprint per name, one fuzz driver per
+invariant family -- fan out over the :class:`~repro.exec.
+ExperimentRunner` pool.  Cells are pure functions of the source tree
+and the pinned seed, so the report's checks (and the exit code) are
+identical at any jobs level; the report footer gains wall time and
+result-cache statistics.  Golden *update* runs stay cacheable-free and
+write each snapshot exactly once.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.exec import ExperimentRunner, ExecStats, TaskSpec
 from repro.verify.golden import FINGERPRINTS, update_golden, verify_golden
 from repro.verify.oracles import (
     differential_oracle,
@@ -48,9 +58,14 @@ FULL_SPECS = ("e16", "e64", "board")
 
 @dataclass
 class GateReport:
-    """Aggregated outcome of one verify run."""
+    """Aggregated outcome of one verify run.
+
+    ``exec_stats`` (when set) carries the execution layer's accounting
+    -- jobs, wall seconds, cache hits/misses -- into the report footer.
+    """
 
     sections: dict[str, list[Check]] = field(default_factory=dict)
+    exec_stats: ExecStats | None = None
 
     def add(self, section: str, checks: list[Check]) -> None:
         self.sections.setdefault(section, []).extend(checks)
@@ -74,12 +89,45 @@ class GateReport:
             body = format_checks(checks, verbose=verbose)
             if verbose or bad:
                 lines.extend("   " + ln for ln in body.splitlines()[:-1])
+        if self.exec_stats is not None:
+            lines.append(f"-- exec: {self.exec_stats.format()}")
         verdict = "PASS" if self.passed else "FAIL"
         lines.append(
             f"verify: {verdict} "
             f"({len(self.checks)} checks, {len(failures(self.checks))} failed)"
         )
         return "\n".join(lines)
+
+
+# -- gate cells (module level: picklable for parallel fan-out) --------------
+
+def _oracle_cell(workload_name: str, spec: str, candidate: str) -> list[Check]:
+    """One (workload, chip spec) cell of the oracle matrix."""
+    wls = {wl.name: wl for wl in oracle_workloads()}
+    return differential_oracle(
+        wls[workload_name],
+        candidates=(f"{candidate}:{spec}",),
+        reference=f"event:{spec}",
+    )
+
+
+def _work_parity_cell(workload_names: Sequence[str]) -> list[Check]:
+    names = set(workload_names)
+    wls = [wl for wl in oracle_workloads() if wl.name in names]
+    return work_parity_oracle(wls)
+
+
+def _golden_verify_cell(name: str, root: str | None) -> list[Check]:
+    return verify_golden(name, root)
+
+
+def _golden_update_cell(name: str, root: str | None) -> list[Check]:
+    path = update_golden(name, root)
+    return [Check(name=f"{name}.updated", passed=True, note=str(path))]
+
+
+def _fuzz_cell(name: str, seed: int, cases: int) -> list[Check]:
+    return FUZZ_DRIVERS[name](seed, cases)
 
 
 def run_verify(
@@ -93,6 +141,7 @@ def run_verify(
     skip_fuzz: bool = False,
     out: Callable[[str], None] = print,
     verbose: bool = False,
+    jobs: int = 1,
 ) -> int:
     """Run the conformance gate; returns a process exit status.
 
@@ -100,7 +149,9 @@ def run_verify(
     reference on every chip spec in ``specs``.  ``update`` regenerates
     the golden snapshots instead of comparing (the oracles and fuzz
     drivers still run -- refreshing snapshots on a broken tree should
-    still scream).
+    still scream).  ``jobs`` fans the independent gate cells out over
+    worker processes; the checks and exit code are identical at any
+    jobs level.
     """
     from repro.machine.backends import available_backends, get_machine
 
@@ -115,49 +166,71 @@ def run_verify(
     cases = fuzz_cases if fuzz_cases is not None else (
         QUICK_FUZZ_CASES if quick else FULL_FUZZ_CASES
     )
+    root = str(golden_root) if golden_root is not None else None
 
-    report = GateReport()
+    # Every cell is one task; (task key -> report section) preserves
+    # the serial report layout regardless of completion order.
+    tasks: list[TaskSpec] = []
+    section_of: dict[str, str] = {}
+
+    def cell(key: str, section: str, fn, args, cacheable: bool = True) -> None:
+        tasks.append(TaskSpec(key=key, fn=fn, args=args, cacheable=cacheable))
+        section_of[key] = section
 
     # -- 1. differential oracles ---------------------------------------
-    workloads = [
-        wl for wl in oracle_workloads() if wl.quick or not quick
-    ]
+    workloads = [wl for wl in oracle_workloads() if wl.quick or not quick]
     for wl in workloads:
-        checks: list[Check] = []
         for spec in specs:
-            checks.extend(
-                differential_oracle(
-                    wl,
-                    candidates=(f"{candidate}:{spec}",),
-                    reference=f"event:{spec}",
-                )
+            cell(
+                f"oracle/{wl.name}/{spec}",
+                f"oracle[{wl.name}]",
+                _oracle_cell,
+                (wl.name, spec, candidate),
             )
-        report.add(f"oracle[{wl.name}]", checks)
-    report.add("oracle[cpu-work-parity]", work_parity_oracle(workloads))
+    cell(
+        "oracle/cpu-work-parity",
+        "oracle[cpu-work-parity]",
+        _work_parity_cell,
+        (tuple(wl.name for wl in workloads),),
+    )
 
-    # -- 2. golden snapshots -------------------------------------------
+    # -- 2. golden snapshots (file-backed: never cached) ----------------
     for name, fp in FINGERPRINTS.items():
         if quick and not fp.quick:
             continue
         if update:
-            path = update_golden(name, golden_root)
-            report.add(
+            cell(
+                f"golden/update/{name}",
                 "golden",
-                [
-                    Check(
-                        name=f"{name}.updated",
-                        passed=True,
-                        note=str(path),
-                    )
-                ],
+                _golden_update_cell,
+                (name, root),
+                cacheable=False,
             )
         else:
-            report.add("golden", verify_golden(name, golden_root))
+            cell(
+                f"golden/verify/{name}",
+                "golden",
+                _golden_verify_cell,
+                (name, root),
+                cacheable=False,
+            )
 
     # -- 3. fuzz drivers ------------------------------------------------
     if not skip_fuzz:
-        for name, driver in FUZZ_DRIVERS.items():
-            report.add(f"fuzz[{name}]", driver(seed, cases))
+        for name in FUZZ_DRIVERS:
+            cell(
+                f"fuzz/{name}/{seed}/{cases}",
+                f"fuzz[{name}]",
+                _fuzz_cell,
+                (name, seed, cases),
+            )
+
+    runner = ExperimentRunner(jobs=jobs, root_seed=seed)
+    results = runner.run(tasks)
+
+    report = GateReport(exec_stats=runner.stats)
+    for task, result in zip(tasks, results):
+        report.add(section_of[task.key], result.value)
 
     out(report.format(verbose=verbose))
     return 0 if report.passed else 1

@@ -1,0 +1,127 @@
+"""Result cache: addressing, counters, invalidation, robustness."""
+
+import numpy as np
+import pytest
+
+from repro.exec.cache import (
+    ResultCache,
+    cache_dir,
+    code_version,
+    default_cache,
+    stable_digest,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestStableDigest:
+    def test_deterministic(self):
+        payload = {"a": 1, "b": (2.0, "x"), "c": [1, 2, 3]}
+        assert stable_digest(payload) == stable_digest(dict(payload))
+
+    def test_value_sensitivity(self):
+        assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+        assert stable_digest((1, 2)) != stable_digest((2, 1))
+
+    def test_type_sensitivity(self):
+        assert stable_digest(1) != stable_digest(1.0)
+        assert stable_digest("1") != stable_digest(1)
+        assert stable_digest([1]) != stable_digest((1,))
+
+    def test_ndarray_contents_hash(self):
+        a = np.arange(6, dtype=np.float64)
+        b = np.arange(6, dtype=np.float64)
+        assert stable_digest(a) == stable_digest(b)
+        b[3] = -1.0
+        assert stable_digest(a) != stable_digest(b)
+        assert stable_digest(a) != stable_digest(a.astype(np.float32))
+
+    def test_dataclass_fields_hash(self):
+        from repro.machine.specs import EpiphanySpec
+
+        assert stable_digest(EpiphanySpec()) == stable_digest(EpiphanySpec())
+        assert stable_digest(EpiphanySpec()) != stable_digest(
+            EpiphanySpec().with_clock(123e6)
+        )
+
+
+class TestEntryKey:
+    def test_spec_workload_seed_version_all_key(self, cache):
+        base = cache.entry_key("t", payload=(1,), seed=7, version="v1")
+        assert base == cache.entry_key("t", payload=(1,), seed=7, version="v1")
+        assert base != cache.entry_key("u", payload=(1,), seed=7, version="v1")
+        assert base != cache.entry_key("t", payload=(2,), seed=7, version="v1")
+        assert base != cache.entry_key("t", payload=(1,), seed=8, version="v1")
+        assert base != cache.entry_key("t", payload=(1,), seed=7, version="v2")
+
+    def test_default_version_is_code_version(self, cache):
+        assert cache.entry_key("t") == cache.entry_key(
+            "t", version=code_version()
+        )
+
+    def test_code_version_bump_invalidates(self, cache):
+        key_now = cache.entry_key("t", payload=(1,), seed=0)
+        cache.put(key_now, "value")
+        # Simulate a source edit: the embedded code version changes, so
+        # the same logical task addresses a different entry -> miss.
+        key_after_edit = cache.entry_key(
+            "t", payload=(1,), seed=0, version=code_version() + "x"
+        )
+        assert key_after_edit != key_now
+        hit, _ = cache.get(key_after_edit)
+        assert not hit
+
+
+class TestStore:
+    def test_roundtrip_and_counters(self, cache):
+        key = cache.entry_key("t", payload=("a", 1))
+        hit, value = cache.get(key)
+        assert not hit and value is None
+        cache.put(key, {"cycles": 123})
+        hit, value = cache.get(key)
+        assert hit and value == {"cycles": 123}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_corrupt_entry_is_a_miss_and_dropped(self, cache):
+        key = cache.entry_key("t")
+        cache.put(key, [1, 2, 3])
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(key)
+        assert not hit
+        assert not path.exists()
+        # And the slot is reusable.
+        cache.put(key, "fresh")
+        assert cache.get(key) == (True, "fresh")
+
+    def test_unpicklable_value_skipped_gracefully(self, cache):
+        key = cache.entry_key("t")
+        cache.put(key, lambda: None)  # lambdas don't pickle
+        assert cache.stores == 0
+        hit, _ = cache.get(key)
+        assert not hit
+
+
+class TestEnvironmentDefaults:
+    def test_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "d"))
+        assert cache_dir() == tmp_path / "d"
+
+    def test_default_cache_off_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache() is None
+
+    def test_default_cache_on_with_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.root == tmp_path
+
+
+class TestCodeVersion:
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16

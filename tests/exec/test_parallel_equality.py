@@ -1,0 +1,100 @@
+"""Parallel runs are byte-identical to serial across every consumer.
+
+This is the determinism contract of the execution layer, checked end
+to end: sweeps, Table I, and the verify gate must produce the exact
+same artefacts (values, rendered text, exit codes) at any ``jobs``
+level.
+"""
+
+from repro.eval.sweeps import candidate_sweep, ffbp_core_sweep
+from repro.eval.table1 import ffbp_table
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.sar.config import RadarConfig
+from repro.verify.gate import DEFAULT_SEED, run_verify
+
+
+def _quiet(_line: str) -> None:
+    pass
+
+
+def _small_plan():
+    return plan_ffbp(RadarConfig.small(n_pulses=128, n_ranges=513))
+
+
+class TestSweepEquality:
+    def test_ffbp_core_sweep_series_identical(self):
+        plan = _small_plan()
+        serial = ffbp_core_sweep(
+            plan=plan, cores=(1, 4), backend="analytic", jobs=1
+        )
+        parallel = ffbp_core_sweep(
+            plan=plan, cores=(1, 4), backend="analytic", jobs=2
+        )
+        assert serial == parallel  # frozen dataclass: full field equality
+        assert serial.chart() == parallel.chart()
+
+    def test_candidate_sweep_identical(self):
+        serial = candidate_sweep(
+            candidates=(8, 16), backend="analytic", jobs=1
+        )
+        parallel = candidate_sweep(
+            candidates=(8, 16), backend="analytic", jobs=2
+        )
+        assert serial == parallel
+
+
+class TestTable1Equality:
+    def test_ffbp_table_text_identical(self):
+        cfg = RadarConfig.small(n_pulses=128, n_ranges=513)
+        serial = ffbp_table(cfg=cfg, backend="analytic", jobs=1)
+        parallel = ffbp_table(cfg=cfg, backend="analytic", jobs=3)
+        assert serial.format() == parallel.format()
+
+
+class TestVerifyGateEquality:
+    def test_exit_codes_match_serial(self, tmp_path):
+        # Build goldens once, then the gate must agree at jobs 1 and 2.
+        assert (
+            run_verify(
+                quick=True,
+                update=True,
+                skip_fuzz=True,
+                golden_root=tmp_path,
+                out=_quiet,
+            )
+            == 0
+        )
+        codes = [
+            run_verify(
+                quick=True,
+                skip_fuzz=True,
+                seed=DEFAULT_SEED,
+                golden_root=tmp_path,
+                out=_quiet,
+                jobs=jobs,
+            )
+            for jobs in (1, 2)
+        ]
+        assert codes == [0, 0]
+
+    def test_failure_detected_at_jobs_2(self, tmp_path):
+        from repro.verify.golden import load_golden, save_golden
+
+        run_verify(
+            quick=True,
+            update=True,
+            skip_fuzz=True,
+            golden_root=tmp_path,
+            out=_quiet,
+        )
+        doc = load_golden("table1_small", tmp_path)
+        doc["rows"]["ffbp_epi_par"]["energy_j"] *= 1.05
+        save_golden("table1_small", doc, tmp_path)
+        rc = run_verify(
+            quick=True,
+            skip_fuzz=True,
+            golden_root=tmp_path,
+            out=_quiet,
+            jobs=2,
+        )
+        assert rc == 1

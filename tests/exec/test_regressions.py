@@ -1,0 +1,132 @@
+"""Regression tests for the three satellite bugfixes.
+
+Each test fails on the pre-PR code:
+
+1. ``resolve_backend`` swallowed the backend interpretation for a
+   misspelled bare token ("analytc") and reported only a spec error.
+2. ``Series.chart`` scaled bars by ``max(y)`` -- all-negative series
+   crashed or rendered garbage, all-zero divided by zero.
+3. ``simulate_compressed`` fell back to a hidden
+   ``default_rng(1234)``, silently correlating Monte-Carlo draws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.sweeps import Series
+from repro.exec import derive_seed
+from repro.machine.backends import get_machine, resolve_backend
+from repro.sar.config import RadarConfig
+from repro.sar.simulate import DEFAULT_NOISE_SEED, simulate_compressed
+
+
+class TestBackendTokenError:
+    """Bugfix 1: bare-token errors name both interpretations."""
+
+    def test_misspelled_backend_mentions_backends_and_specs(self):
+        with pytest.raises(ValueError) as exc:
+            resolve_backend("analytc")
+        msg = str(exc.value)
+        assert "backends:" in msg
+        assert "specs:" in msg
+        assert "analytic" in msg  # the fix someone actually needs
+        assert "e16" in msg
+
+    def test_get_machine_surfaces_same_error(self):
+        with pytest.raises(ValueError, match="backends:.*specs:"):
+            get_machine("evnt")
+
+    def test_explicit_forms_keep_precise_errors(self):
+        # A token with ':' is unambiguous -- don't blur the message.
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("analytc:e16")
+        with pytest.raises(ValueError, match="unknown machine spec"):
+            resolve_backend("event:4x")
+
+    def test_cli_exit_code_stays_2(self, capsys):
+        from repro.cli import main
+
+        rc = main(["sweep", "ffbp-cores", "--backend", "analytc"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "backends:" in err and "specs:" in err
+
+
+class TestChartScaling:
+    """Bugfix 2: charts scale by peak magnitude and mark sign."""
+
+    def _series(self, y):
+        return Series(
+            name="s", x_label="x", y_label="y", x=tuple(range(len(y))), y=y
+        )
+
+    def test_all_negative_series_renders_scaled_bars(self):
+        text = self._series((-1.0, -2.0, -4.0)).chart(width=8)
+        lines = text.splitlines()[1:]
+        bars = [ln.split("|")[1].strip().split()[0] for ln in lines]
+        assert all(set(b) == {"-"} for b in bars)
+        # The peak-magnitude value owns the longest bar.
+        assert len(bars[2]) > len(bars[0])
+
+    def test_mixed_sign_series_marks_negatives(self):
+        text = self._series((2.0, -2.0)).chart(width=8)
+        pos, neg = text.splitlines()[1:]
+        assert "########" in pos
+        assert "--------" in neg
+
+    def test_all_zero_series_has_no_bars(self):
+        text = self._series((0.0, 0.0)).chart(width=8)
+        for line in text.splitlines()[1:]:
+            assert "#" not in line and line.rstrip().endswith("0")
+
+    def test_positive_series_output_unchanged(self):
+        # The pre-PR happy path must stay byte-identical.
+        text = self._series((1.0, 2.0)).chart(width=4)
+        assert text.splitlines()[1:] == ["  0 | ## 1", "  1 | #### 2"]
+
+
+class TestExplicitNoiseSeed:
+    """Bugfix 3: the noise seed is an explicit, routable parameter."""
+
+    @pytest.fixture()
+    def cfg(self):
+        return RadarConfig.small()
+
+    @pytest.fixture()
+    def scene(self, cfg):
+        from repro.geometry.scene import Scene
+
+        c = cfg.scene_center()
+        return Scene.single(c[0], c[1])
+
+    def test_default_seed_is_documented_constant(self, cfg, scene):
+        a = simulate_compressed(cfg, scene, noise_sigma=0.1)
+        b = simulate_compressed(
+            cfg, scene, noise_sigma=0.1, seed=DEFAULT_NOISE_SEED
+        )
+        assert np.array_equal(a, b)
+
+    def test_distinct_seeds_give_distinct_noise(self, cfg, scene):
+        a = simulate_compressed(cfg, scene, noise_sigma=0.1, seed=1)
+        b = simulate_compressed(cfg, scene, noise_sigma=0.1, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_reproduces(self, cfg, scene):
+        a = simulate_compressed(cfg, scene, noise_sigma=0.1, seed=7)
+        b = simulate_compressed(cfg, scene, noise_sigma=0.1, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_generator_instance_accepted(self, cfg, scene):
+        a = simulate_compressed(
+            cfg, scene, noise_sigma=0.1, seed=np.random.default_rng(5)
+        )
+        b = simulate_compressed(cfg, scene, noise_sigma=0.1, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_routable_from_derive_seed(self, cfg, scene):
+        # The Monte-Carlo wiring the fix exists for: per-task seeds.
+        s1 = derive_seed(20130821, "mc/0")
+        s2 = derive_seed(20130821, "mc/1")
+        a = simulate_compressed(cfg, scene, noise_sigma=0.1, seed=s1)
+        b = simulate_compressed(cfg, scene, noise_sigma=0.1, seed=s2)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,223 @@
+"""ExperimentRunner: determinism, failure containment, caching.
+
+Worker functions live at module level so they pickle for the process
+pool (``tests`` is a package; fork workers re-import by name).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.exec import (
+    ExperimentRunner,
+    ResultCache,
+    TaskFailure,
+    TaskSpec,
+    derive_seed,
+)
+
+
+# -- picklable worker functions ---------------------------------------------
+
+def _square(x):
+    return x * x
+
+
+def _echo_seed(tag, seed=None):
+    return (tag, seed)
+
+
+def _boom(x):
+    raise ValueError(f"injected failure {x}")
+
+
+def _sleep_forever():
+    time.sleep(60)
+
+
+def _exit_hard():
+    os._exit(13)  # simulate a segfaulting worker
+
+
+def _flaky(counter_path, needed):
+    """Fail until the attempt counter file reaches ``needed``."""
+    n = int(counter_path.read_text()) if counter_path.exists() else 0
+    counter_path.write_text(str(n + 1))
+    if n + 1 < needed:
+        raise RuntimeError(f"flaky attempt {n + 1}")
+    return "recovered"
+
+
+def _tasks(n):
+    return [TaskSpec(key=f"sq/{i}", fn=_square, args=(i,)) for i in range(n)]
+
+
+# -- determinism ------------------------------------------------------------
+
+class TestDeterminism:
+    def test_serial_results_in_task_order(self):
+        runner = ExperimentRunner(jobs=1, cache=None)
+        results = runner.run(_tasks(6))
+        assert [r.value for r in results] == [i * i for i in range(6)]
+        assert [r.key for r in results] == [f"sq/{i}" for i in range(6)]
+
+    def test_parallel_equals_serial(self):
+        serial = ExperimentRunner(jobs=1, cache=None).run(_tasks(8))
+        parallel = ExperimentRunner(jobs=4, cache=None).run(_tasks(8))
+        assert [r.value for r in serial] == [r.value for r in parallel]
+        assert [r.key for r in serial] == [r.key for r in parallel]
+
+    def test_seed_injection_matches_derivation_at_any_jobs(self):
+        tasks = [
+            TaskSpec(
+                key=f"mc/{i}", fn=_echo_seed, args=(i,), seed_arg="seed"
+            )
+            for i in range(5)
+        ]
+        expected = [(i, derive_seed(99, f"mc/{i}")) for i in range(5)]
+        for jobs in (1, 3):
+            runner = ExperimentRunner(jobs=jobs, root_seed=99, cache=None)
+            results = runner.run(tasks)
+            assert [r.value for r in results] == expected
+            assert [r.seed for r in results] == [s for _, s in expected]
+
+    def test_no_root_seed_means_no_injection(self):
+        runner = ExperimentRunner(jobs=1, cache=None)
+        (res,) = runner.run(
+            [TaskSpec(key="t", fn=_echo_seed, args=("t",), seed_arg="seed")]
+        )
+        assert res.value == ("t", None)
+
+    def test_duplicate_keys_rejected(self):
+        runner = ExperimentRunner(jobs=1, cache=None)
+        with pytest.raises(ValueError, match="duplicate task key"):
+            runner.run([_tasks(1)[0], _tasks(1)[0]])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(jobs=0)
+
+    def test_map_convenience(self):
+        runner = ExperimentRunner(jobs=2, cache=None)
+        assert runner.map(_square, range(5)) == [0, 1, 4, 9, 16]
+
+
+# -- failure containment ----------------------------------------------------
+
+class TestFailures:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_child_traceback_surfaced(self, jobs):
+        runner = ExperimentRunner(jobs=jobs, cache=None)
+        results = runner.run(
+            [
+                TaskSpec(key="ok", fn=_square, args=(3,)),
+                TaskSpec(key="bad", fn=_boom, args=(7,)),
+            ],
+            strict=False,
+        )
+        assert results[0].ok and results[0].value == 9
+        failure = results[1].failure
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "error"
+        assert "injected failure 7" in failure.message
+        assert "ValueError" in failure.child_traceback
+        assert "_boom" in failure.child_traceback
+        assert "bad" in failure.format()
+
+    def test_strict_raises_first_failure(self):
+        runner = ExperimentRunner(jobs=1, cache=None)
+        with pytest.raises(TaskFailure, match="injected failure"):
+            runner.run([TaskSpec(key="bad", fn=_boom, args=(1,))])
+
+    def test_timeout_is_structured(self):
+        runner = ExperimentRunner(jobs=2, timeout=0.3, cache=None)
+        (res,) = runner.run(
+            [TaskSpec(key="hang", fn=_sleep_forever)], strict=False
+        )
+        assert not res.ok
+        assert res.failure.kind == "timeout"
+        assert "0.3" in res.failure.message
+
+    def test_dead_worker_reports_broken_pool_not_raw_exception(self):
+        runner = ExperimentRunner(jobs=2, cache=None)
+        results = runner.run(
+            [
+                TaskSpec(key="die", fn=_exit_hard),
+                TaskSpec(key="ok", fn=_square, args=(4,)),
+            ],
+            strict=False,
+        )
+        assert results[0].failure is not None
+        assert results[0].failure.kind == "broken-pool"
+        # The pool is rebuilt / the sibling completes either way.
+        assert results[1].ok and results[1].value == 16
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_bounded_retry_recovers(self, tmp_path, jobs):
+        counter = tmp_path / "attempts"
+        runner = ExperimentRunner(jobs=jobs, retries=2, cache=None)
+        (res,) = runner.run(
+            [TaskSpec(key="flaky", fn=_flaky, args=(counter, 3))]
+        )
+        assert res.value == "recovered"
+        assert res.attempts == 3
+        assert runner.stats.retried == 2
+
+    def test_retries_exhausted_reports_last_failure(self, tmp_path):
+        counter = tmp_path / "attempts"
+        runner = ExperimentRunner(jobs=1, retries=1, cache=None)
+        (res,) = runner.run(
+            [TaskSpec(key="flaky", fn=_flaky, args=(counter, 5))],
+            strict=False,
+        )
+        assert not res.ok
+        assert res.failure.attempts == 2
+        assert "flaky attempt 2" in res.failure.message
+
+
+# -- caching ----------------------------------------------------------------
+
+class TestCaching:
+    def test_second_run_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        r1 = ExperimentRunner(jobs=1, cache=cache)
+        out1 = [r.value for r in r1.run(_tasks(4))]
+        assert r1.stats.cache_hits == 0 and r1.stats.cache_misses == 4
+        r2 = ExperimentRunner(jobs=1, cache=cache)
+        results = r2.run(_tasks(4))
+        assert [r.value for r in results] == out1
+        assert all(r.cached for r in results)
+        assert r2.stats.cache_hits == 4 and r2.stats.cache_misses == 0
+
+    def test_parallel_run_can_consume_serial_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ExperimentRunner(jobs=1, cache=cache).run(_tasks(4))
+        runner = ExperimentRunner(jobs=4, cache=cache)
+        results = runner.run(_tasks(4))
+        assert all(r.cached for r in results)
+        assert [r.value for r in results] == [i * i for i in range(4)]
+
+    def test_uncacheable_tasks_bypass(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = TaskSpec(key="t", fn=_square, args=(5,), cacheable=False)
+        ExperimentRunner(jobs=1, cache=cache).run([task])
+        runner = ExperimentRunner(jobs=1, cache=cache)
+        (res,) = runner.run([task])
+        assert not res.cached
+        assert runner.stats.cache_hits == 0
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = TaskSpec(key="bad", fn=_boom, args=(1,))
+        ExperimentRunner(jobs=1, cache=cache).run([task], strict=False)
+        runner = ExperimentRunner(jobs=1, cache=cache)
+        (res,) = runner.run([task], strict=False)
+        assert not res.ok and not res.cached
+
+    def test_stats_format_mentions_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ExperimentRunner(jobs=1, cache=cache)
+        runner.run(_tasks(2))
+        text = runner.stats.format()
+        assert "cache" in text and "2 tasks" in text

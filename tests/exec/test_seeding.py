@@ -1,0 +1,59 @@
+"""Seed derivation: stable, collision-free, consumer-compatible."""
+
+import pytest
+
+from repro.exec.seeding import SEED_BITS, derive_seed, spawn_seeds
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(20130821, "a") == derive_seed(20130821, "a")
+
+    def test_pinned_value_is_stable_across_platforms(self):
+        # SHA-256 based: must never drift with Python version, platform
+        # or PYTHONHASHSEED.  A change here invalidates every cache and
+        # every seeded golden result -- that is what this pin protects.
+        assert derive_seed(20130821, "a") == 2991941456698625443
+
+    def test_key_sensitivity(self):
+        assert derive_seed(0, "a") != derive_seed(0, "b")
+        assert derive_seed(0, "task/1") != derive_seed(0, "task/2")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(0, "a") != derive_seed(1, "a")
+
+    def test_no_concatenation_collisions(self):
+        # The separator keeps (1, "2x") and (12, "x") apart.
+        assert derive_seed(1, "2x") != derive_seed(12, "x")
+
+    def test_range_fits_int64(self):
+        for root in (0, 1, 2**31, -5):
+            for key in ("", "x", "sweep/clock/analytic/400000000"):
+                s = derive_seed(root, key)
+                assert 0 <= s < 2**SEED_BITS
+
+    def test_usable_by_both_rngs(self):
+        import random
+
+        import numpy as np
+
+        s = derive_seed(7, "mc/3")
+        random.Random(s)
+        np.random.default_rng(s)
+
+    def test_type_errors(self):
+        with pytest.raises(TypeError):
+            derive_seed("0", "a")
+        with pytest.raises(TypeError):
+            derive_seed(0, 1)
+
+
+class TestSpawnSeeds:
+    def test_matches_pointwise_derivation(self):
+        keys = [f"t/{i}" for i in range(10)]
+        seeds = spawn_seeds(42, keys)
+        assert seeds == {k: derive_seed(42, k) for k in keys}
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            spawn_seeds(0, ["a", "b", "a"])
