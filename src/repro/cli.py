@@ -247,6 +247,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         skip_fuzz=args.no_fuzz,
         verbose=args.verbose,
         jobs=getattr(args, "jobs", 1),
+        chaos_cases=args.chaos,
     )
 
 
@@ -390,6 +391,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--no-fuzz", action="store_true", help="skip the fuzz drivers"
+    )
+    p.add_argument(
+        "--chaos",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run N seeded fault-injection plans per backend "
+        "through the chaos containment gate (default: off)",
     )
     p.add_argument(
         "--golden-dir",

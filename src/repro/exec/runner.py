@@ -78,6 +78,12 @@ class TaskFailure(RuntimeError):
         child could not report (timeout/broken pool).
     attempts:
         Attempts consumed, including retries.
+    history:
+        One line per *consumed attempt* in order
+        (``"attempt <n>: <kind>: <message>"``), so a task that failed
+        differently on each retry -- timeout, then a broken pool, then
+        an exception -- keeps the full story, not just the last word.
+        The final entry always describes this failure.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class TaskFailure(RuntimeError):
         message: str,
         child_traceback: str = "",
         attempts: int = 1,
+        history: Sequence[str] = (),
     ) -> None:
         super().__init__(f"task {key!r} failed ({kind}): {message}")
         self.key = key
@@ -94,10 +101,16 @@ class TaskFailure(RuntimeError):
         self.message = message
         self.child_traceback = child_traceback
         self.attempts = attempts
+        self.history = tuple(history) or (
+            f"attempt {attempts}: {kind}: {message}",
+        )
 
     def format(self) -> str:
-        """Human-readable report including the child traceback."""
+        """Human-readable report: attempt history + child traceback."""
         lines = [str(self), f"  attempts: {self.attempts}"]
+        if len(self.history) > 1:
+            lines.append("  attempt history:")
+            lines.extend("    " + entry for entry in self.history)
         if self.child_traceback:
             lines.append("  child traceback:")
             lines.extend(
@@ -197,6 +210,26 @@ class _Prepared:
     cache_key: str | None
     attempts: int = 0
     last_failure: TaskFailure | None = None
+    history: list[str] = field(default_factory=list)
+
+    def fail(
+        self, kind: str, message: str, child_traceback: str = ""
+    ) -> TaskFailure:
+        """Record one failed attempt and build its structured failure.
+
+        Appends the attempt to :attr:`history` so retries accumulate a
+        per-attempt log; the returned :class:`TaskFailure` carries the
+        history collected so far.
+        """
+        self.history.append(f"attempt {self.attempts}: {kind}: {message}")
+        return TaskFailure(
+            self.task.key,
+            kind,
+            message,
+            child_traceback=child_traceback,
+            attempts=self.attempts,
+            history=tuple(self.history),
+        )
 
 
 class ExperimentRunner:
@@ -381,12 +414,8 @@ class ExperimentRunner:
                     self._record_success(prepared, payload, seconds, results)
                     break
                 etype, msg, tb = payload
-                prepared.last_failure = TaskFailure(
-                    prepared.task.key,
-                    "error",
-                    f"{etype}: {msg}",
-                    child_traceback=tb,
-                    attempts=prepared.attempts,
+                prepared.last_failure = prepared.fail(
+                    "error", f"{etype}: {msg}", child_traceback=tb
                 )
                 if prepared.attempts > self.retries:
                     self._record_final_failure(prepared, results)
@@ -417,11 +446,9 @@ class ExperimentRunner:
                 failure: TaskFailure | None = None
                 fut = futures[prepared.task.key]
                 if broken and not fut.done():
-                    failure = TaskFailure(
-                        prepared.task.key,
+                    failure = prepared.fail(
                         "broken-pool",
                         "worker pool died before this task completed",
-                        attempts=prepared.attempts,
                     )
                 else:
                     try:
@@ -430,27 +457,20 @@ class ExperimentRunner:
                         )
                     except FuturesTimeoutError:
                         fut.cancel()
-                        failure = TaskFailure(
-                            prepared.task.key,
+                        failure = prepared.fail(
                             "timeout",
                             f"exceeded the {self.timeout}s per-task budget",
-                            attempts=prepared.attempts,
                         )
                     except (BrokenProcessPool, CancelledError) as exc:
                         broken = True
-                        failure = TaskFailure(
-                            prepared.task.key,
+                        failure = prepared.fail(
                             "broken-pool",
                             str(exc)
                             or "worker process died without reporting back",
-                            attempts=prepared.attempts,
                         )
                     except Exception as exc:  # e.g. unpicklable result
-                        failure = TaskFailure(
-                            prepared.task.key,
-                            "error",
-                            f"{type(exc).__name__}: {exc}",
-                            attempts=prepared.attempts,
+                        failure = prepared.fail(
+                            "error", f"{type(exc).__name__}: {exc}"
                         )
                     else:
                         if status == "ok":
@@ -459,12 +479,8 @@ class ExperimentRunner:
                             )
                             continue
                         etype, msg, tb = payload
-                        failure = TaskFailure(
-                            prepared.task.key,
-                            "error",
-                            f"{etype}: {msg}",
-                            child_traceback=tb,
-                            attempts=prepared.attempts,
+                        failure = prepared.fail(
+                            "error", f"{etype}: {msg}", child_traceback=tb
                         )
                 prepared.last_failure = failure
                 if prepared.attempts > self.retries:

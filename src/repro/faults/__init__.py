@@ -1,0 +1,52 @@
+"""Deterministic fault injection and runtime resilience.
+
+See ``docs/architecture.md`` §11.  The subsystem splits into four
+dependency-ordered modules:
+
+- :mod:`repro.faults.report` -- structured failure vocabulary
+  (dependency leaf, stdlib only);
+- :mod:`repro.faults.plan` -- the declarative fault-plan grammar and
+  its deterministic seeded expansion;
+- :mod:`repro.faults.inject` -- :class:`FaultyMachine`, a wrapper
+  implementing the machine Protocols over any inner backend;
+- :mod:`repro.faults.degraded` -- graceful degradation: re-mapping the
+  autofocus MPMD pipeline around dead cores.
+"""
+
+from repro.faults.inject import FaultEvent, FaultyContext, FaultyMachine
+from repro.faults.plan import (
+    CoreFault,
+    DmaFault,
+    Fault,
+    FaultPlan,
+    FaultSchedule,
+    FlagFault,
+    LinkFault,
+    parse_plan,
+)
+from repro.faults.report import (
+    CONTAINED_FAILURES,
+    BlameReport,
+    DeadlockReport,
+    FaultReport,
+    StallError,
+)
+
+__all__ = [
+    "BlameReport",
+    "CONTAINED_FAILURES",
+    "CoreFault",
+    "DeadlockReport",
+    "DmaFault",
+    "Fault",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSchedule",
+    "FaultyContext",
+    "FaultyMachine",
+    "FlagFault",
+    "LinkFault",
+    "StallError",
+    "parse_plan",
+]

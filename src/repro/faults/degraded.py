@@ -1,0 +1,145 @@
+"""Degraded-mode demo: autofocus survives a dead interpolator core.
+
+The paper's Fig. 9 mapping uses 13 of 16 cores and notes "the three
+spare cores can then be used to execute the subsequent stages of SAR
+signal processing" -- here they are the *spare capacity* that makes
+graceful degradation possible.  When a fault plan crashes a core
+before the run starts (``core:<id>@cycle=0:crash``), the mapping is
+recomputed around it (:func:`repro.runtime.mapping.remap_placement`),
+the pipeline completes on the surviving cores, and the cycle-count
+penalty of the longer routes is reported.
+
+This module is intentionally *above* both the kernels and the fault
+layer (it imports them; nothing imports it), so it stays out of the
+``repro.faults`` package namespace to avoid import cycles -- use
+``from repro.faults.degraded import run_autofocus_degraded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.faults.inject import FaultyMachine
+from repro.kernels.autofocus_mpmd import build_pipeline, paper_placement
+from repro.kernels.opcounts import AutofocusWorkload
+from repro.machine.backends import get_machine
+from repro.runtime.mapping import remap_placement
+
+__all__ = ["DegradedRun", "run_autofocus_degraded"]
+
+
+@dataclass(frozen=True)
+class DegradedRun:
+    """Baseline-vs-degraded comparison for one fault plan."""
+
+    backend: str
+    plan: str
+    dead_cores: tuple[int, ...]
+    moved: dict[str, tuple[int, int]]
+    baseline_cycles: int
+    degraded_cycles: int
+    baseline_energy_j: float
+    degraded_energy_j: float
+    baseline_byte_hops: float
+    degraded_byte_hops: float
+    traffic: dict[tuple[str, str], dict[str, Any]]
+
+    @property
+    def penalty_cycles(self) -> int:
+        return self.degraded_cycles - self.baseline_cycles
+
+    @property
+    def penalty_pct(self) -> float:
+        if self.baseline_cycles == 0:
+            return 0.0
+        return 100.0 * self.penalty_cycles / self.baseline_cycles
+
+    def format(self) -> str:
+        lines = [
+            f"degraded autofocus on {self.backend} "
+            f"[plan {self.plan!r}]",
+            f"  dead cores    : {list(self.dead_cores)}",
+        ]
+        for task, (old, new) in sorted(self.moved.items()):
+            lines.append(
+                f"  re-mapped     : {task} core {old} -> core {new}"
+            )
+        lines += [
+            f"  baseline      : {self.baseline_cycles} cycles, "
+            f"{self.baseline_byte_hops:.0f} byte-hops",
+            f"  degraded      : {self.degraded_cycles} cycles, "
+            f"{self.degraded_byte_hops:.0f} byte-hops",
+            f"  penalty       : +{self.penalty_cycles} cycles "
+            f"({self.penalty_pct:+.1f}%), "
+            f"+{self.degraded_byte_hops - self.baseline_byte_hops:.0f} "
+            f"byte-hops",
+        ]
+        rerouted = {
+            edge: stats
+            for edge, stats in self.traffic.items()
+            if any(t in self.moved for t in edge)
+        }
+        for (a, b), stats in sorted(rerouted.items()):
+            lines.append(
+                f"  traffic {a}->{b}: {stats['messages']} msgs, "
+                f"{stats['hops']} hops (was adjacent)"
+            )
+        return "\n".join(lines)
+
+
+def run_autofocus_degraded(
+    plan: str = "core:0@cycle=0:crash",
+    backend: str = "event:e16",
+    work: AutofocusWorkload | None = None,
+    watchdog: int | None = None,
+) -> DegradedRun:
+    """Run the autofocus pipeline once clean and once degraded.
+
+    The default plan kills core 0 -- range interpolator ``ri_a0`` in
+    the Fig. 9 mapping -- before the run starts; its task re-maps onto
+    one of the three spare cores and the pipeline completes with a
+    cycle and NoC byte-hop penalty from the longer routes.  The
+    injected crash must be dead-on-arrival (``@cycle=0``): a core lost
+    *mid-run* is a detected
+    :class:`~repro.faults.report.FaultReport`, not a degradation
+    (there is no checkpoint to re-map from).
+    """
+    work = work or AutofocusWorkload(
+        block_beams=6, block_ranges=4, n_candidates=4, iterations=1
+    )
+    # Baseline: fault-free run on a fresh machine of the same spec.
+    base_pipeline = build_pipeline(get_machine(backend), work)
+    baseline = base_pipeline.run()
+
+    faulty = FaultyMachine(get_machine(backend), plan)
+    dead = faulty.dead_cores()
+    if not dead:
+        raise ValueError(
+            f"plan {plan!r} kills no core before cycle 1; the degraded "
+            f"demo needs a dead-on-arrival crash (core:<id>@cycle=0:crash)"
+        )
+    place = paper_placement(
+        work, faulty.spec.mesh_rows, faulty.spec.mesh_cols
+    )
+    place, moved = remap_placement(place, dead)
+    pipeline = build_pipeline(faulty, work, place, watchdog=watchdog)
+    degraded = pipeline.run()
+    traffic = pipeline.traffic_summary()
+
+    def byte_hops(p) -> float:
+        return sum(s["byte_hops"] for s in p.traffic_summary().values())
+
+    return DegradedRun(
+        backend=backend,
+        plan=faulty.plan.text,
+        dead_cores=dead,
+        moved=moved,
+        baseline_cycles=baseline.cycles,
+        degraded_cycles=degraded.cycles,
+        baseline_energy_j=baseline.energy_joules,
+        degraded_energy_j=degraded.energy_joules,
+        baseline_byte_hops=byte_hops(base_pipeline),
+        degraded_byte_hops=byte_hops(pipeline),
+        traffic=traffic,
+    )

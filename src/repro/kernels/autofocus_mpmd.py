@@ -150,6 +150,7 @@ def build_pipeline(
     work: AutofocusWorkload,
     placement: Placement | None = None,
     channel_capacity: int = 2,
+    watchdog: int | None = None,
 ) -> Pipeline:
     """Assemble the 13-task pipeline on a machine."""
     if work.pixels % LANES != 0:
@@ -177,6 +178,7 @@ def build_pipeline(
         place,
         channel_capacity=channel_capacity,
         payload_bytes=payloads,
+        watchdog=watchdog,
     )
 
 
@@ -187,6 +189,35 @@ def run_autofocus_mpmd(
 ) -> RunResult:
     """Run the 13-core autofocus pipeline timing model."""
     return build_pipeline(machine, work, placement).run()
+
+
+def run_autofocus_mpmd_resilient(
+    machine: Machine,
+    work: AutofocusWorkload,
+    placement: Placement | None = None,
+    watchdog: int | None = None,
+) -> tuple[RunResult, dict[str, tuple[int, int]]]:
+    """Autofocus with graceful degradation around dead cores.
+
+    Machines that expose ``dead_cores()`` (a
+    :class:`~repro.faults.inject.FaultyMachine` whose plan crashes a
+    core before cycle 1) get the Fig. 9 mapping recomputed: the dead
+    core's task moves onto one of the three spare cores (see
+    :func:`repro.runtime.mapping.remap_placement`), trading adjacency
+    for survival.  Returns the run result plus
+    ``{task: (old_core, new_core)}`` for the re-mapped tasks; the
+    throughput penalty is the cycle delta against a fault-free run
+    (:func:`repro.faults.degraded.run_autofocus_degraded` reports it).
+    """
+    from repro.runtime.mapping import remap_placement
+
+    place = placement or paper_placement(
+        work, machine.spec.mesh_rows, machine.spec.mesh_cols
+    )
+    dead = tuple(getattr(machine, "dead_cores", tuple)())
+    place, moved = remap_placement(place, dead)
+    result = build_pipeline(machine, work, place, watchdog=watchdog).run()
+    return result, moved
 
 
 # ---------------------------------------------------------------------------

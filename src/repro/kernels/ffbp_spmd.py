@@ -24,7 +24,7 @@ from typing import Any, Iterator
 from repro.machine.api import Machine, MachineContext, RunResult, store
 from repro.kernels.ffbp_common import FfbpPlan, StagePlan
 from repro.kernels.opcounts import COMPLEX_BYTES, row_op_block
-from repro.runtime.spmd import partition
+from repro.runtime.spmd import partition, run_spmd
 
 
 def _core_row_spans(
@@ -109,9 +109,15 @@ def run_ffbp_spmd(
     n_cores: int | None = None,
     interpolation: str = "nearest",
 ) -> RunResult:
-    """Run the parallel FFBP timing model on ``n_cores`` cores."""
+    """Run the parallel FFBP timing model on ``n_cores`` cores.
+
+    Launches through :func:`repro.runtime.spmd.run_spmd`, so a backend
+    deadlock (a barrier party lost to an injected fault) surfaces as a
+    structured :class:`~repro.faults.report.DeadlockReport` rather than
+    a bare engine error.
+    """
     cores = n_cores if n_cores is not None else machine.n_cores
     if not 1 <= cores <= machine.n_cores:
         raise ValueError(f"n_cores must be in 1..{machine.n_cores}")
     kernel = ffbp_spmd_kernel(plan, cores, interpolation)
-    return machine.run({c: kernel for c in range(cores)})
+    return run_spmd(machine, cores, kernel)

@@ -63,6 +63,13 @@ class RunResult:
     ``cycles`` is the machine clock *after* the run -- backends carry
     their clock across successive :meth:`Machine.run` calls, so the
     application executive can phase runs back-to-back on one timeline.
+
+    ``stalled`` is True when the run exhausted its ``max_cycles``
+    budget with at least one program unfinished (the budget cut the
+    run short; results are partial).  ``wait_states`` carries
+    :class:`~repro.faults.report.BlameReport`-like diagnoses of what
+    each unfinished core was waiting on at the cutoff, when the
+    runtime layer can reconstruct them (see ``Pipeline.run``).
     """
 
     cycles: int
@@ -71,6 +78,8 @@ class RunResult:
     average_power_w: float
     traces: tuple[Trace, ...]
     results: tuple[Any, ...]
+    stalled: bool = False
+    wait_states: tuple[Any, ...] = ()
 
     @property
     def trace(self) -> Trace:

@@ -17,6 +17,14 @@ mesh, or a named configuration with a clock override
 (``e16@700e6``).  Clocks accept any Python float literal (``800e6``,
 ``1.0e9``).
 
+Backends compose: ``faulty(<plan>):<inner-spec>`` wraps any inner
+backend in a :class:`~repro.faults.inject.FaultyMachine` injecting the
+given fault plan (see :mod:`repro.faults.plan` for the grammar)::
+
+    get_machine("faulty(core:5@cycle=10000:crash):event:e16")
+    get_machine("faulty(dma:3:corrupt-word; seed=7):analytic:e16")
+    get_machine("faulty():e64")     # empty plan -> pure pass-through
+
 New backends register with :func:`register_backend`; the CLI and the
 eval drivers (`--backend`) pass user strings straight to
 :func:`get_machine`, so a registered backend is immediately usable
@@ -115,14 +123,55 @@ def _parse_clock(text: str, token: str) -> float:
     return clock
 
 
+def _split_faulty(token: str) -> tuple[str, str]:
+    """Split ``faulty(<plan>)[:inner]`` into (plan text, inner spec).
+
+    The plan text itself contains parentheses (link coordinates), so
+    the closing paren is matched by depth, not by first occurrence.
+    """
+    depth = 0
+    for i, ch in enumerate(token):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                plan_text = token[len("faulty(") : i]
+                rest = token[i + 1 :]
+                if rest.startswith(":"):
+                    rest = rest[1:]
+                return plan_text, rest
+    raise ValueError(
+        f"unbalanced parentheses in faulty spec {token!r}; expected "
+        f"'faulty(<plan>)[:<backend>[:<spec>]]'"
+    )
+
+
 def resolve_backend(name: str = "") -> tuple[BackendFactory, EpiphanySpec]:
     """Split a ``[backend][:spec]`` string into (factory, base spec).
 
     Callers that derive their own spec variants (clock sweeps, mesh
     scaling) use the returned factory with a modified copy of the base
     spec; :func:`get_machine` is the plain compose-and-build shortcut.
+
+    ``faulty(<plan>):<inner>`` composes: the inner backend string is
+    resolved recursively and its factory wrapped so every machine it
+    builds is a :class:`~repro.faults.inject.FaultyMachine` carrying
+    the (eagerly validated) plan.
     """
     token = (name or "").strip().lower()
+    if token.startswith("faulty("):
+        from repro.faults.inject import FaultyMachine
+        from repro.faults.plan import parse_plan
+
+        plan_text, inner = _split_faulty(token)
+        plan = parse_plan(plan_text)  # validate eagerly: bad plan -> ValueError
+        inner_factory, spec = resolve_backend(inner)
+
+        def _faulty(s: EpiphanySpec, _f: BackendFactory = inner_factory) -> Machine:
+            return FaultyMachine(_f(s), plan)
+
+        return _faulty, spec
     bare = False
     if ":" in token:
         backend_name, _, spec_token = token.partition(":")

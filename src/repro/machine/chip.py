@@ -313,4 +313,5 @@ class EpiphanyChip:
             average_power_w=power,
             traces=tuple(self.context(c).trace for c in sorted(programs)),
             results=tuple(p.result for p in procs),
+            stalled=any(not p.done for p in procs),
         )

@@ -146,13 +146,14 @@ class Resource:
 class Process:
     """A running generator inside an :class:`Engine`."""
 
-    __slots__ = ("engine", "body", "name", "done", "result", "_joiners", "start_cycle", "finish_cycle")
+    __slots__ = ("engine", "body", "name", "done", "cancelled", "result", "_joiners", "start_cycle", "finish_cycle")
 
     def __init__(self, engine: "Engine", body: ProcessBody, name: str = "") -> None:
         self.engine = engine
         self.body = body
         self.name = name
         self.done = False
+        self.cancelled = False
         self.result: Any = None
         self._joiners: list[Process] = []
         self.start_cycle = engine.now
@@ -225,6 +226,24 @@ class Engine:
         self._schedule(0, proc, None)
         return proc
 
+    def cancel(self, proc: Process) -> None:
+        """Abandon a process: pending events are discarded *without*
+        advancing the clock past them.
+
+        Used by channel watchdog timers -- a timer armed for a wait
+        that completed on time must not keep the simulation alive (and
+        the reported cycle count inflated) until its deadline.  Only
+        cancel processes that are delay- or heap-blocked; a cancelled
+        process is never stepped again and its joiners are not resumed.
+        """
+        if proc.done or proc.cancelled:
+            return
+        proc.cancelled = True
+        proc.done = True
+        proc.finish_cycle = self.now
+        self._live -= 1
+        proc.body.close()
+
     # -- scheduling ----------------------------------------------------
     def _schedule(self, delay: int, proc: Process, _value: Any) -> None:
         heapq.heappush(self._heap, (self.now + int(delay), self._seq, proc))
@@ -279,6 +298,8 @@ class Engine:
         """
         while self._heap:
             when, _seq, proc = heapq.heappop(self._heap)
+            if proc.cancelled:
+                continue  # discarded event; the clock does not advance
             if max_cycles is not None and when > max_cycles:
                 self.now = max_cycles
                 return self.now

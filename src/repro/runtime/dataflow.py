@@ -144,6 +144,7 @@ class DataflowGraph:
         firings: int,
         placement: Placement | None = None,
         channel_capacity: int = 2,
+        watchdog: int | None = None,
     ) -> Pipeline:
         """Generate programs, channels and placement; return a Pipeline.
 
@@ -174,6 +175,7 @@ class DataflowGraph:
             place,
             channel_capacity=channel_capacity,
             payload_bytes=payloads,
+            watchdog=watchdog,
         )
 
     def run(

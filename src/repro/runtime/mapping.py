@@ -97,6 +97,82 @@ class Placement:
         return max(load.values(), default=0.0)
 
 
+def remap_placement(
+    placement: Placement, dead_cores: tuple[int, ...] | list[int]
+) -> tuple[Placement, dict[str, tuple[int, int]]]:
+    """Re-map tasks off dead cores onto free surviving cells.
+
+    Graceful degradation (``docs/architecture.md`` §11): for a core
+    that crashed before the run started (a *dead-on-arrival* fault in
+    a :class:`~repro.faults.plan.FaultPlan`), the paper's Fig. 9
+    autofocus mapping keeps three cores free -- so the dead core's
+    task can move onto a survivor at the cost of longer routes.
+
+    Each displaced task (in graph declaration order, deterministic)
+    takes the free surviving cell minimising its traffic-weighted hop
+    count to its current neighbours; ties break row-major.  Returns
+    the new placement plus ``{task: (old_core, new_core)}`` for the
+    moved tasks.  Raises
+    :class:`~repro.faults.report.FaultReport` (kind ``"unmappable"``)
+    when a displaced task has no surviving free cell to go to.
+    """
+    dead = set(dead_cores)
+    if not dead:
+        return placement, {}
+    rows, cols = placement.mesh_rows, placement.mesh_cols
+
+    def cid(cell: Coord) -> int:
+        return cell[0] * cols + cell[1]
+
+    coords = dict(placement.coords)
+    occupied = set(coords.values())
+    free = [
+        (r, c)
+        for r in range(rows)
+        for c in range(cols)
+        if (r, c) not in occupied and cid((r, c)) not in dead
+    ]
+    victims = [
+        t for t in placement.graph.tasks if cid(coords[t]) in dead
+    ]
+    moved: dict[str, tuple[int, int]] = {}
+    for task in victims:
+        if not free:
+            from repro.faults.report import FaultReport
+
+            raise FaultReport(
+                kind="unmappable",
+                core=cid(coords[task]),
+                detail=(
+                    f"task {task!r} lost core {cid(coords[task])} and no "
+                    f"surviving free core remains "
+                    f"(dead cores: {sorted(dead)})"
+                ),
+            )
+        edges = placement.graph.edges
+
+        def cost(cell: Coord, t: str = task) -> float:
+            total = 0.0
+            for (a, b), w in edges.items():
+                if a == t:
+                    peer = coords[b]
+                elif b == t:
+                    peer = coords[a]
+                else:
+                    continue
+                total += w * (
+                    abs(cell[0] - peer[0]) + abs(cell[1] - peer[1])
+                )
+            return total
+
+        best = min(free, key=lambda cell: (cost(cell), cell))
+        free.remove(best)
+        old = coords[task]
+        coords[task] = best
+        moved[task] = (cid(old), cid(best))
+    return Placement(placement.graph, coords, rows, cols), moved
+
+
 def linear_place(
     graph: TaskGraph, mesh_rows: int, mesh_cols: int
 ) -> Placement:

@@ -14,9 +14,14 @@ returns the chip-level result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterator
 
+from repro.faults.report import (
+    CONTAINED_FAILURES,
+    BlameReport,
+    DeadlockReport,
+)
 from repro.machine.api import Machine, MachineContext, Programs, RunResult
 from repro.runtime.channels import Channel
 from repro.runtime.mapping import Placement
@@ -47,6 +52,7 @@ class Pipeline:
         placement: Placement,
         channel_capacity: int = 2,
         payload_bytes: dict[tuple[str, str], int] | None = None,
+        watchdog: int | None = None,
     ) -> None:
         self.machine = machine
         self.placement = placement
@@ -67,6 +73,7 @@ class Pipeline:
                 capacity=channel_capacity,
                 payload_bytes=payload_bytes.get((a, b)),
                 name=f"{a}->{b}",
+                watchdog=watchdog,
             )
 
     def inputs_of(self, task: str) -> dict[str, Channel]:
@@ -80,7 +87,18 @@ class Pipeline:
         }
 
     def run(self, max_cycles: int | None = None) -> RunResult:
-        """Spawn every task on its placed core and run to completion."""
+        """Spawn every task on its placed core and run to completion.
+
+        Failure containment (``docs/architecture.md`` §11):
+
+        - a backend deadlock (event engine *or* analytic) is converted
+          into a :class:`~repro.faults.report.DeadlockReport` carrying
+          the per-channel wait states at the deadlock cycle, instead of
+          surfacing as a bare engine error;
+        - a run cut short by ``max_cycles`` returns with
+          ``stalled=True`` and the pending channel waits in
+          ``wait_states`` -- it never exhausts the budget silently.
+        """
         programs: Programs = {}
         for name, task in self.tasks.items():
             core = self.placement.core_id(name)
@@ -94,7 +112,34 @@ class Pipeline:
                 return kernel
 
             programs[core] = make(task.program, ins, outs)
-        return self.machine.run(programs, max_cycles=max_cycles)
+        try:
+            result = self.machine.run(programs, max_cycles=max_cycles)
+        except CONTAINED_FAILURES:
+            raise
+        except RuntimeError as exc:
+            if "deadlock" in str(exc).lower():
+                raise DeadlockReport(
+                    cycle=self.machine.now,
+                    waits=self.blocked_waits(),
+                    note=str(exc),
+                ) from exc
+            raise
+        if result.stalled:
+            result = replace(result, wait_states=self.blocked_waits())
+        return result
+
+    def blocked_waits(self) -> tuple[BlameReport, ...]:
+        """The channels with a flag wait pending right now, blamed.
+
+        Ordered by waiting core for stable reports; ``now_cycle`` is
+        refreshed to the machine clock at collection time.
+        """
+        waits = []
+        for ch in self.channels.values():
+            state = ch.wait_state
+            if state is not None:
+                waits.append(replace(state, now_cycle=self.machine.now))
+        return tuple(sorted(waits, key=lambda w: (w.waiter_core, w.channel)))
 
     def traffic_summary(self) -> dict[tuple[str, str], dict[str, Any]]:
         """Per-edge message/byte/hop statistics after a run."""

@@ -10,6 +10,7 @@ redundant access to the contributing data.
 
 from __future__ import annotations
 
+from repro.faults.report import CONTAINED_FAILURES, DeadlockReport
 from repro.machine.api import KernelFn, Machine, RunResult
 
 
@@ -45,9 +46,21 @@ def run_spmd(
     ``ctx.n_cores`` (which is the machine's core count; pass the active
     count through closure state if it differs) and synchronises with
     ``yield from ctx.barrier()``.
+
+    A backend deadlock (a barrier party lost to an injected fault, a
+    flag nobody raises) is converted into a structured
+    :class:`~repro.faults.report.DeadlockReport` naming the cycle; see
+    ``docs/architecture.md`` §11.
     """
     if not 1 <= n_cores <= machine.n_cores:
         raise ValueError(
             f"n_cores must be in 1..{machine.n_cores}, got {n_cores}"
         )
-    return machine.run({core: kernel for core in range(n_cores)})
+    try:
+        return machine.run({core: kernel for core in range(n_cores)})
+    except CONTAINED_FAILURES:
+        raise
+    except RuntimeError as exc:
+        if "deadlock" in str(exc).lower():
+            raise DeadlockReport(cycle=machine.now, note=str(exc)) from exc
+        raise

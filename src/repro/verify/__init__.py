@@ -20,6 +20,11 @@ that keeps them honest.  Three layers, each usable on its own:
   geometries, core grids and backend specs, checking structural
   invariants (partition coverage/disjointness, channel FIFO ordering,
   monotone cycles, energy >= 0, analytic-vs-event parity).
+- :mod:`repro.verify.chaos` -- seeded fault-plan fuzzing
+  (``repro verify --chaos N``): generated fault plans run on both
+  backends under the containment contract -- structured failure
+  (fault / stall / deadlock / stalled) or completion with fault-free
+  work parity, never a hang or a silent corruption.
 
 :mod:`repro.verify.gate` wires the three into the ``repro verify``
 CLI subcommand and CI job, so every future perf PR lands against a
@@ -40,6 +45,7 @@ from repro.verify.golden import (
     load_golden,
     save_golden,
 )
+from repro.verify.chaos import chaos_cell, random_plan, run_chaos_case
 from repro.verify.fuzz import FUZZ_DRIVERS
 from repro.verify.gate import run_verify
 
@@ -58,5 +64,8 @@ __all__ = [
     "load_golden",
     "save_golden",
     "FUZZ_DRIVERS",
+    "chaos_cell",
+    "random_plan",
+    "run_chaos_case",
     "run_verify",
 ]

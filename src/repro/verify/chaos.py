@@ -1,0 +1,316 @@
+"""Chaos gate: seeded fault-plan fuzzing with a containment contract.
+
+``python -m repro verify --chaos N`` runs ``N`` generated fault plans
+against *both* registered backends and asserts the containment
+invariant of the fault subsystem (``docs/architecture.md`` §11): an
+injected fault may change a run's outcome in exactly one of five
+structured ways --
+
+- ``ok``        -- the run completed; for *maskable* (pure-timing)
+  plans this is mandatory **and** the work fingerprint (operation
+  counts, message counts, byte counters, numerical results) must equal
+  the fault-free run's; any completed run, maskable or not, must match
+  it too (a completed run with a different fingerprint is a silent
+  corruption -- the one forbidden outcome);
+- ``fault``     -- a detected :class:`~repro.faults.report.FaultReport`;
+- ``stall``     -- a channel watchdog :class:`~repro.faults.report.
+  StallError` with a blame report;
+- ``deadlock``  -- a structured :class:`~repro.faults.report.
+  DeadlockReport`;
+- ``stalled``   -- the cycle budget cut the run short
+  (``RunResult.stalled``), with the pending waits attached.
+
+Anything else -- a hang, a bare engine error, a wrong answer -- fails
+the gate.  Every case runs **twice** and both executions must produce
+byte-identical outcome records (and byte-identical
+:meth:`~repro.faults.plan.FaultSchedule.fingerprint` expansions), so a
+plan + seed is a reproducer, not a flake.
+
+Plans are generated deterministically from ``(seed, case index)`` via
+:func:`~repro.exec.seeding.derive_seed` -- no RNG state, so the case
+set is identical across processes and ``--jobs`` levels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Sequence
+
+from repro.exec.seeding import derive_seed
+from repro.faults.inject import FaultyMachine
+from repro.faults.plan import FaultPlan, FaultSchedule, parse_plan
+from repro.faults.report import (
+    CONTAINED_FAILURES,
+    DeadlockReport,
+    FaultReport,
+    StallError,
+)
+from repro.verify.tolerance import Check
+
+__all__ = [
+    "CHAOS_BACKENDS",
+    "chaos_cell",
+    "random_plan",
+    "run_chaos_case",
+]
+
+CHAOS_BACKENDS = ("event", "analytic")
+"""Backends every chaos case runs against."""
+
+CHAOS_SPEC = "e16"
+
+WATCHDOG_CYCLES = 50_000
+"""Channel watchdog for chaos pipeline runs: generous against the
+largest injected stall (a few hundred cycles) yet small enough that a
+lost flag surfaces quickly."""
+
+MAX_CYCLES = 2_000_000
+"""Hard cycle budget per run -- the wall-clock bound of the no-hang
+invariant.  Fault-free chaos workloads finish in well under 1% of it."""
+
+_OUTCOME_KINDS = ("ok", "fault", "stall", "deadlock", "stalled")
+
+# -- deterministic plan generation ------------------------------------------
+
+
+def _draw(seed: int, case: int, key: str, n: int) -> int:
+    """A uniform draw in ``[0, n)``, pure in ``(seed, case, key)``."""
+    return derive_seed(seed, f"chaos/{case}/{key}") % n
+
+
+def random_plan(seed: int, case: int, rows: int = 4, cols: int = 4) -> str:
+    """Generate the fault plan for one chaos case, deterministically.
+
+    1-2 clauses drawn over every fault family of the grammar, plus an
+    explicit plan-level ``seed=`` clause so probabilistic link faults
+    expand reproducibly.
+    """
+    n_clauses = 1 + _draw(seed, case, "n_clauses", 2)
+    clauses = []
+    for j in range(n_clauses):
+        kind = _draw(seed, case, f"kind/{j}", 6)
+        if kind == 0:  # core crash (sometimes dead-on-arrival)
+            core = _draw(seed, case, f"core/{j}", rows * cols - 3)
+            cycle = (0, 500, 5_000)[_draw(seed, case, f"cycle/{j}", 3)]
+            clauses.append(f"core:{core}@cycle={cycle}:crash")
+        elif kind in (1, 2):  # link stall / drop
+            r = _draw(seed, case, f"lr/{j}", rows)
+            c = _draw(seed, case, f"lc/{j}", cols - 1)
+            horiz = _draw(seed, case, f"lh/{j}", 2)
+            if horiz:
+                src, dst = (r, c), (r, c + 1)
+            else:
+                r2 = _draw(seed, case, f"lr2/{j}", rows - 1)
+                src, dst = (r2, c), (r2 + 1, c)
+            p = ("0.05", "0.5", "1")[_draw(seed, case, f"lp/{j}", 3)]
+            if kind == 1:
+                stall = (8, 40, 200)[_draw(seed, case, f"ls/{j}", 3)]
+                tail = f"stall={stall}"
+            else:
+                tail = "drop"
+            clauses.append(
+                f"link:({src[0]},{src[1]})->({dst[0]},{dst[1]})"
+                f"@p={p}:{tail}"
+            )
+        elif kind == 3:  # dma stall
+            core = _draw(seed, case, f"dcore/{j}", rows * cols)
+            nth = 1 + _draw(seed, case, f"dn/{j}", 3)
+            stall = (16, 64, 256)[_draw(seed, case, f"ds/{j}", 3)]
+            clauses.append(f"dma:{core}@n={nth}:stall={stall}")
+        elif kind == 4:  # dma corruption
+            core = _draw(seed, case, f"ccore/{j}", rows * cols)
+            nth = 1 + _draw(seed, case, f"cn/{j}", 3)
+            clauses.append(f"dma:{core}@n={nth}:corrupt-word")
+        else:  # lost flag raise
+            nth = 1 + _draw(seed, case, f"fn/{j}", 12)
+            clauses.append(f"flag:drop@n={nth}")
+    clauses.append(f"seed={_draw(seed, case, 'plan_seed', 1_000_000)}")
+    return "; ".join(clauses)
+
+
+# -- one case ----------------------------------------------------------------
+
+
+def _work_fingerprint(result) -> str:
+    """Timing-independent digest of what a run *did*.
+
+    Operation counts, byte counters and message counts are invariant
+    under pure-timing (maskable) faults; cycle counts are not.  A
+    completed faulty run whose fingerprint differs from the fault-free
+    run's has been silently corrupted.
+    """
+    h = hashlib.sha256()
+    for t in result.traces:
+        h.update(
+            repr(
+                (
+                    round(t.total_flops, 6),
+                    round(t.ext_read_bytes, 6),
+                    round(t.ext_write_bytes, 6),
+                    round(t.remote_read_bytes, 6),
+                    round(t.remote_write_bytes, 6),
+                    t.messages_sent,
+                    t.messages_received,
+                    t.barriers,
+                    t.dma_transfers,
+                )
+            ).encode()
+        )
+    h.update(repr(result.results).encode())
+    return h.hexdigest()
+
+
+def _build_machine(backend: str, plan: FaultPlan | None) -> object:
+    from repro.machine.backends import get_machine
+
+    inner = get_machine(f"{backend}:{CHAOS_SPEC}")
+    if plan is None:
+        return inner
+    return FaultyMachine(inner, plan)
+
+
+def _execute(backend: str, case: int, plan: FaultPlan | None) -> dict:
+    """One run; returns a canonical outcome record (JSON-stable)."""
+    from repro.kernels.autofocus_mpmd import build_pipeline, paper_placement
+    from repro.kernels.ffbp_common import plan_ffbp
+    from repro.kernels.ffbp_spmd import run_ffbp_spmd
+    from repro.kernels.opcounts import AutofocusWorkload, RadarConfig
+    from repro.runtime.mapping import remap_placement
+
+    machine = _build_machine(backend, plan)
+    try:
+        if case % 2 == 0:
+            # MPMD autofocus: channels, flags, the Fig. 9 mapping.
+            work = AutofocusWorkload(
+                block_beams=6, block_ranges=4, n_candidates=2, iterations=1
+            )
+            place = paper_placement(work, 4, 4)
+            dead = tuple(getattr(machine, "dead_cores", tuple)())
+            place, moved = remap_placement(place, dead)
+            pipeline = build_pipeline(
+                machine, work, place, watchdog=WATCHDOG_CYCLES
+            )
+            result = pipeline.run(max_cycles=MAX_CYCLES)
+            if result.stalled:
+                return {
+                    "kind": "stalled",
+                    "waits": [w.describe() for w in result.wait_states],
+                }
+            return {
+                "kind": "ok",
+                "remapped": sorted(moved),
+                "work": _work_fingerprint(result),
+            }
+        # SPMD FFBP: DMA prefetch, scatter reads, barriers.
+        fplan = plan_ffbp(RadarConfig.small(n_pulses=64, n_ranges=65))
+        result = run_ffbp_spmd(machine, fplan, 16)
+        if result.stalled:
+            return {"kind": "stalled", "waits": []}
+        return {"kind": "ok", "remapped": [], "work": _work_fingerprint(result)}
+    except FaultReport as exc:
+        return {"kind": "fault", "describe": list(exc.describe())}
+    except StallError as exc:
+        return {"kind": "stall", "describe": list(exc.describe())}
+    except DeadlockReport as exc:
+        return {
+            "kind": "deadlock",
+            "describe": [list(w) if isinstance(w, tuple) else w
+                         for w in exc.describe()[1]],
+        }
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def run_chaos_case(backend: str, case: int, seed: int) -> list[Check]:
+    """Run one chaos case on one backend; return its contract checks."""
+    checks: list[Check] = []
+    plan_text = random_plan(seed, case)
+    prefix = f"chaos/{backend}/{case}"
+    t0 = time.perf_counter()
+    try:
+        plan = parse_plan(plan_text)
+        schedule_fp = FaultSchedule(plan).fingerprint()
+        first = _execute(backend, case, plan)
+        second = _execute(backend, case, plan)
+    except CONTAINED_FAILURES:  # pragma: no cover - _execute catches these
+        raise
+    except Exception as exc:  # the forbidden outcome: an unstructured crash
+        return [
+            Check(
+                name=f"{prefix}.contained",
+                passed=False,
+                note=(
+                    f"plan {plan_text!r} escaped containment: "
+                    f"{type(exc).__name__}: {exc}"
+                ),
+            )
+        ]
+    elapsed = time.perf_counter() - t0
+
+    checks.append(
+        Check(
+            name=f"{prefix}.contained",
+            passed=first["kind"] in _OUTCOME_KINDS,
+            note=f"plan {plan_text!r} -> {first['kind']}",
+        )
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.deterministic",
+            passed=_canonical(first) == _canonical(second),
+            note=(
+                f"schedule {schedule_fp[:12]}; "
+                f"rerun must reproduce the outcome byte-identically"
+            ),
+        )
+    )
+    if plan.maskable:
+        ok = first["kind"] == "ok"
+        note = f"maskable plan {plan_text!r} must complete; got {first['kind']}"
+        if ok:
+            clean = _execute(backend, case, None)
+            ok = first.get("work") == clean.get("work")
+            note = f"maskable plan {plan_text!r}: result parity vs fault-free"
+        checks.append(
+            Check(name=f"{prefix}.maskable", passed=ok, note=note)
+        )
+    elif first["kind"] == "ok":
+        # A non-maskable fault that never fired (or was re-mapped
+        # around) may complete -- but never with different work.
+        clean = _execute(backend, case, None)
+        if first.get("remapped"):
+            note = (
+                f"completed via re-mapping of {first['remapped']}; "
+                f"work fingerprint may legitimately differ in routing "
+                f"counters, numerical results must not"
+            )
+            passed = True  # re-mapping is the sanctioned degraded path
+        else:
+            passed = first.get("work") == clean.get("work")
+            note = (
+                f"non-maskable plan {plan_text!r} completed -- "
+                f"work must equal the fault-free run (no silent corruption)"
+            )
+        checks.append(
+            Check(name=f"{prefix}.no-silent-corruption", passed=passed, note=note)
+        )
+    checks.append(
+        Check(
+            name=f"{prefix}.bounded",
+            passed=elapsed < 60.0,
+            note=f"{elapsed:.2f}s wall for two executions",
+        )
+    )
+    return checks
+
+
+def chaos_cell(backend: str, cases: Sequence[int], seed: int) -> list[Check]:
+    """Gate cell: a chunk of chaos cases on one backend (picklable)."""
+    checks: list[Check] = []
+    for case in cases:
+        checks.extend(run_chaos_case(backend, case, seed))
+    return checks

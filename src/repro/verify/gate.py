@@ -10,6 +10,10 @@ Composes the three verification layers into a single pass/fail run:
    snapshots with ``update_golden=True``).
 3. **Fuzz drivers** -- the seeded property suites of
    :mod:`repro.verify.fuzz`.
+4. **Chaos gate** (opt-in, ``chaos_cases > 0``) -- seeded fault plans
+   run against both backends under the containment contract of
+   :mod:`repro.verify.chaos`: structured failure or fault-free-parity
+   completion, never a hang or a silent corruption.
 
 ``quick=True`` (the CI default) replays the quick workload subset,
 one candidate backend per spec, and a reduced fuzz case budget; the
@@ -54,6 +58,10 @@ FULL_FUZZ_CASES = 100
 
 QUICK_SPECS = ("e16",)
 FULL_SPECS = ("e16", "e64", "board")
+
+CHAOS_CHUNK = 10
+"""Chaos cases per gate cell: small enough to fan out over workers,
+large enough that per-task overhead stays negligible."""
 
 
 @dataclass
@@ -130,6 +138,12 @@ def _fuzz_cell(name: str, seed: int, cases: int) -> list[Check]:
     return FUZZ_DRIVERS[name](seed, cases)
 
 
+def _chaos_cell(backend: str, case_range: tuple[int, int], seed: int) -> list[Check]:
+    from repro.verify.chaos import chaos_cell
+
+    return chaos_cell(backend, range(*case_range), seed)
+
+
 def run_verify(
     quick: bool = True,
     update: bool = False,
@@ -142,6 +156,7 @@ def run_verify(
     out: Callable[[str], None] = print,
     verbose: bool = False,
     jobs: int = 1,
+    chaos_cases: int = 0,
 ) -> int:
     """Run the conformance gate; returns a process exit status.
 
@@ -151,7 +166,11 @@ def run_verify(
     drivers still run -- refreshing snapshots on a broken tree should
     still scream).  ``jobs`` fans the independent gate cells out over
     worker processes; the checks and exit code are identical at any
-    jobs level.
+    jobs level.  ``chaos_cases > 0`` adds the fault-injection chaos
+    gate: that many seeded fault plans per backend, each asserted
+    against the containment contract (:mod:`repro.verify.chaos`).
+    Chaos plans derive from ``(seed, case)`` alone, so the case set --
+    and every outcome record -- is identical at any jobs level too.
     """
     from repro.machine.backends import available_backends, get_machine
 
@@ -224,6 +243,20 @@ def run_verify(
                 _fuzz_cell,
                 (name, seed, cases),
             )
+
+    # -- 4. chaos gate (opt-in) -----------------------------------------
+    if chaos_cases > 0:
+        from repro.verify.chaos import CHAOS_BACKENDS
+
+        for backend in CHAOS_BACKENDS:
+            for lo in range(0, chaos_cases, CHAOS_CHUNK):
+                hi = min(lo + CHAOS_CHUNK, chaos_cases)
+                cell(
+                    f"chaos/{backend}/{seed}/{lo}-{hi}",
+                    f"chaos[{backend}]",
+                    _chaos_cell,
+                    (backend, (lo, hi), seed),
+                )
 
     runner = ExperimentRunner(jobs=jobs, root_seed=seed)
     results = runner.run(tasks)

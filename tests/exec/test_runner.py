@@ -221,3 +221,61 @@ class TestCaching:
         runner.run(_tasks(2))
         text = runner.stats.format()
         assert "cache" in text and "2 tasks" in text
+
+
+# -- attempt history --------------------------------------------------------
+
+def _flaky_messages(counter_path, needed):
+    """Fail with a *distinct* message per attempt until ``needed``."""
+    n = int(counter_path.read_text()) if counter_path.exists() else 0
+    counter_path.write_text(str(n + 1))
+    if n + 1 < needed:
+        raise RuntimeError(f"distinct failure #{n + 1}")
+    return "recovered"
+
+
+class TestAttemptHistory:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_exhausted_retries_keep_every_attempt(self, tmp_path, jobs):
+        counter = tmp_path / "attempts"
+        runner = ExperimentRunner(jobs=jobs, retries=2, cache=None)
+        (res,) = runner.run(
+            [TaskSpec(key="flaky", fn=_flaky_messages, args=(counter, 9))],
+            strict=False,
+        )
+        failure = res.failure
+        assert failure.attempts == 3
+        assert len(failure.history) == 3
+        # Ordered, numbered, and each attempt keeps its own message --
+        # not three copies of the last word.
+        for i, entry in enumerate(failure.history, start=1):
+            assert entry.startswith(f"attempt {i}: error:")
+            assert f"distinct failure #{i}" in entry
+        assert failure.history[-1].endswith(failure.message)
+
+    def test_history_rendered_by_format(self, tmp_path):
+        counter = tmp_path / "attempts"
+        runner = ExperimentRunner(jobs=1, retries=1, cache=None)
+        (res,) = runner.run(
+            [TaskSpec(key="flaky", fn=_flaky_messages, args=(counter, 9))],
+            strict=False,
+        )
+        text = res.failure.format()
+        assert "attempt history:" in text
+        assert "attempt 1: error:" in text
+        assert "attempt 2: error:" in text
+
+    def test_single_attempt_failure_has_self_describing_history(self):
+        runner = ExperimentRunner(jobs=1, cache=None)
+        (res,) = runner.run(
+            [TaskSpec(key="bad", fn=_boom, args=(1,))], strict=False
+        )
+        assert res.failure.history == (
+            f"attempt 1: error: {res.failure.message}",
+        )
+        # No redundant history block for a one-attempt failure.
+        assert "attempt history:" not in res.failure.format()
+
+    def test_direct_construction_synthesises_history(self):
+        failure = TaskFailure("k", "timeout", "too slow", attempts=2)
+        assert failure.history == ("attempt 2: timeout: too slow",)

@@ -1,0 +1,179 @@
+"""FaultyMachine: pass-through parity, every fault family, registry spec."""
+
+import pytest
+
+from repro.faults.inject import FaultyMachine
+from repro.faults.report import DeadlockReport, FaultReport, StallError
+from repro.kernels.autofocus_mpmd import build_pipeline, run_autofocus_mpmd
+from repro.kernels.ffbp_common import plan_ffbp
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.kernels.opcounts import AutofocusWorkload, RadarConfig
+from repro.machine.backends import get_machine
+
+BACKENDS = ("event", "analytic")
+
+
+def _small_plan():
+    return plan_ffbp(RadarConfig.small(n_pulses=64, n_ranges=65))
+
+
+def _work_counters(result):
+    return [
+        (
+            t.ops,
+            t.ext_read_bytes,
+            t.ext_write_bytes,
+            t.remote_read_bytes,
+            t.remote_write_bytes,
+            t.messages_sent,
+            t.messages_received,
+            t.barriers,
+            t.dma_transfers,
+        )
+        for t in result.traces
+    ]
+
+
+class TestPassThrough:
+    """An empty plan must be a strict no-op wrapper (fault-free runs
+    stay byte-identical -- the golden-fingerprint acceptance bar)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ffbp_identical(self, backend):
+        plan = _small_plan()
+        plain = run_ffbp_spmd(get_machine(f"{backend}:e16"), plan, 16)
+        wrapped = run_ffbp_spmd(
+            FaultyMachine(get_machine(f"{backend}:e16"), ""), plan, 16
+        )
+        assert wrapped.cycles == plain.cycles
+        assert wrapped.energy_joules == plain.energy_joules
+        assert _work_counters(wrapped) == _work_counters(plain)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_autofocus_identical(self, backend):
+        work = AutofocusWorkload(
+            block_beams=6, block_ranges=4, n_candidates=2, iterations=1
+        )
+        plain = run_autofocus_mpmd(get_machine(f"{backend}:e16"), work)
+        wrapped = run_autofocus_mpmd(
+            FaultyMachine(get_machine(f"{backend}:e16"), ""), work
+        )
+        assert wrapped.cycles == plain.cycles
+        assert _work_counters(wrapped) == _work_counters(plain)
+
+
+class TestCoreCrash:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mid_run_crash_is_detected(self, backend):
+        machine = FaultyMachine(
+            get_machine(f"{backend}:e16"), "core:0@cycle=500:crash"
+        )
+        with pytest.raises(FaultReport) as exc:
+            run_ffbp_spmd(machine, _small_plan(), 16)
+        assert exc.value.kind == "core-crash"
+        assert exc.value.core == 0
+        assert exc.value.cycle >= 500
+        assert machine.events  # observability log captured the halt
+
+    def test_dead_on_arrival_reported(self):
+        machine = FaultyMachine(get_machine("event:e16"), "core:7@cycle=0:crash")
+        assert machine.dead_cores() == (7,)
+        assert FaultyMachine(get_machine("event:e16"), "").dead_cores() == ()
+
+
+class TestDmaFaults:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_corrupt_word_detected_at_completion(self, backend):
+        machine = FaultyMachine(
+            get_machine(f"{backend}:e16"), "dma:0@n=1:corrupt-word"
+        )
+        with pytest.raises(FaultReport) as exc:
+            run_ffbp_spmd(machine, _small_plan(), 16)
+        assert exc.value.kind == "dma-corrupt"
+        assert exc.value.core == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stall_is_maskable(self, backend):
+        """A delayed DMA slows the run but changes no work counter."""
+        plan = _small_plan()
+        clean = run_ffbp_spmd(get_machine(f"{backend}:e16"), plan, 16)
+        machine = FaultyMachine(
+            get_machine(f"{backend}:e16"), "dma:0@n=1:stall=256"
+        )
+        slow = run_ffbp_spmd(machine, plan, 16)
+        assert slow.cycles >= clean.cycles
+        assert _work_counters(slow) == _work_counters(clean)
+        assert any(e.kind == "dma-stall" for e in machine.events)
+
+
+class TestLinkFaults:
+    def _work(self):
+        return AutofocusWorkload(
+            block_beams=6, block_ranges=4, n_candidates=2, iterations=1
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stall_is_maskable(self, backend):
+        # Link (0,0)->(0,1) carries ri_a0 -> bi_a0 in the Fig. 9 map.
+        clean = run_autofocus_mpmd(get_machine(f"{backend}:e16"), self._work())
+        machine = FaultyMachine(
+            get_machine(f"{backend}:e16"), "link:(0,0)->(0,1)@p=1:stall=200"
+        )
+        slow = run_autofocus_mpmd(machine, self._work())
+        assert slow.cycles >= clean.cycles
+        assert _work_counters(slow) == _work_counters(clean)
+
+    def test_drop_surfaces_as_stall_with_blame(self):
+        """A lost message never raises its arrival flag: the consumer's
+        watchdog must expire and blame the silent producer."""
+        machine = FaultyMachine(
+            get_machine("event:e16"), "link:(0,0)->(0,1)@p=1:drop"
+        )
+        pipeline = build_pipeline(machine, self._work(), watchdog=5_000)
+        with pytest.raises(StallError) as exc:
+            pipeline.run()
+        blame = exc.value.blame
+        assert blame.role == "consumer"
+        assert blame.waited_cycles >= 5_000
+
+    def test_drop_without_watchdog_is_a_deadlock(self):
+        machine = FaultyMachine(
+            get_machine("event:e16"), "link:(0,0)->(0,1)@p=1:drop"
+        )
+        with pytest.raises(DeadlockReport):
+            build_pipeline(machine, self._work()).run()
+
+
+class TestFlagFaults:
+    def test_lost_flag_stalls_the_pipeline(self):
+        """Paper Section VI-B: 'a single missed flag stalls the entire
+        MPMD pipeline' -- with a watchdog it is now diagnosed."""
+        machine = FaultyMachine(get_machine("event:e16"), "flag:drop@n=1")
+        work = AutofocusWorkload(
+            block_beams=6, block_ranges=4, n_candidates=2, iterations=1
+        )
+        pipeline = build_pipeline(machine, work, watchdog=5_000)
+        with pytest.raises((StallError, DeadlockReport)):
+            pipeline.run()
+        assert any(e.kind == "flag-drop" for e in machine.events)
+
+
+class TestRegistrySpec:
+    def test_faulty_spec_composes(self):
+        machine = get_machine("faulty(core:7@cycle=0:crash):event:e16")
+        assert isinstance(machine, FaultyMachine)
+        assert machine.dead_cores() == (7,)
+        assert machine.n_cores == 16
+
+    def test_faulty_wraps_analytic_too(self):
+        machine = get_machine("faulty(dma:0:stall=8):analytic:e16")
+        assert isinstance(machine, FaultyMachine)
+        assert machine.plan.dma_faults[0].stall_cycles == 8
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ValueError):
+            get_machine("faulty(core:0@cycle=0:crash")
+
+    def test_bad_plan_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="gremlin"):
+            get_machine("faulty(gremlin:1):event:e16")

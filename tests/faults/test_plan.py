@@ -1,0 +1,145 @@
+"""Fault-plan grammar, canonicalisation and seeded schedule expansion."""
+
+import pytest
+
+from repro.faults.plan import (
+    CoreFault,
+    DmaFault,
+    FaultPlan,
+    FaultSchedule,
+    FlagFault,
+    LinkFault,
+    parse_plan,
+)
+
+
+class TestGrammar:
+    def test_core_crash(self):
+        plan = parse_plan("core:5@cycle=10000:crash")
+        (fault,) = plan.faults
+        assert fault == CoreFault(core=5, at_cycle=10000)
+        assert not fault.maskable
+        assert not fault.dead_on_arrival
+
+    def test_dead_on_arrival(self):
+        plan = parse_plan("core:3@cycle=0:crash")
+        assert plan.dead_cores() == (3,)
+        assert plan.faults[0].dead_on_arrival
+
+    def test_link_stall(self):
+        plan = parse_plan("link:(1,2)->(2,2)@p=0.01:stall=40")
+        (fault,) = plan.faults
+        assert fault == LinkFault((1, 2), (2, 2), 0.01, "stall", 40)
+        assert fault.maskable
+
+    def test_link_drop(self):
+        plan = parse_plan("link:(0,0)->(0,1)@p=0.5:drop")
+        (fault,) = plan.faults
+        assert fault.action == "drop"
+        assert not fault.maskable
+
+    def test_dma_defaults_to_first_transfer(self):
+        plan = parse_plan("dma:3:corrupt-word")
+        (fault,) = plan.faults
+        assert fault == DmaFault(core=3, action="corrupt-word", nth=1)
+        assert not fault.maskable
+
+    def test_dma_stall_is_maskable(self):
+        plan = parse_plan("dma:3@n=2:stall=64")
+        (fault,) = plan.faults
+        assert fault == DmaFault(core=3, action="stall", nth=2, stall_cycles=64)
+        assert fault.maskable
+
+    def test_flag_drop(self):
+        plan = parse_plan("flag:drop@n=2")
+        assert plan.faults == (FlagFault(nth=2),)
+        assert not plan.maskable
+
+    def test_seed_clause(self):
+        plan = parse_plan("dma:0:stall=8; seed=7")
+        assert plan.seed == 7
+        assert len(plan.faults) == 1
+
+    def test_empty_plan(self):
+        for text in ("", "   ", ";;", None):
+            plan = parse_plan(text)
+            assert not plan
+            assert plan.maskable  # vacuously: no clause forbids completion
+        assert not FaultPlan.empty()
+
+    def test_whitespace_and_case_insensitive(self):
+        a = parse_plan(" CORE:5@Cycle=10 :crash ;  seed=3 ")
+        b = parse_plan("core:5@cycle=10:crash;seed=3")
+        assert a == b
+
+    def test_canonical_text_round_trips(self):
+        text = "dma:3@n=2:stall=64;core:5@cycle=10:crash;  flag:drop@n=1"
+        plan = parse_plan(text)
+        assert parse_plan(plan.text) == plan
+
+    def test_maskable_requires_every_clause_maskable(self):
+        assert parse_plan("dma:0:stall=8; link:(0,0)->(0,1)@p=1:stall=4").maskable
+        assert not parse_plan("dma:0:stall=8; flag:drop@n=1").maskable
+
+
+class TestGrammarErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "core:5:crash",  # missing cycle
+            "link:(0,0)->(2,2)@p=0.5:drop",  # not adjacent
+            "link:(0,0)->(0,1)@p=0:drop",  # p outside (0, 1]
+            "link:(0,0)->(0,1)@p=1.5:drop",
+            "link:(0,0)->(0,1)@p=0.5:stall=0",  # stall < 1
+            "dma:3@n=0:stall=8",  # n < 1
+            "dma:3:stall=0",
+            "flag:drop@n=0",
+            "gremlin:17",  # unknown family
+        ],
+    )
+    def test_malformed_clause_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_plan(text)
+
+    def test_error_names_the_clause(self):
+        with pytest.raises(ValueError, match="gremlin"):
+            parse_plan("dma:0:stall=8; gremlin:17")
+
+
+class TestSchedule:
+    def test_p1_always_fires(self):
+        plan = parse_plan("link:(0,0)->(0,1)@p=1:drop")
+        sched = FaultSchedule(plan)
+        assert all(sched.fires(0, i) for i in range(100))
+
+    def test_deterministic_across_instances(self):
+        plan = parse_plan("link:(1,1)->(1,2)@p=0.3:stall=8; seed=42")
+        a = FaultSchedule(plan)
+        b = FaultSchedule(parse_plan(plan.text))
+        decisions_a = [a.fires(0, i) for i in range(256)]
+        decisions_b = [b.fires(0, i) for i in range(256)]
+        assert decisions_a == decisions_b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_plan_seed_changes_schedule(self):
+        base = "link:(1,1)->(1,2)@p=0.5:drop"
+        fp = {
+            FaultSchedule(parse_plan(f"{base}; seed={s}")).fingerprint()
+            for s in range(4)
+        }
+        assert len(fp) == 4  # each seed expands a distinct schedule
+
+    def test_probability_roughly_honoured(self):
+        plan = parse_plan("link:(1,1)->(1,2)@p=0.25:drop; seed=1")
+        sched = FaultSchedule(plan)
+        hits = sum(sched.fires(0, i) for i in range(2000))
+        assert 0.18 < hits / 2000 < 0.32  # deterministic, so no flake
+
+    def test_expand_is_json_canonical(self):
+        plan = parse_plan("dma:0:corrupt-word; link:(0,0)->(0,1)@p=0.5:drop")
+        exp = FaultSchedule(plan).expand(horizon=8)
+        assert exp["plan"] == plan.text
+        assert [c["clause"] for c in exp["clauses"]] == [
+            f.clause() for f in plan.faults
+        ]
+        assert all(len(c["decisions"]) == 8 for c in exp["clauses"])

@@ -1,0 +1,211 @@
+"""Runtime resilience: watchdogs, deadlock reports, stalled budgets,
+re-mapping, and the degraded-autofocus demo."""
+
+import pytest
+
+from repro.faults.degraded import run_autofocus_degraded
+from repro.faults.report import DeadlockReport, FaultReport, StallError
+from repro.machine.backends import get_machine
+from repro.machine.chip import EpiphanyChip
+from repro.machine.core import OpBlock
+from repro.runtime.channels import Channel
+from repro.runtime.mapping import TaskGraph, Placement, remap_placement
+from repro.runtime.mpmd import Pipeline, Task
+from repro.runtime.spmd import run_spmd
+from repro.kernels.autofocus_mpmd import paper_placement
+from repro.kernels.opcounts import AutofocusWorkload
+
+
+def _two_task_pipeline(machine, producer_program, consumer_program, **kw):
+    graph = TaskGraph(tasks=("prod", "cons"), edges={("prod", "cons"): 8.0})
+    place = Placement(graph, {"prod": (0, 0), "cons": (0, 1)}, 4, 4)
+    tasks = [Task("prod", producer_program), Task("cons", consumer_program)]
+    return Pipeline(machine, tasks, place, **kw)
+
+
+def _recv_once(ctx, ins, outs):
+    (ch,) = ins.values()
+    yield from ch.recv(ctx)
+
+
+class TestChannelValidation:
+    def test_zero_capacity_names_both_cores(self):
+        chip = EpiphanyChip()
+        with pytest.raises(ValueError) as exc:
+            Channel(chip, 3, 7, capacity=0)
+        msg = str(exc.value)
+        assert "src core 3" in msg
+        assert "dst core 7" in msg
+
+    def test_bad_watchdog_rejected(self):
+        chip = EpiphanyChip()
+        with pytest.raises(ValueError, match="watchdog"):
+            Channel(chip, 0, 1, watchdog=0)
+
+
+class TestWatchdog:
+    def test_stall_error_carries_blame(self):
+        """A consumer whose producer never posts: the watchdog expires
+        with a report naming waiter, peer, flag and wait window."""
+        chip = EpiphanyChip()
+        ch = Channel(chip, 0, 1, watchdog=200, name="mute")
+
+        def consumer(ctx):
+            yield from ch.recv(ctx)
+
+        with pytest.raises(StallError) as exc:
+            chip.run({1: consumer})
+        blame = exc.value.blame
+        assert blame.channel == "mute"
+        assert blame.role == "consumer"
+        assert blame.waiter_core == 1
+        assert blame.peer_core == 0
+        assert blame.waited_cycles >= 200
+        assert "stuck on flag" in blame.describe()
+
+    def test_successful_waits_cost_nothing(self):
+        """An armed watchdog that never expires must not change the
+        run's cycle count (its timer event is cancelled, not drained)."""
+
+        def programs(chip, ch):
+            def producer(ctx):
+                yield from ch.send(ctx, 8)
+
+            def consumer(ctx):
+                yield from ch.recv(ctx)
+
+            return {0: producer, 1: consumer}
+
+        plain_chip = EpiphanyChip()
+        plain = plain_chip.run(
+            programs(plain_chip, Channel(plain_chip, 0, 1))
+        )
+        guarded_chip = EpiphanyChip()
+        guarded = guarded_chip.run(
+            programs(
+                guarded_chip, Channel(guarded_chip, 0, 1, watchdog=100_000)
+            )
+        )
+        assert guarded.cycles == plain.cycles
+
+
+class TestDeadlockReport:
+    def test_pipeline_converts_engine_deadlock(self):
+        """A consumer on a channel its producer never feeds: the
+        pipeline surfaces a DeadlockReport with the blocked wait."""
+
+        def silent_producer(ctx, ins, outs):
+            yield from ctx.work(OpBlock(flops=16))
+            # ...and exits without ever sending.
+
+        pipeline = _two_task_pipeline(
+            get_machine("event:e16"), silent_producer, _recv_once
+        )
+        with pytest.raises(DeadlockReport) as exc:
+            pipeline.run()
+        assert exc.value.waits  # channel-shaped: blame attached
+        assert exc.value.waits[0].role == "consumer"
+        assert "deadlock at cycle" in str(exc.value)
+
+    def test_spmd_lost_barrier_party(self):
+        """One core returning before the barrier deadlocks the rest --
+        reported structurally, not as a bare engine error."""
+
+        def kernel(ctx):
+            if ctx.core_id == 0:
+                return  # never joins the barrier
+            yield from ctx.barrier()
+
+        with pytest.raises(DeadlockReport):
+            run_spmd(get_machine("event:e16"), 4, kernel)
+
+
+class TestStalledBudget:
+    def test_max_cycles_returns_stalled_result_with_waits(self):
+        """Satellite regression: a mis-wired channel (consumer listens
+        on an edge the producer never posts) under a cycle budget ends
+        as a stalled RunResult carrying the per-task wait states."""
+
+        def busy_producer(ctx, ins, outs):
+            # Enough work to outlive the budget, on the wrong channel.
+            yield from ctx.work(OpBlock(flops=1e7))
+
+        pipeline = _two_task_pipeline(
+            get_machine("event:e16"), busy_producer, _recv_once
+        )
+        result = pipeline.run(max_cycles=5_000)
+        assert result.stalled
+        assert result.wait_states
+        waits = {w.role for w in result.wait_states}
+        assert "consumer" in waits
+        assert all(w.now_cycle == result.cycles for w in result.wait_states)
+
+    def test_completed_run_is_not_stalled(self):
+        def producer(ctx, ins, outs):
+            (ch,) = outs.values()
+            yield from ch.send(ctx, 8)
+
+        pipeline = _two_task_pipeline(
+            get_machine("event:e16"), producer, _recv_once
+        )
+        result = pipeline.run()
+        assert not result.stalled
+        assert result.wait_states == ()
+
+
+class TestRemapPlacement:
+    def _placement(self):
+        work = AutofocusWorkload(
+            block_beams=6, block_ranges=4, n_candidates=2, iterations=1
+        )
+        return paper_placement(work, 4, 4)
+
+    def test_no_dead_cores_is_identity(self):
+        place = self._placement()
+        same, moved = remap_placement(place, ())
+        assert same is place
+        assert moved == {}
+
+    def test_victim_moves_to_surviving_free_cell(self):
+        place = self._placement()
+        remapped, moved = remap_placement(place, (0,))
+        assert set(moved) == {"ri_a0"}
+        old, new = moved["ri_a0"]
+        assert old == 0
+        assert new in {12, 14, 15}  # the three spare Fig. 9 cores
+        assert remapped.core_id("ri_a0") == new
+        # Everyone else stays put.
+        for task in remapped.graph.tasks:
+            if task != "ri_a0":
+                assert remapped.core_id(task) == place.core_id(task)
+
+    def test_deterministic_choice(self):
+        a = remap_placement(self._placement(), (0, 5))[1]
+        b = remap_placement(self._placement(), (0, 5))[1]
+        assert a == b
+
+    def test_unmappable_raises_fault_report(self):
+        with pytest.raises(FaultReport) as exc:
+            remap_placement(self._placement(), (0, 12, 14, 15))
+        assert exc.value.kind == "unmappable"
+
+
+class TestDegradedDemo:
+    def test_default_plan_completes_with_penalty(self):
+        run = run_autofocus_degraded()
+        assert run.dead_cores == (0,)
+        assert run.moved["ri_a0"][0] == 0
+        assert run.penalty_cycles > 0
+        assert run.degraded_byte_hops > run.baseline_byte_hops
+        text = run.format()
+        assert "re-mapped" in text
+        assert "penalty" in text
+
+    def test_analytic_backend_reports_byte_hop_penalty(self):
+        run = run_autofocus_degraded(backend="analytic:e16")
+        assert run.dead_cores == (0,)
+        assert run.degraded_byte_hops > run.baseline_byte_hops
+
+    def test_mid_run_crash_is_not_degradable(self):
+        with pytest.raises(ValueError, match="cycle=0"):
+            run_autofocus_degraded(plan="core:0@cycle=500:crash")

@@ -1,0 +1,112 @@
+"""Chaos gate: containment, determinism, and jobs-level independence.
+
+Worker functions live at module level so they pickle for the process
+pool (fork workers resolve them by name from the inherited modules).
+"""
+
+import pytest
+
+from repro.exec import ExperimentRunner, TaskSpec
+from repro.faults.plan import FaultSchedule, parse_plan
+from repro.machine.backends import available_backends
+from repro.verify.chaos import (
+    CHAOS_BACKENDS,
+    chaos_cell,
+    random_plan,
+    run_chaos_case,
+)
+from repro.verify.gate import DEFAULT_SEED, _chaos_cell
+
+SMOKE_CASES = 6
+
+
+def _schedule_fingerprints(seed, lo, hi):
+    """Expand the chaos plans for cases [lo, hi) into schedule digests."""
+    return [
+        FaultSchedule(parse_plan(random_plan(seed, case))).fingerprint()
+        for case in range(lo, hi)
+    ]
+
+
+def _stable_view(checks):
+    """Check fields that must match across processes and jobs levels
+    (the `.bounded` note carries wall time, which legitimately varies)."""
+    return [
+        (c.name, c.passed, c.note)
+        for c in checks
+        if not c.name.endswith(".bounded")
+    ]
+
+
+class TestPlanGeneration:
+    def test_plans_are_pure_in_seed_and_case(self):
+        for case in range(16):
+            assert random_plan(DEFAULT_SEED, case) == random_plan(
+                DEFAULT_SEED, case
+            )
+
+    def test_plans_parse_and_vary(self):
+        plans = {random_plan(DEFAULT_SEED, case) for case in range(24)}
+        assert len(plans) > 12  # the generator explores, not repeats
+        for text in plans:
+            parse_plan(text)  # every generated plan is grammatical
+
+    def test_seed_changes_the_case_set(self):
+        a = [random_plan(1, case) for case in range(8)]
+        b = [random_plan(2, case) for case in range(8)]
+        assert a != b
+
+
+class TestContainment:
+    def test_chaos_covers_every_registered_backend(self):
+        assert set(CHAOS_BACKENDS) == set(available_backends())
+
+    @pytest.mark.parametrize("backend", CHAOS_BACKENDS)
+    def test_smoke_batch_is_contained_and_deterministic(self, backend):
+        for case in range(SMOKE_CASES):
+            checks = run_chaos_case(backend, case, DEFAULT_SEED)
+            bad = [c for c in checks if not c.passed]
+            assert not bad, [f"{c.name}: {c.note}" for c in bad]
+
+    @pytest.mark.parametrize("backend", CHAOS_BACKENDS)
+    def test_rerun_reproduces_checks(self, backend):
+        first = chaos_cell(backend, range(4), DEFAULT_SEED)
+        second = chaos_cell(backend, range(4), DEFAULT_SEED)
+        assert _stable_view(first) == _stable_view(second)
+
+
+class TestJobsIndependence:
+    """Satellite: plan + seed is a cross-process reproducer -- the
+    schedules and gate outcomes are byte-identical at jobs=1 and 4."""
+
+    def test_schedule_fingerprints_identical_across_jobs(self):
+        tasks = [
+            TaskSpec(
+                key=f"fp/{lo}",
+                fn=_schedule_fingerprints,
+                args=(DEFAULT_SEED, lo, lo + 4),
+            )
+            for lo in range(0, 16, 4)
+        ]
+        serial = ExperimentRunner(jobs=1, cache=None).run(tasks)
+        parallel = ExperimentRunner(jobs=4, cache=None).run(tasks)
+        assert [r.value for r in serial] == [r.value for r in parallel]
+
+    @pytest.mark.parametrize("backend", CHAOS_BACKENDS)
+    def test_gate_cells_identical_across_jobs(self, backend):
+        tasks = [
+            TaskSpec(
+                key=f"chaos/{backend}/{lo}",
+                fn=_chaos_cell,
+                args=(backend, (lo, lo + 3), DEFAULT_SEED),
+            )
+            for lo in range(0, 12, 3)
+        ]
+        serial = ExperimentRunner(jobs=1, cache=None).run(tasks)
+        parallel = ExperimentRunner(jobs=4, cache=None).run(tasks)
+        assert [_stable_view(r.value) for r in serial] == [
+            _stable_view(r.value) for r in parallel
+        ]
+        # And every check in the batch passed on both paths.
+        for r in serial + parallel:
+            assert all(c.passed for c in r.value)
