@@ -1,0 +1,258 @@
+"""Machine-readable performance benchmarks (``repro bench``).
+
+Tracks the *implementation* cost of the reproduction -- host wall
+time, simulated cycles and peak RSS -- for the Table-I workloads on
+both simulation backends, plus the FFBP geometry planning that the
+performance layer (:mod:`repro.perf`) memoises.  Output is a single
+JSON document (schema :data:`BENCH_SCHEMA`) so successive commits form
+a comparable trajectory: ``BENCH_<n>.json`` files at the repo root are
+the committed baselines, and :func:`compare_bench` gates a candidate
+run against one.
+
+Schema (``repro-bench/1``)
+--------------------------
+::
+
+    {
+      "schema":  "repro-bench/1",
+      "repeats": 3,                      # timing repeats (min is kept)
+      "host":    {"python": .., "platform": .., "numpy": ..},
+      "results": {
+        "<scale>/<workload>/<backend>": {
+          "wall_s":      0.0123,   # best-of-repeats host seconds
+          "cycles":      3243780,  # simulated cycles (null: host-only)
+          "peak_rss_kb": 81234     # ru_maxrss high-water mark *after*
+        }                          # the workload (monotonic per process)
+      }
+    }
+
+Keys are ``{scale}/{workload}/{backend}``: scale is ``quick``
+(256x257), ``paper`` (1024x1001) or ``fixed`` (scale-independent
+workloads); backend is a registry spec (``event:e16``) or ``host`` for
+pure-Python work.  ``wall_s`` is the only gated metric -- cycles are
+deterministic outputs guarded by the verify gate's golden
+fingerprints, and RSS is informational (``ru_maxrss`` never decreases
+within a process, so later workloads inherit earlier high-water
+marks).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Mapping
+
+BENCH_SCHEMA = "repro-bench/1"
+DEFAULT_BACKENDS: tuple[str, ...] = ("event:e16", "analytic:e16")
+DEFAULT_REGRESSION_FACTOR = 2.0
+DEFAULT_REPEATS = 3
+
+_SCALES: dict[str, tuple[int, int]] = {
+    "quick": (256, 257),
+    "paper": (1024, 1001),
+}
+
+_ABS_SLACK_S = 0.01
+"""Absolute slack added to the regression threshold so microsecond-scale
+entries (memo hits) cannot fail the gate on scheduler noise."""
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (Linux ``ru_maxrss`` unit); 0 if unknown."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        rss //= 1024
+    return int(rss)
+
+
+def _time_best(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Best-of-``repeats`` wall time of ``fn`` and its last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def _bench_plan(cfg, repeats: int) -> dict[str, dict[str, Any]]:
+    """Geometry planning: cold (memo off) vs memoised (warm hit)."""
+    from repro.kernels.ffbp_common import plan_ffbp
+    from repro.perf import memo_disabled
+
+    out: dict[str, dict[str, Any]] = {}
+
+    def cold():
+        with memo_disabled():
+            return plan_ffbp(cfg)
+
+    wall, _ = _time_best(cold, repeats)
+    out["plan_ffbp_cold/host"] = {
+        "wall_s": wall, "cycles": None, "peak_rss_kb": _peak_rss_kb()
+    }
+
+    plan_ffbp(cfg)  # warm the memo
+    wall, _ = _time_best(lambda: plan_ffbp(cfg), repeats)
+    out["plan_ffbp_memo/host"] = {
+        "wall_s": wall, "cycles": None, "peak_rss_kb": _peak_rss_kb()
+    }
+    return out
+
+
+def _bench_ffbp(cfg, backends: tuple[str, ...], repeats: int):
+    """The Table-I parallel FFBP row (16-core SPMD) per backend."""
+    from repro.kernels.ffbp_common import plan_ffbp
+    from repro.kernels.ffbp_spmd import run_ffbp_spmd
+    from repro.machine.backends import get_machine
+
+    plan = plan_ffbp(cfg)
+    out: dict[str, dict[str, Any]] = {}
+    for backend in backends:
+        wall, res = _time_best(
+            lambda b=backend: run_ffbp_spmd(get_machine(b), plan, 16), repeats
+        )
+        out[f"ffbp_spmd16/{backend}"] = {
+            "wall_s": wall,
+            "cycles": int(res.cycles),
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+    return out
+
+
+def _bench_autofocus(backends: tuple[str, ...], repeats: int):
+    """The Table-I parallel autofocus row (scale-independent)."""
+    from repro.kernels.autofocus_mpmd import run_autofocus_mpmd
+    from repro.kernels.opcounts import AutofocusWorkload
+    from repro.machine.backends import get_machine
+
+    work = AutofocusWorkload()
+    out: dict[str, dict[str, Any]] = {}
+    for backend in backends:
+        wall, res = _time_best(
+            lambda b=backend: run_autofocus_mpmd(get_machine(b), work), repeats
+        )
+        out[f"autofocus_mpmd/{backend}"] = {
+            "wall_s": wall,
+            "cycles": int(res.cycles),
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+    return out
+
+
+def run_bench(
+    quick: bool = False,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    repeats: int = DEFAULT_REPEATS,
+) -> dict[str, Any]:
+    """Run the benchmark suite; return the schema document.
+
+    ``quick=True`` restricts the scaled workloads to the 256x257 quick
+    scale (the CI smoke configuration); the default also runs the
+    paper's 1024x1001 workload.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if not backends:
+        raise ValueError("need at least one backend")
+    from repro.sar.config import RadarConfig
+
+    scales = ("quick",) if quick else tuple(_SCALES)
+    results: dict[str, dict[str, Any]] = {}
+    for scale in scales:
+        pulses, ranges = _SCALES[scale]
+        cfg = (
+            RadarConfig.paper()
+            if scale == "paper"
+            else RadarConfig.small(n_pulses=pulses, n_ranges=ranges)
+        )
+        for key, row in _bench_plan(cfg, repeats).items():
+            results[f"{scale}/{key}"] = row
+        for key, row in _bench_ffbp(cfg, backends, repeats).items():
+            results[f"{scale}/{key}"] = row
+    for key, row in _bench_autofocus(backends, repeats).items():
+        results[f"fixed/{key}"] = row
+    return {
+        "schema": BENCH_SCHEMA,
+        "repeats": int(repeats),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "numpy": __import__("numpy").__version__,
+        },
+        "results": results,
+    }
+
+
+def compare_bench(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    factor: float = DEFAULT_REGRESSION_FACTOR,
+) -> tuple[list[str], list[str]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(regressions, notes)``.  A key regresses when its wall
+    time exceeds ``factor * baseline + 10 ms`` (the absolute slack
+    keeps microsecond-scale entries out of noise range).  Keys present
+    on only one side, and simulated-cycle drift, are *notes*: cycle
+    identity is the verify gate's job, and quick runs legitimately
+    cover a subset of a full baseline.
+    """
+    for doc, side in ((current, "current"), (baseline, "baseline")):
+        if doc.get("schema") != BENCH_SCHEMA:
+            raise ValueError(
+                f"{side} document schema {doc.get('schema')!r} != {BENCH_SCHEMA!r}"
+            )
+    if factor <= 0:
+        raise ValueError(f"regression factor must be positive, got {factor}")
+    cur = current["results"]
+    base = baseline["results"]
+    regressions: list[str] = []
+    notes: list[str] = []
+    for key in sorted(set(cur) & set(base)):
+        c, b = cur[key], base[key]
+        limit = factor * float(b["wall_s"]) + _ABS_SLACK_S
+        if float(c["wall_s"]) > limit:
+            regressions.append(
+                f"{key}: wall {c['wall_s']:.4f}s > {factor:g}x baseline "
+                f"{b['wall_s']:.4f}s (+{_ABS_SLACK_S:g}s slack)"
+            )
+        if c.get("cycles") != b.get("cycles"):
+            notes.append(
+                f"{key}: cycles {c.get('cycles')} != baseline "
+                f"{b.get('cycles')} (model change?)"
+            )
+    for key in sorted(set(cur) ^ set(base)):
+        side = "baseline" if key in base else "current"
+        notes.append(f"{key}: only in {side}")
+    return regressions, notes
+
+
+def format_summary(doc: Mapping[str, Any]) -> str:
+    """One line per result, aligned, for human eyes (stderr)."""
+    lines = []
+    for key in sorted(doc["results"]):
+        row = doc["results"][key]
+        cycles = "-" if row.get("cycles") is None else str(row["cycles"])
+        lines.append(
+            f"{key:<42} {row['wall_s']*1e3:>10.2f} ms  "
+            f"cycles={cycles:>12}  rss={row['peak_rss_kb']} KiB"
+        )
+    return "\n".join(lines)
+
+
+def load_bench(path: str) -> dict[str, Any]:
+    """Load and schema-check a bench document from ``path``."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    return doc

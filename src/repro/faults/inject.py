@@ -220,10 +220,10 @@ class FaultyContext:
             inner.t += cycles
             inner.trace.stall_cycles += cycles
             return
-        from repro.machine.event import Delay
+        from repro.machine.event import delay
 
         inner.trace.stall_cycles += cycles
-        yield Delay(cycles)
+        yield delay(cycles)
 
     # -- synchronisation -------------------------------------------------
     def barrier(self):

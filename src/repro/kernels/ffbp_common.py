@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry.apertures import SubapertureTree
+from repro.perf import memoize
 from repro.sar.config import RadarConfig
 from repro.sar.ffbp import stage_maps
 
@@ -165,7 +166,24 @@ def plan_ffbp(
     The plan is machine-independent; the same plan feeds the Epiphany
     sequential, Epiphany SPMD and CPU reference kernels, which is what
     makes their comparison a controlled experiment.
+
+    Plans depend only on ``(cfg, window_bytes)``, so they are memoised
+    process-wide (and -- when ``REPRO_CACHE_DIR`` is set -- persisted
+    through the execution layer's :class:`~repro.exec.cache.ResultCache`,
+    keyed with :func:`~repro.exec.cache.code_version` so any source
+    edit invalidates them).  A memo hit returns a byte-identical,
+    read-only plan.
     """
+    return memoize(
+        "ffbp/plan",
+        (cfg, int(window_bytes)),
+        lambda: _build_plan_ffbp(cfg, window_bytes),
+        persist=True,
+    )
+
+
+def _build_plan_ffbp(cfg: RadarConfig, window_bytes: int) -> FfbpPlan:
+    """Cold build of :func:`plan_ffbp`."""
     tree = SubapertureTree(cfg.n_pulses, cfg.spacing, cfg.merge_base)
     stages = tuple(
         plan_stage(cfg, tree, level, window_bytes)

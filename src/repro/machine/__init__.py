@@ -43,7 +43,7 @@ from repro.machine.core import OpBlock
 from repro.machine.cpu import CpuMachine
 from repro.machine.event import Engine
 from repro.machine.loader import LoadPlan, ProgramImage
-from repro.machine.profile import profile_run
+from repro.machine.profile import OvercommitError, profile_run
 from repro.machine.specs import CpuSpec, EpiphanySpec
 from repro.machine.tracing import ActivityRecorder
 
@@ -61,6 +61,7 @@ __all__ = [
     "Engine",
     "LoadPlan",
     "ProgramImage",
+    "OvercommitError",
     "profile_run",
     "CpuSpec",
     "EpiphanySpec",

@@ -16,7 +16,7 @@ from repro.machine.context import Context, MemOp
 from repro.machine.core import CoreTimingModel, OpBlock
 from repro.machine.dma import DmaEngine
 from repro.machine.energy import EnergyMeter
-from repro.machine.event import Delay, Engine, Flag, Wait, Waitable
+from repro.machine.event import Engine, Flag, Wait, Waitable, delay
 from repro.machine.memory import ExternalMemory, LocalMemory
 from repro.machine.noc import Mesh
 from repro.machine.specs import EpiphanySpec
@@ -57,7 +57,7 @@ class EpiphanyContext(Context):
         self.local.touch(8.0 * (block.local_loads + block.local_stores))
         if cycles:
             start = self.chip.engine.now
-            yield Delay(cycles)
+            yield delay(cycles)
             self._record("compute", start)
         for op in mem:
             if op.kind == "load":
@@ -82,7 +82,7 @@ class EpiphanyContext(Context):
         chip.energy.add_busy(self.core_id, stall)
         if stall:
             start = chip.engine.now
-            yield Delay(stall)
+            yield delay(stall)
             self._record("mem", start)
 
     def ext_scatter_read(self, n_accesses: int) -> Iterator[Waitable]:
@@ -111,7 +111,7 @@ class EpiphanyContext(Context):
         chip.energy.add_busy(self.core_id, stall)
         if stall:
             start = chip.engine.now
-            yield Delay(stall)
+            yield delay(stall)
             self._record("mem", start)
 
     def _ext_write(self, nbytes: float) -> Iterator[Waitable]:
@@ -128,7 +128,7 @@ class EpiphanyContext(Context):
         self.chip.energy.add_busy(self.core_id, stall)
         if stall:
             start = chip.engine.now
-            yield Delay(stall)
+            yield delay(stall)
             self._record("mem", start)
 
     # -- on-chip communication ------------------------------------------
@@ -147,7 +147,7 @@ class EpiphanyContext(Context):
         self.trace.compute_cycles += issue
         chip.energy.add_busy(self.core_id, issue)
         if issue:
-            yield Delay(issue)
+            yield delay(issue)
 
     def remote_write_arrival(self, dst_core: int, nbytes: float) -> int:
         """Cycle at which a posted remote write lands at ``dst_core``."""
@@ -165,7 +165,7 @@ class EpiphanyContext(Context):
         self.trace.compute_cycles += issue
         self.chip.energy.add_busy(self.core_id, issue)
         if issue:
-            yield Delay(issue)
+            yield delay(issue)
 
     def read_remote(self, src_core: int, nbytes: float) -> Iterator[Waitable]:
         """Blocking read of another core's local memory (read plane)."""
@@ -179,7 +179,7 @@ class EpiphanyContext(Context):
         stall = max(0, back.finish_cycle - chip.engine.now)
         self.trace.stall_cycles += stall
         if stall:
-            yield Delay(stall)
+            yield delay(stall)
 
     # -- DMA ---------------------------------------------------------------
     def dma_prefetch(self, nbytes: float) -> Flag:
@@ -248,7 +248,7 @@ class EpiphanyChip:
         def _land() -> Iterator[Waitable]:
             gap = cycle - engine.now
             if gap > 0:
-                yield Delay(gap)
+                yield delay(gap)
             flag.set()
 
         engine.spawn(_land(), name=f"land@{cycle}")
@@ -266,7 +266,7 @@ class EpiphanyChip:
             return
 
         def _tick() -> Iterator[Waitable]:
-            yield Delay(int(cycles))
+            yield delay(int(cycles))
 
         self.engine.spawn(_tick(), name="steady-state")
         self.engine.run()

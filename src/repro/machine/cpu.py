@@ -20,7 +20,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.machine.context import Context, MemOp
 from repro.machine.core import OpBlock
-from repro.machine.event import Delay, Engine, Waitable
+from repro.machine.event import Engine, Waitable, delay
 from repro.machine.specs import CpuSpec
 from repro.machine.trace import Trace
 
@@ -98,7 +98,7 @@ class CpuContext(Context):
         self.trace.stall_cycles += total - compute if total > compute else 0.0
         cycles = ceil(total)
         if cycles:
-            yield Delay(cycles)
+            yield delay(cycles)
 
     def barrier(self) -> Iterator[Waitable]:
         # A single-core "SPMD program of one" synchronises trivially;

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.machine.event import Delay, Engine, Flag, Waitable
+from repro.machine.event import Engine, Flag, Waitable, delay
 from repro.machine.memory import ExternalMemory
 from repro.machine.specs import EpiphanySpec
 
@@ -52,14 +52,14 @@ class DmaEngine:
             # The DMA engine itself serialises its own transfers.
             start_gap = max(0, self._busy_until - self.engine.now)
             if start_gap:
-                yield Delay(start_gap)
+                yield delay(start_gap)
             finish = self.ext.read_finish(self.engine.now, nbytes)
             # Engine moves a double word per cycle, so its own pump can
             # also bound the rate.
             pump = int(nbytes / self.spec.dma_bytes_per_cycle)
             done = max(finish, self.engine.now + pump) + path_cycles
             self._busy_until = done
-            yield Delay(max(0, done - self.engine.now))
+            yield delay(max(0, done - self.engine.now))
             flag.set()
 
         self.engine.spawn(_run(), name=f"dma-core{self.core_id}")

@@ -13,11 +13,26 @@ that yield *waitables*:
 Time is in integer clock cycles of the simulated device.  Determinism:
 ties are broken by schedule order (a monotonic sequence number), so a
 simulation is exactly reproducible.
+
+Fast path
+---------
+The engine spends most of its time moving *same-cycle* events: flag
+wakeups, joins, spawns and zero-cycle delays all land at ``now``.
+Those go to a plain FIFO (:attr:`Engine._ready`) instead of the heap
+-- appends happen at non-decreasing ``now`` with strictly increasing
+sequence numbers, so the FIFO is already sorted by ``(when, seq)`` and
+the run loop is a two-way merge of FIFO and heap.  Event *ordering* is
+decided by exactly the same ``(when, seq)`` keys as the pure-heap
+engine, so cycle counts, traces and profiles are bit-identical (the
+golden fingerprints in ``tests/golden/`` gate this).  Waitables are
+``slots=True`` dataclasses and small delays are interned via
+:func:`delay`, trimming per-event allocation on the hot paths.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Generator, Iterable
 
@@ -26,7 +41,7 @@ class SimulationError(RuntimeError):
     """Raised for protocol violations inside a simulation."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delay:
     """Wait for ``cycles`` clock cycles."""
 
@@ -37,7 +52,7 @@ class Delay:
             raise ValueError(f"negative delay: {self.cycles}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Acquire:
     """Queue for ``amount`` service units of a :class:`Resource`."""
 
@@ -46,14 +61,14 @@ class Acquire:
     latency: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Wait:
     """Block until a :class:`Flag` is set."""
 
     flag: "Flag"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Join:
     """Block until another :class:`Process` completes."""
 
@@ -62,6 +77,23 @@ class Join:
 
 Waitable = Delay | Acquire | Wait | Join
 ProcessBody = Generator[Waitable, Any, Any]
+
+_DELAY_CACHE_MAX = 256
+_DELAY_CACHE: tuple[Delay, ...] = tuple(Delay(c) for c in range(_DELAY_CACHE_MAX))
+
+
+def delay(cycles: int) -> Delay:
+    """Interned :class:`Delay` factory for hot paths.
+
+    ``Delay`` is immutable, so equal-cycle instances are freely
+    shareable; returning a cached instance for small counts skips the
+    dataclass ``__init__``/``__post_init__`` allocation that otherwise
+    runs once per simulated event.  Semantically identical to
+    ``Delay(cycles)`` (including the negative-delay ``ValueError``).
+    """
+    if type(cycles) is int and 0 <= cycles < _DELAY_CACHE_MAX:
+        return _DELAY_CACHE[cycles]
+    return Delay(cycles)
 
 
 class Flag:
@@ -206,6 +238,7 @@ class Engine:
     def __init__(self) -> None:
         self.now = 0
         self._heap: list[tuple[int, int, Process]] = []
+        self._ready: deque[tuple[int, int, Process]] = deque()
         self._seq = 0
         self._live = 0
 
@@ -245,12 +278,26 @@ class Engine:
         proc.body.close()
 
     # -- scheduling ----------------------------------------------------
+    # Same-cycle events go to the ``_ready`` FIFO instead of the heap:
+    # ``now`` never decreases and ``_seq`` strictly increases, so the
+    # FIFO is sorted by ``(when, seq)`` by construction and the run
+    # loop's two-way merge pops events in exactly the order the
+    # pure-heap engine did.
+
     def _schedule(self, delay: int, proc: Process, _value: Any) -> None:
-        heapq.heappush(self._heap, (self.now + int(delay), self._seq, proc))
+        delay = int(delay)
+        if delay == 0:
+            self._ready.append((self.now, self._seq, proc))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, proc))
         self._seq += 1
 
     def _schedule_at(self, when: int, proc: Process) -> None:
-        heapq.heappush(self._heap, (max(int(when), self.now), self._seq, proc))
+        when = max(int(when), self.now)
+        if when == self.now:
+            self._ready.append((when, self._seq, proc))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, proc))
         self._seq += 1
 
     def _step(self, proc: Process) -> None:
@@ -268,19 +315,23 @@ class Engine:
         self._dispatch(proc, waitable)
 
     def _dispatch(self, proc: Process, waitable: Waitable) -> None:
-        if isinstance(waitable, Delay):
+        # ``type() is`` beats an isinstance chain on the hot path; the
+        # waitables are final slots-dataclasses, so exact-type checks
+        # are also complete.
+        cls = type(waitable)
+        if cls is Delay:
             self._schedule(waitable.cycles, proc, None)
-        elif isinstance(waitable, Acquire):
+        elif cls is Acquire:
             finish = waitable.resource.request_finish_time(
                 waitable.amount, waitable.latency
             )
             self._schedule_at(finish, proc)
-        elif isinstance(waitable, Wait):
+        elif cls is Wait:
             if waitable.flag.is_set:
                 self._schedule(0, proc, None)
             else:
                 waitable.flag._add_waiter(proc)
-        elif isinstance(waitable, Join):
+        elif cls is Join:
             if waitable.process.done:
                 self._schedule(0, proc, None)
             else:
@@ -296,8 +347,18 @@ class Engine:
         Raises :class:`SimulationError` on deadlock: live processes
         remain but no event is scheduled (e.g. a flag nobody sets).
         """
-        while self._heap:
-            when, _seq, proc = heapq.heappop(self._heap)
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        while heap or ready:
+            # Two-way merge on (when, seq); seqs are unique so the
+            # tuple comparison never reaches the Process element.
+            if not ready:
+                when, _seq, proc = heappop(heap)
+            elif not heap or ready[0] < heap[0]:
+                when, _seq, proc = ready.popleft()
+            else:
+                when, _seq, proc = heappop(heap)
             if proc.cancelled:
                 continue  # discarded event; the clock does not advance
             if max_cycles is not None and when > max_cycles:

@@ -15,12 +15,26 @@ from repro.machine.chip import RunResult
 
 @dataclass(frozen=True)
 class CoreProfile:
-    """Cycle breakdown for one core."""
+    """Cycle breakdown for one core.
+
+    A core whose attributed cycles (compute + stall) exceed the run's
+    total is *overcommitted*: the trace double-counts activity or the
+    run was cut short mid-activity.  :attr:`idle_cycles` clamps to zero
+    so fractions stay sane for reports, but the condition is surfaced
+    via :attr:`overcommitted` (and rejected outright by
+    ``profile_run(strict=True)``, which the verify gate uses) instead
+    of being silently swallowed as it historically was.
+    """
 
     core: int
     compute_cycles: float
     stall_cycles: float
     total_cycles: int
+
+    @property
+    def overcommitted(self) -> bool:
+        """True when compute + stall exceed the run total (bad trace)."""
+        return self.compute_cycles + self.stall_cycles > self.total_cycles
 
     @property
     def idle_cycles(self) -> float:
@@ -39,12 +53,21 @@ class CoreProfile:
         return self.compute_fraction + self.stall_fraction
 
 
+class OvercommitError(ValueError):
+    """A core's attributed cycles exceed the run total (bad trace)."""
+
+
 @dataclass(frozen=True)
 class RunProfile:
     """Chip-level profile of one run."""
 
     cores: tuple[CoreProfile, ...]
     cycles: int
+
+    @property
+    def overcommitted_cores(self) -> tuple[int, ...]:
+        """Core ids whose breakdown exceeds the run total."""
+        return tuple(c.core for c in self.cores if c.overcommitted)
 
     @property
     def mean_compute_fraction(self) -> float:
@@ -90,8 +113,15 @@ class RunProfile:
         return f"{table}\nverdict: {self.classify()}"
 
 
-def profile_run(result: RunResult) -> RunProfile:
-    """Build a profile from a chip run result."""
+def profile_run(result: RunResult, strict: bool = False) -> RunProfile:
+    """Build a profile from a chip run result.
+
+    ``strict=True`` raises :class:`OvercommitError` when any core's
+    compute + stall cycles exceed the run total instead of letting the
+    clamped idle fraction mask the inconsistency.  The verify gate
+    profiles strictly, so a backend whose traces double-count activity
+    fails loudly rather than fingerprinting a silently-clamped profile.
+    """
     cores = tuple(
         CoreProfile(
             core=i,
@@ -101,4 +131,13 @@ def profile_run(result: RunResult) -> RunProfile:
         )
         for i, t in enumerate(result.traces)
     )
-    return RunProfile(cores=cores, cycles=result.cycles)
+    profile = RunProfile(cores=cores, cycles=result.cycles)
+    if strict and profile.overcommitted_cores:
+        bad = ", ".join(
+            f"core {c.core}: compute {c.compute_cycles:g} + stall "
+            f"{c.stall_cycles:g} > total {c.total_cycles}"
+            for c in profile.cores
+            if c.overcommitted
+        )
+        raise OvercommitError(f"overcommitted core breakdown ({bad})")
+    return profile

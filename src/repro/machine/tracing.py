@@ -9,7 +9,9 @@ An optional :class:`ActivityRecorder` attached to a chip collects
   (one lane per core, one glyph per activity kind).
 
 Interval kinds: ``compute``, ``mem`` (stalled on external memory),
-``dma`` (waiting on a prefetch), ``sync`` (barrier/flag waits).
+``dma`` (waiting on a prefetch), ``sync`` (barrier/flag waits),
+``send`` (pushing results to a neighbour core over the NoC -- the
+on-chip message-passing phase of the MPMD autofocus pipeline).
 """
 
 from __future__ import annotations
@@ -79,6 +81,10 @@ class ActivityRecorder:
                 "dur": iv.cycles * scale,
                 "pid": 0,
                 "tid": iv.core,
+                # Perfetto aggregates and colours by args; carrying the
+                # kind here keeps it queryable even when event names are
+                # rewritten by slicing tools.
+                "args": {"kind": iv.kind},
             }
             for iv in self.intervals
         ]

@@ -1,0 +1,34 @@
+"""Cross-cutting performance layer.
+
+``repro.perf`` is plumbing, not physics: a process-level, byte-exact
+memo for deterministic geometry artefacts (FFBP merge index tables,
+gather stencils, kernel cost plans) that the hot paths otherwise
+recompute per run.  See :mod:`repro.perf.memo` for the design rules
+(byte identity, bounded residency, optional ``ResultCache``
+persistence, leaf layering) and ``docs/architecture.md`` §12 for how
+the layer and the ``repro bench`` trajectory fit together.
+"""
+
+from repro.perf.memo import (
+    clear_memo,
+    freeze,
+    memo_budget_bytes,
+    memo_disabled,
+    memo_enabled,
+    memo_key,
+    memo_stats,
+    memoize,
+    set_memo_enabled,
+)
+
+__all__ = [
+    "clear_memo",
+    "freeze",
+    "memo_budget_bytes",
+    "memo_disabled",
+    "memo_enabled",
+    "memo_key",
+    "memo_stats",
+    "memoize",
+    "set_memo_enabled",
+]

@@ -1,0 +1,254 @@
+"""Process-level memoisation for deterministic hot-path artefacts.
+
+The FFBP merge geometry (paper eqs. 1-4), the per-stage gather tables
+derived from it, and the kernel cost plans depend only on *grid
+geometry* -- ``(RadarConfig, SubapertureTree, stage, options)`` -- yet
+the hot paths historically recomputed them for every run: every
+Monte-Carlo repeat, every sweep point, every differential-oracle cell
+and every golden-fingerprint build paid the full cosine-theorem index
+construction again.  This module is the process-level fix: a bounded,
+byte-exact memo keyed by :func:`repro.exec.cache.stable_digest` of the
+inputs.
+
+Design rules
+------------
+- **Byte identity.**  A memo hit returns the *same arrays* a cold
+  build would produce -- callers must observe no difference beyond
+  wall time.  Cached entries are frozen (``ndarray.writeable = False``
+  recursively) so an aliasing bug surfaces as an immediate
+  ``ValueError`` instead of silent cross-run corruption.
+- **Bounded.**  Entries are LRU-evicted once the resident array bytes
+  exceed :func:`memo_budget_bytes` (default 256 MiB, override with
+  ``REPRO_PERF_MEMO_BYTES``; ``0`` disables memoisation entirely).
+- **Optional persistence.**  Builders tagged ``persist=True`` also
+  consult the opt-in on-disk :class:`repro.exec.cache.ResultCache`
+  (active iff ``REPRO_CACHE_DIR`` is set).  Disk entries embed
+  :func:`~repro.exec.cache.code_version`, so any source edit
+  invalidates them; the in-process memo is always per-process and
+  needs no invalidation.
+- **Leaf layering.**  Like ``exec/``, this package imports nothing
+  from ``repro`` outside ``repro.exec.cache``; any layer (signal, sar,
+  kernels, eval) may use it without creating an import cycle.
+
+The :func:`memo_disabled` context manager restores the exact uncached
+behaviour; the property tests in ``tests/perf/`` assert byte identity
+between the two paths, and ``benchmarks/test_perf_memo.py`` asserts
+the >= 2x wall-clock win on a repeated-geometry sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.exec.cache import ResultCache, default_cache, stable_digest
+
+__all__ = [
+    "memoize",
+    "memo_key",
+    "memo_enabled",
+    "set_memo_enabled",
+    "memo_disabled",
+    "memo_stats",
+    "clear_memo",
+    "memo_budget_bytes",
+    "freeze",
+]
+
+_DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def memo_budget_bytes() -> int:
+    """Resident-byte budget of the process memo.
+
+    ``REPRO_PERF_MEMO_BYTES`` overrides the 256 MiB default; ``0``
+    turns the memo off (every call builds cold, exactly as before the
+    performance layer existed).
+    """
+    env = os.environ.get("REPRO_PERF_MEMO_BYTES")
+    if env is None:
+        return _DEFAULT_BUDGET_BYTES
+    try:
+        return max(0, int(env))
+    except ValueError:
+        return _DEFAULT_BUDGET_BYTES
+
+
+def _nbytes(obj: Any) -> int:
+    """Approximate resident bytes of a memo value (ndarray-bearing)."""
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, Mapping):
+        return sum(_nbytes(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(_nbytes(v) for v in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return sum(
+            _nbytes(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        )
+    return 64  # scalars / small objects: flat estimate
+
+
+def freeze(obj: Any) -> Any:
+    """Recursively mark every ndarray in ``obj`` read-only (in place).
+
+    Cached values are shared across callers; freezing turns a would-be
+    silent cross-run corruption into an immediate ``ValueError`` at
+    the mutation site.  Returns ``obj`` for chaining.
+    """
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        obj.flags.writeable = False
+    elif isinstance(obj, Mapping):
+        for v in obj.values():
+            freeze(v)
+    elif isinstance(obj, (list, tuple)):
+        for v in obj:
+            freeze(v)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for f in dataclasses.fields(obj):
+            freeze(getattr(obj, f.name))
+    return obj
+
+
+class _Memo:
+    """The process-level LRU store (thread-safe, byte-bounded)."""
+
+    def __init__(self) -> None:
+        self._store: "OrderedDict[str, tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+
+    # -- store ---------------------------------------------------------
+    def get(self, key: str) -> tuple[bool, Any]:
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return True, self._store[key][0]
+            self.misses += 1
+            return False, None
+
+    def put(self, key: str, value: Any, budget: int) -> None:
+        size = _nbytes(value)
+        if size > budget:
+            return  # larger than the whole budget: never resident
+        with self._lock:
+            if key in self._store:
+                return
+            self._store[key] = (value, size)
+            self._bytes += size
+            while self._bytes > budget and self._store:
+                _k, (_v, sz) = self._store.popitem(last=False)
+                self._bytes -= sz
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._store),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+            }
+
+
+_MEMO = _Memo()
+
+
+def memo_enabled() -> bool:
+    """Whether the process memo is live (flag *and* non-zero budget)."""
+    return _MEMO.enabled and memo_budget_bytes() > 0
+
+
+def set_memo_enabled(enabled: bool) -> None:
+    """Globally enable/disable the memo (used by the on/off benches)."""
+    _MEMO.enabled = bool(enabled)
+
+
+@contextmanager
+def memo_disabled() -> Iterator[None]:
+    """Context manager: run with the exact uncached behaviour."""
+    prev = _MEMO.enabled
+    _MEMO.enabled = False
+    try:
+        yield
+    finally:
+        _MEMO.enabled = prev
+
+
+def clear_memo() -> None:
+    """Drop every resident entry (counters survive; tests reset both)."""
+    _MEMO.clear()
+
+
+def memo_stats() -> dict[str, int]:
+    """Snapshot of the memo counters (entries/bytes/hits/misses/...)."""
+    return _MEMO.stats()
+
+
+def memo_key(kind: str, payload: Any) -> str:
+    """Stable content key: ``<kind>/<sha256 of payload>``.
+
+    ``payload`` is digested with the execution layer's
+    :func:`~repro.exec.cache.stable_digest` (dataclasses, dicts and
+    ndarrays hash structurally), so equal geometry means equal key
+    across processes and platforms.
+    """
+    return f"{kind}/{stable_digest(payload)}"
+
+
+def memoize(
+    kind: str,
+    payload: Any,
+    build: Callable[[], Any],
+    persist: bool = False,
+    disk: "ResultCache | None" = None,
+) -> Any:
+    """Return ``build()`` memoised under ``memo_key(kind, payload)``.
+
+    Lookup order: process memo -> (optionally) the on-disk
+    :class:`ResultCache` -> cold build.  Values entering the memo are
+    frozen first (see :func:`freeze`).  With the memo disabled this is
+    exactly ``build()`` -- no freezing, no stores -- preserving the
+    pre-perf-layer behaviour bit for bit.
+    """
+    budget = memo_budget_bytes()
+    if not _MEMO.enabled or budget <= 0:
+        return build()
+    key = memo_key(kind, payload)
+    hit, value = _MEMO.get(key)
+    if hit:
+        return value
+    store = disk if disk is not None else (default_cache() if persist else None)
+    if store is not None:
+        entry = store.entry_key(f"perf/{kind}", payload)
+        found, value = store.get(entry)
+        if found:
+            _MEMO.disk_hits += 1
+            _MEMO.put(key, freeze(value), budget)
+            return value
+    value = freeze(build())
+    _MEMO.put(key, value, budget)
+    if store is not None:
+        store.put(entry, value)
+    return value

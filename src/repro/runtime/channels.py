@@ -117,14 +117,14 @@ class Channel:
             and engine is not None
             and not getattr(flag, "is_set", True)
         ):
-            from repro.machine.event import Delay
+            from repro.machine.event import delay
 
             deadline = since + self.watchdog
 
             def _watchdog_timer() -> Iterator[Any]:
                 gap = deadline - engine.now
                 if gap > 0:
-                    yield Delay(gap)
+                    yield delay(gap)
                 if not flag.is_set:
                     expired.append(True)
                     flag.set()  # wake the waiter so it can raise

@@ -25,7 +25,7 @@ from repro.geometry.apertures import SubapertureTree
 from repro.sar.config import RadarConfig
 from repro.sar.ffbp import FfbpOptions, combine_children, initial_stage, stage_maps
 from repro.signal.correlation import focus_criterion
-from repro.signal.interpolation import cubic_neville
+from repro.signal.interpolation import cubic_neville_rows
 
 BLOCK_SHAPE = (6, 6)
 """The paper's autofocus subimage size (beam x range pixels)."""
@@ -62,12 +62,10 @@ def resample_range(block: np.ndarray, shift: float, tilt: float = 0.0) -> np.nda
     """
     block = np.asarray(block)
     nb, nr = block.shape
-    out = np.empty_like(block, dtype=np.result_type(block.dtype, np.float64))
     j = np.arange(nr, dtype=np.float64)
-    for i in range(nb):
-        pos = j + shift + tilt * (i - (nb - 1) / 2.0)
-        out[i] = cubic_neville(block[i], pos)
-    return out
+    rows = np.arange(nb, dtype=np.float64)[:, None] - (nb - 1) / 2.0
+    positions = j + shift + tilt * rows  # (nb, nr) tilted paths
+    return cubic_neville_rows(block, positions)
 
 
 def resample_beam(block: np.ndarray, shift: float, tilt: float = 0.0) -> np.ndarray:
@@ -354,9 +352,7 @@ def shift_stage_data(stage: np.ndarray, comp: Compensation) -> np.ndarray:
     n_sub, nb, nr = stage.shape
     flat = stage.reshape(n_sub * nb, nr)
     j = np.arange(nr, dtype=np.float64)
-    out = np.empty_like(flat)
-    for row in range(flat.shape[0]):
-        out[row] = cubic_neville(flat[row], j + comp.range_shift).astype(stage.dtype)
+    out = cubic_neville_rows(flat, j + comp.range_shift).astype(stage.dtype)
     return out.reshape(stage.shape)
 
 

@@ -21,17 +21,27 @@ Data layout: a stage is a single contiguous ``(n_subapertures, beams,
 n_ranges)`` complex array, which lets a merge be one vectorised gather
 -- and lets the SPMD kernel slice parent beams across cores exactly as
 the paper partitions the output image (paper Fig. 6).
+
+Performance layer: the index tables (:func:`stage_maps`) and the
+derived gather stencils (:class:`StageTables`) depend only on grid
+geometry, never on the data, so both are memoised process-wide through
+:mod:`repro.perf` -- Monte-Carlo repeats, sweep points and the verify
+oracles share one build.  Memo hits are byte-identical to cold builds
+(asserted by ``tests/perf/test_byte_identity.py``), and
+:func:`repro.perf.memo_disabled` restores the uncached behaviour
+exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator
 
 import numpy as np
 
 from repro.geometry.apertures import SubapertureTree
 from repro.geometry.cosine import combine_geometry, exact_child_geometry
+from repro.perf import memoize
 from repro.sar.config import RadarConfig
 from repro.sar.grids import PolarGrid, PolarImage
 
@@ -141,6 +151,9 @@ class StageMaps:
     child_dtheta: float = 1.0
     child_r: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
     child_theta: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    cache_token: str | None = field(repr=False, default=None, compare=False)
+    """Memo identity set by :func:`stage_maps`; derived gather tables
+    key off it so they never have to re-digest the (large) arrays."""
 
     @property
     def n_children(self) -> int:
@@ -149,6 +162,11 @@ class StageMaps:
     @property
     def parent_shape(self) -> tuple[int, int]:
         return self.beam_idx.shape[1:]
+
+
+def _tree_sig(tree: SubapertureTree) -> tuple:
+    """The value identity of a subaperture tree (its constructor args)."""
+    return (tree.n_pulses, tree.spacing, tree.merge_base, tree.x0)
 
 
 def stage_maps(
@@ -166,7 +184,30 @@ def stage_maps(
     For merge base 2 the child coordinates come from the paper's
     eqs. 1-4; for other bases the equivalent direct coordinate
     transform is used (the two agree for base 2; see tests).
+
+    Results are memoised per process by ``(cfg, tree, level,
+    keep_geometry)`` digest (see :mod:`repro.perf`): repeated runs over
+    the same geometry -- Monte-Carlo repeats, sweep points, the
+    differential oracles -- rebuild nothing.  Cached maps are
+    read-only; a memo hit is byte-identical to a cold build.
     """
+    payload = (cfg, _tree_sig(tree), parent_level, bool(keep_geometry))
+    return memoize(
+        "ffbp/stage-maps",
+        payload,
+        lambda: _build_stage_maps(cfg, tree, parent_level, keep_geometry),
+    )
+
+
+def _build_stage_maps(
+    cfg: RadarConfig,
+    tree: SubapertureTree,
+    parent_level: int,
+    keep_geometry: bool,
+) -> StageMaps:
+    """Cold build of :func:`stage_maps` (the actual eqs. 1-4 work)."""
+    from repro.perf import memo_key
+
     parent = tree.stage(parent_level)
     child = tree.stage(parent_level - 1)
     offsets = tree.child_offsets(parent_level)
@@ -216,6 +257,113 @@ def stage_maps(
         child_dtheta=child_dtheta,
         child_r=np.stack(child_r) if keep_geometry else None,
         child_theta=np.stack(child_th) if keep_geometry else None,
+        cache_token=memo_key(
+            "ffbp/stage-maps",
+            (cfg, _tree_sig(tree), parent_level, bool(keep_geometry)),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class StageTables:
+    """Data-independent gather stencils derived from :class:`StageMaps`.
+
+    Everything the per-merge inner loops used to recompute per run --
+    the nearest-neighbour phase-correction factors, the bilinear corner
+    indices and weights, the cubic 4-tap stencil indices and Neville
+    weights -- is pure geometry, so it is built once per ``(stage,
+    options)`` and memoised through :mod:`repro.perf`.  Only the fields
+    the selected interpolation needs are populated.
+
+    Per-child arrays have shape ``(n_children, parent_beams, n_ranges)``
+    (cubic tap tables add a trailing ``4`` axis).
+    """
+
+    phase: np.ndarray | None = None
+    bl_ib: np.ndarray | None = None
+    bl_ir: np.ndarray | None = None
+    bl_ib1: np.ndarray | None = None
+    bl_ir1: np.ndarray | None = None
+    bl_tb: np.ndarray | None = None
+    bl_tr: np.ndarray | None = None
+    cu_taps: np.ndarray | None = None
+    cu_w: np.ndarray | None = None
+
+
+def _build_stage_tables(
+    maps: StageMaps,
+    cfg: RadarConfig,
+    options: FfbpOptions,
+    child_beams: int,
+    n_ranges: int,
+) -> StageTables:
+    """Cold build of the per-stage gather stencils (all children)."""
+    if options.interpolation == "nearest":
+        if not options.phase_correction:
+            return StageTables()
+        k2 = 2.0 * cfg.wavenumber
+        return StageTables(
+            phase=np.exp(1j * k2 * maps.residual_r).astype(options.dtype)
+        )
+    if maps.child_r is None:
+        raise ValueError(
+            f"{options.interpolation} interpolation needs "
+            "stage_maps(keep_geometry=True)"
+        )
+    if options.interpolation == "bilinear":
+        fb = (maps.child_theta - maps.child_theta0) / maps.child_dtheta
+        fr = (maps.child_r - cfg.r0) / cfg.dr
+        ib = np.clip(np.floor(fb).astype(np.int64), 0, max(child_beams - 2, 0))
+        ir = np.clip(np.floor(fr).astype(np.int64), 0, max(n_ranges - 2, 0))
+        return StageTables(
+            bl_ib=ib,
+            bl_ir=ir,
+            bl_ib1=np.minimum(ib + 1, child_beams - 1),
+            bl_ir1=np.minimum(ir + 1, n_ranges - 1),
+            bl_tb=np.clip(fb - ib, 0.0, 1.0),
+            bl_tr=np.clip(fr - ir, 0.0, 1.0),
+        )
+    # cubic_range: 4-point Lagrange stencil in range, nearest in beam.
+    from repro.signal.interpolation import neville_weights
+
+    fr = (maps.child_r - cfg.r0) / cfg.dr
+    i0 = np.clip(np.floor(fr).astype(np.int64), 1, max(n_ranges - 3, 1))
+    taps = np.clip(
+        i0[..., None] + np.arange(-1, 3, dtype=np.int64), 0, n_ranges - 1
+    )
+    return StageTables(cu_taps=taps, cu_w=neville_weights(fr - i0))
+
+
+def stage_tables(
+    maps: StageMaps,
+    cfg: RadarConfig,
+    options: FfbpOptions,
+    child_beams: int,
+    n_ranges: int,
+) -> StageTables:
+    """The (memoised) gather stencils for one ``(stage, options)``.
+
+    Keys off ``maps.cache_token`` -- the digest :func:`stage_maps`
+    stamped on the maps -- so no large array is ever re-hashed.  Maps
+    built by hand (``cache_token is None``) fall back to an uncached
+    build, which matches the historical per-call behaviour.
+    """
+    if maps.cache_token is None:
+        return _build_stage_tables(maps, cfg, options, child_beams, n_ranges)
+    payload = (
+        maps.cache_token,
+        options.interpolation,
+        bool(options.phase_correction),
+        np.dtype(options.dtype).name,
+        int(child_beams),
+        int(n_ranges),
+    )
+    return memoize(
+        "ffbp/stage-tables",
+        payload,
+        lambda: _build_stage_tables(
+            maps, cfg, options, child_beams, n_ranges
+        ),
     )
 
 
@@ -242,6 +390,14 @@ def combine_children(
     Returns
     -------
     Parent data, shape ``(n_sub_parent, len(beam_slice), n_ranges)``.
+
+    Notes
+    -----
+    The nearest-neighbour path (the paper's configuration) gathers all
+    ``n_children`` contributions in a single vectorised advanced-index
+    over the contiguous child array instead of one gather per child;
+    the per-element arithmetic and the child accumulation order are
+    unchanged, so the result is bit-identical to the historical loop.
     """
     b = maps.n_children
     n_child = children.shape[0]
@@ -249,50 +405,72 @@ def combine_children(
         raise ValueError(
             f"{n_child} child subapertures not divisible by merge base {b}"
         )
-    k2 = 2.0 * cfg.wavenumber
-    out = None
-    for c in range(b):
-        group = children[c::b]  # (n_parent, child_beams, J)
-        ib = maps.beam_idx[c, beam_slice]
-        ir = maps.range_idx[c, beam_slice]
-        ok = maps.valid[c, beam_slice]
-        if options.interpolation == "nearest":
-            contrib = group[:, ib, ir]
-            if options.phase_correction:
-                contrib = contrib * np.exp(
-                    1j * k2 * maps.residual_r[c, beam_slice]
-                ).astype(options.dtype)
-        elif options.interpolation == "bilinear":
-            contrib = _bilinear_lookup(group, maps, cfg, c, beam_slice)
-        else:
-            contrib = _cubic_range_lookup(group, maps, cfg, c, beam_slice)
-        contrib = np.where(ok, contrib, 0)
-        out = contrib if out is None else out + contrib
+    tables = stage_tables(
+        maps, cfg, options, children.shape[1], children.shape[2]
+    )
+    if options.interpolation == "nearest":
+        out = _combine_nearest(children, maps, tables, options, beam_slice)
+    else:
+        out = None
+        for c in range(b):
+            group = children[c::b]  # (n_parent, child_beams, J)
+            ok = maps.valid[c, beam_slice]
+            if options.interpolation == "bilinear":
+                contrib = _bilinear_lookup(group, tables, c, beam_slice)
+            else:
+                contrib = _cubic_range_lookup(group, maps, tables, c, beam_slice)
+            contrib = np.where(ok, contrib, 0)
+            out = contrib if out is None else out + contrib
     return np.ascontiguousarray(out.astype(options.dtype, copy=False))
+
+
+def _combine_nearest(
+    children: np.ndarray,
+    maps: StageMaps,
+    tables: StageTables,
+    options: FfbpOptions,
+    beam_slice: slice,
+) -> np.ndarray:
+    """All-children nearest-neighbour gather (one advanced index).
+
+    ``children.reshape(n_parent, b, ...)`` is a zero-copy view of the
+    contiguous stage array (consecutive groups of ``b`` children form
+    one parent), so the whole merge is one gather producing
+    ``(n_parent, b, K, J)``; children then accumulate in index order,
+    exactly as the per-child loop did.
+    """
+    b = maps.n_children
+    n_parent = children.shape[0] // b
+    grouped = children.reshape(
+        n_parent, b, children.shape[1], children.shape[2]
+    )
+    ib = maps.beam_idx[:, beam_slice]  # (b, K', J)
+    ir = maps.range_idx[:, beam_slice]
+    ok = maps.valid[:, beam_slice]
+    cidx = np.arange(b)[:, None, None]
+    contrib = grouped[:, cidx, ib, ir]  # (n_parent, b, K', J)
+    if options.phase_correction:
+        contrib = contrib * tables.phase[:, beam_slice]
+    contrib = np.where(ok, contrib, 0)
+    out = contrib[:, 0]
+    for c in range(1, b):
+        out = out + contrib[:, c]
+    return out
 
 
 def _bilinear_lookup(
     group: np.ndarray,
-    maps: StageMaps,
-    cfg: RadarConfig,
+    tables: StageTables,
     c: int,
     beam_slice: slice,
 ) -> np.ndarray:
     """2-D linear interpolation in (beam, range) of the child data."""
-    if maps.child_r is None:
-        raise ValueError(
-            "bilinear interpolation needs stage_maps(keep_geometry=True)"
-        )
-    child_beams = group.shape[1]
-    n_ranges = group.shape[2]
-    fb = (maps.child_theta[c, beam_slice] - maps.child_theta0) / maps.child_dtheta
-    fr = (maps.child_r[c, beam_slice] - cfg.r0) / cfg.dr
-    ib = np.clip(np.floor(fb).astype(np.int64), 0, max(child_beams - 2, 0))
-    ir = np.clip(np.floor(fr).astype(np.int64), 0, max(n_ranges - 2, 0))
-    tb = np.clip(fb - ib, 0.0, 1.0)
-    tr = np.clip(fr - ir, 0.0, 1.0)
-    ib1 = np.minimum(ib + 1, child_beams - 1)
-    ir1 = np.minimum(ir + 1, n_ranges - 1)
+    ib = tables.bl_ib[c, beam_slice]
+    ir = tables.bl_ir[c, beam_slice]
+    ib1 = tables.bl_ib1[c, beam_slice]
+    ir1 = tables.bl_ir1[c, beam_slice]
+    tb = tables.bl_tb[c, beam_slice]
+    tr = tables.bl_tr[c, beam_slice]
     return (
         group[:, ib, ir] * (1 - tb) * (1 - tr)
         + group[:, ib, ir1] * (1 - tb) * tr
@@ -304,7 +482,7 @@ def _bilinear_lookup(
 def _cubic_range_lookup(
     group: np.ndarray,
     maps: StageMaps,
-    cfg: RadarConfig,
+    tables: StageTables,
     c: int,
     beam_slice: slice,
 ) -> np.ndarray:
@@ -312,25 +490,18 @@ def _cubic_range_lookup(
 
     The paper's suggested quality upgrade: the carrier oscillates along
     range, so a cubic range kernel recovers most of the fidelity the
-    nearest-neighbour lookup loses, at 4 taps instead of 1.
+    nearest-neighbour lookup loses, at 4 taps instead of 1.  The four
+    taps are fetched in a single gather against the cached stencil
+    table; the weighted accumulation keeps the historical tap order,
+    so results are bit-identical to the per-tap loop.
     """
-    if maps.child_r is None:
-        raise ValueError(
-            "cubic_range interpolation needs stage_maps(keep_geometry=True)"
-        )
-    from repro.signal.interpolation import neville_weights
-
-    n_ranges = group.shape[2]
     ib = maps.beam_idx[c, beam_slice]
-    fr = (maps.child_r[c, beam_slice] - cfg.r0) / cfg.dr
-    i0 = np.clip(np.floor(fr).astype(np.int64), 1, max(n_ranges - 3, 1))
-    t = fr - i0
-    w = neville_weights(t)  # (..., 4)
-    out = None
-    for tap in range(4):
-        idx = np.clip(i0 + tap - 1, 0, n_ranges - 1)
-        term = group[:, ib, idx] * w[..., tap]
-        out = term if out is None else out + term
+    taps = tables.cu_taps[c, beam_slice]  # (K', J, 4)
+    w = tables.cu_w[c, beam_slice]
+    vals = group[:, ib[..., None], taps]  # (n_parent, K', J, 4)
+    out = vals[..., 0] * w[..., 0]
+    for tap in range(1, 4):
+        out = out + vals[..., tap] * w[..., tap]
     return out
 
 

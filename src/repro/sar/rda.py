@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.sar.config import RadarConfig
 from repro.sar.grids import CartesianGrid, CartesianImage
-from repro.signal.interpolation import cubic_neville
+from repro.signal.interpolation import cubic_neville_rows
 
 
 def azimuth_wavenumbers(cfg: RadarConfig) -> np.ndarray:
@@ -90,12 +90,11 @@ def range_doppler_image(
     r_axis = cfg.range_axis()
     if rcmc:
         straightened = np.zeros_like(rd)
-        for i in range(cfg.n_pulses):
-            if not live[i]:
-                continue
-            r_src = r_axis / beta[i]
+        rows = np.nonzero(live)[0]
+        if rows.size:
+            r_src = r_axis / beta[rows, None]  # (n_live, J) source ranges
             positions = (r_src - cfg.r0) / cfg.dr
-            straightened[i] = cubic_neville(rd[i], positions)
+            straightened[rows] = cubic_neville_rows(rd[rows], positions)
         rd = straightened
     else:
         rd = np.where(live[:, None], rd, 0.0)

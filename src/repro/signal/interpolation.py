@@ -38,13 +38,26 @@ def interp_linear(samples: np.ndarray, positions: np.ndarray) -> np.ndarray:
     """Two-point linear interpolation at fractional ``positions``.
 
     Out-of-range positions return 0, matching :func:`interp_nearest`.
+
+    The degenerate single-sample case is well defined: with ``n == 1``
+    the only valid position is 0, which returns ``samples[0]``; every
+    other position returns 0.  (Historically the stencil clip
+    ``np.clip(i0, 0, n - 2)`` had inverted bounds for ``n == 1``,
+    producing index ``-1`` and a silent wraparound through
+    ``samples[i0c + 1]``.)
     """
     samples = np.asarray(samples)
     positions = np.asarray(positions, dtype=np.float64)
     n = samples.shape[-1]
-    i0 = np.floor(positions).astype(np.int64)
-    frac = positions - i0
+    if n == 0:
+        raise ValueError("interp_linear needs at least one sample")
     valid = (positions >= 0.0) & (positions <= n - 1)
+    if n == 1:
+        # No second stencil point exists; the interpolant degenerates
+        # to the constant samples[0] on the (single-point) domain.
+        out = np.broadcast_to(samples[..., 0], positions.shape)
+        return np.where(valid, out, np.zeros((), dtype=samples.dtype))
+    i0 = np.floor(positions).astype(np.int64)
     i0c = np.clip(i0, 0, n - 2)
     fr = np.where(valid, positions - i0c, 0.0)
     out = samples[i0c] * (1.0 - fr) + samples[i0c + 1] * fr
@@ -162,6 +175,46 @@ def cubic_neville(samples: np.ndarray, positions: np.ndarray) -> np.ndarray:
     w = neville_weights(t)
     stencil = i0c[..., None] + np.arange(-1, 3)
     vals = samples[stencil]
+    out = np.einsum("...k,...k->...", w, vals)
+    valid = (positions >= 0.0) & (positions <= n - 1)
+    return np.where(valid, out, np.zeros((), dtype=out.dtype))
+
+
+def cubic_neville_rows(
+    samples: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """Row-batched :func:`cubic_neville`.
+
+    Interpolates every row of a ``(rows, n)`` sample array in one
+    vectorised pass: ``positions`` is either ``(n_pos,)`` (the same
+    path for every row) or ``(rows, n_pos)`` (a per-row path, e.g. the
+    tilted resampling paths of the autofocus criterion or the per-line
+    RCMC shifts).  Replaces the per-row Python loops that used to
+    dominate ``resample_range``/``shift_stage_data``/RCMC; each output
+    element is the same 4-tap weighted sum the scalar-row kernel
+    computes, so results are bit-identical.
+    """
+    samples = np.asarray(samples)
+    if samples.ndim != 2:
+        raise ValueError(
+            f"cubic_neville_rows needs (rows, n) samples, got {samples.shape}"
+        )
+    rows, n = samples.shape
+    if n < 4:
+        raise ValueError(f"cubic interpolation needs >= 4 samples, got {n}")
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim == 1:
+        positions = np.broadcast_to(positions, (rows, positions.shape[0]))
+    if positions.ndim != 2 or positions.shape[0] != rows:
+        raise ValueError(
+            f"positions shape {positions.shape} does not match {rows} rows"
+        )
+    i0 = np.floor(positions).astype(np.int64)
+    i0c = np.clip(i0, 1, n - 3)
+    t = positions - i0c
+    w = neville_weights(t)  # (rows, n_pos, 4)
+    stencil = i0c[..., None] + np.arange(-1, 3)  # (rows, n_pos, 4)
+    vals = samples[np.arange(rows)[:, None, None], stencil]
     out = np.einsum("...k,...k->...", w, vals)
     valid = (positions >= 0.0) & (positions <= n - 1)
     return np.where(valid, out, np.zeros((), dtype=out.dtype))

@@ -141,7 +141,10 @@ def profile_fingerprint(backend: str = "event:e16") -> dict:
     from repro.machine.profile import profile_run
 
     res = run_ffbp_spmd(get_machine(backend), plan_ffbp(_small_cfg()), 16)
-    prof = profile_run(res)
+    # strict: a backend whose traces overcommit (compute + stall > run
+    # total) must fail the gate loudly, not fingerprint a profile whose
+    # clamped idle fraction silently hides the inconsistency.
+    prof = profile_run(res, strict=True)
     hist = [0] * 10
     for core in prof.cores:
         hist[min(9, int(core.busy_fraction * 10))] += 1

@@ -1,0 +1,141 @@
+"""Tests for the performance-trajectory benchmarks (``repro bench``)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.eval.bench import (
+    BENCH_SCHEMA,
+    compare_bench,
+    format_summary,
+    load_bench,
+    run_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return run_bench(quick=True, repeats=1)
+
+
+class TestRunBench:
+    def test_schema_and_required_keys(self, quick_doc):
+        assert quick_doc["schema"] == BENCH_SCHEMA
+        assert quick_doc["repeats"] == 1
+        assert {"python", "platform", "numpy"} <= set(quick_doc["host"])
+        expected = {
+            "quick/plan_ffbp_cold/host",
+            "quick/plan_ffbp_memo/host",
+            "quick/ffbp_spmd16/event:e16",
+            "quick/ffbp_spmd16/analytic:e16",
+            "fixed/autofocus_mpmd/event:e16",
+            "fixed/autofocus_mpmd/analytic:e16",
+        }
+        assert set(quick_doc["results"]) == expected
+
+    def test_result_rows_have_metrics(self, quick_doc):
+        for key, row in quick_doc["results"].items():
+            assert row["wall_s"] > 0.0, key
+            assert row["peak_rss_kb"] > 0, key
+            if key.endswith("/host"):
+                assert row["cycles"] is None
+            else:
+                assert isinstance(row["cycles"], int) and row["cycles"] > 0
+
+    def test_quick_skips_paper_scale(self, quick_doc):
+        assert not any(k.startswith("paper/") for k in quick_doc["results"])
+
+    def test_document_is_json_serialisable(self, quick_doc):
+        round_trip = json.loads(json.dumps(quick_doc))
+        assert round_trip["results"] == quick_doc["results"]
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_bench(repeats=0)
+        with pytest.raises(ValueError):
+            run_bench(backends=())
+
+    def test_format_summary_covers_every_key(self, quick_doc):
+        text = format_summary(quick_doc)
+        for key in quick_doc["results"]:
+            assert key in text
+
+
+class TestCompareBench:
+    def test_self_comparison_is_clean(self, quick_doc):
+        regressions, notes = compare_bench(quick_doc, quick_doc)
+        assert regressions == []
+        assert notes == []
+
+    def test_wall_regression_detected(self, quick_doc):
+        slow = copy.deepcopy(quick_doc)
+        key = "quick/ffbp_spmd16/event:e16"
+        slow["results"][key]["wall_s"] = (
+            quick_doc["results"][key]["wall_s"] * 10 + 1.0
+        )
+        regressions, _ = compare_bench(slow, quick_doc, factor=2.0)
+        assert len(regressions) == 1
+        assert key in regressions[0]
+
+    def test_absolute_slack_shields_microsecond_entries(self, quick_doc):
+        noisy = copy.deepcopy(quick_doc)
+        key = "quick/plan_ffbp_memo/host"
+        # A 100x blowup of a ~20 us entry is still well under the slack.
+        noisy["results"][key]["wall_s"] = 1e-5 * 100
+        regressions, _ = compare_bench(noisy, quick_doc, factor=2.0)
+        assert regressions == []
+
+    def test_cycle_drift_is_a_note_not_a_regression(self, quick_doc):
+        drift = copy.deepcopy(quick_doc)
+        key = "quick/ffbp_spmd16/event:e16"
+        drift["results"][key]["cycles"] += 1
+        regressions, notes = compare_bench(drift, quick_doc)
+        assert regressions == []
+        assert any(key in n and "cycles" in n for n in notes)
+
+    def test_key_asymmetry_is_a_note(self, quick_doc):
+        partial = copy.deepcopy(quick_doc)
+        del partial["results"]["fixed/autofocus_mpmd/event:e16"]
+        regressions, notes = compare_bench(partial, quick_doc)
+        assert regressions == []
+        assert any("only in baseline" in n for n in notes)
+
+    def test_schema_mismatch_rejected(self, quick_doc):
+        bad = copy.deepcopy(quick_doc)
+        bad["schema"] = "repro-bench/999"
+        with pytest.raises(ValueError):
+            compare_bench(bad, quick_doc)
+        with pytest.raises(ValueError):
+            compare_bench(quick_doc, bad)
+
+    def test_bad_factor_rejected(self, quick_doc):
+        with pytest.raises(ValueError):
+            compare_bench(quick_doc, quick_doc, factor=0.0)
+
+
+class TestLoadBench:
+    def test_round_trip(self, quick_doc, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(quick_doc))
+        assert load_bench(str(path))["results"] == quick_doc["results"]
+
+    def test_schema_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "results": {}}))
+        with pytest.raises(ValueError):
+            load_bench(str(path))
+
+
+class TestCommittedBaseline:
+    def test_bench_5_json_is_a_valid_baseline(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        doc = load_bench(str(root / "BENCH_5.json"))
+        assert doc["schema"] == BENCH_SCHEMA
+        # The committed baseline covers both scales plus the fixed rows.
+        scales = {k.split("/", 1)[0] for k in doc["results"]}
+        assert scales == {"quick", "paper", "fixed"}

@@ -338,3 +338,109 @@ class TestEngineSemantics:
         assert proc.done
         assert proc.result == 42
         assert proc.finish_cycle == 1
+
+
+class TestFastPath:
+    """The ready-FIFO / interned-delay fast path must be invisible."""
+
+    def test_delay_factory_interns_small_counts(self):
+        from repro.machine.event import delay
+
+        assert delay(3) is delay(3)
+        assert delay(3) == Delay(3)
+        assert delay(100_000) == Delay(100_000)
+
+    def test_delay_factory_rejects_negative(self):
+        from repro.machine.event import delay
+
+        with pytest.raises(ValueError):
+            delay(-1)
+
+    def test_same_cycle_events_keep_schedule_order(self):
+        eng = Engine()
+        order = []
+
+        def p(i):
+            yield Delay(0)
+            order.append(i)
+
+        for i in range(8):
+            eng.spawn(p(i))
+        eng.run()
+        assert order == list(range(8))
+        assert eng.now == 0
+
+    def test_ready_fifo_merges_with_heap_by_seq(self):
+        # A heap event scheduled *earlier* (smaller seq) at cycle 5 must
+        # run before flag wakeups that also land at cycle 5.
+        eng = Engine()
+        flag = eng.flag()
+        order = []
+
+        def delayed():
+            yield Delay(5)
+            order.append("delayed")
+
+        def setter():
+            yield Delay(5)
+            flag.set()
+            order.append("setter")
+
+        def waiter(i):
+            yield Wait(flag)
+            order.append(f"waiter{i}")
+
+        eng.spawn(delayed())
+        eng.spawn(waiter(0))
+        eng.spawn(waiter(1))
+        eng.spawn(setter())
+        eng.run()
+        assert order == ["delayed", "setter", "waiter0", "waiter1"]
+
+    def test_cancelled_ready_event_is_discarded(self):
+        eng = Engine()
+        hits = []
+
+        def victim():
+            yield Delay(0)
+            hits.append("victim")
+
+        def killer(proc):
+            eng.cancel(proc)
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        v = eng.spawn(victim())
+        eng.spawn(killer(v))
+        # Spawn order: victim's wakeup is already queued; killer cancels
+        # it in the same cycle.  The run loop must drop the stale entry.
+        eng.run()
+        assert hits == []
+        assert v.cancelled
+
+    def test_interleaved_ready_and_heap_timeline_deterministic(self):
+        def build():
+            eng = Engine()
+            flag = eng.flag()
+            log = []
+
+            def pulse():
+                for i in range(4):
+                    yield Delay(2)
+                    flag.set()
+                    flag.clear()
+                    log.append(("pulse", i, eng.now))
+
+            def echo():
+                while True:
+                    yield Delay(1)
+                    log.append(("echo", eng.now))
+                    if eng.now >= 8:
+                        return
+
+            eng.spawn(pulse())
+            eng.spawn(echo())
+            eng.run()
+            return log, eng.now
+
+        assert build() == build()

@@ -91,3 +91,56 @@ class TestPaperWorkloadProfiles:
         res = run_autofocus_mpmd(EpiphanyChip(), AutofocusWorkload())
         prof = profile_run(res)
         assert prof.classify() == "compute-bound"
+
+
+class TestOvercommit:
+    """compute + stall > total must surface, not silently clamp."""
+
+    @staticmethod
+    def _result(compute: float, stall: float, total: int):
+        from dataclasses import dataclass
+
+        @dataclass
+        class FakeTrace:
+            compute_cycles: float
+            stall_cycles: float
+
+        @dataclass
+        class FakeResult:
+            cycles: int
+            traces: tuple
+
+        return FakeResult(cycles=total, traces=(FakeTrace(compute, stall),))
+
+    def test_flag_set_when_breakdown_exceeds_total(self):
+        prof = profile_run(self._result(80.0, 40.0, 100))
+        core = prof.cores[0]
+        assert core.overcommitted
+        assert prof.overcommitted_cores == (0,)
+        # idle still clamps for report sanity
+        assert core.idle_cycles == 0.0
+
+    def test_flag_clear_for_consistent_breakdown(self):
+        prof = profile_run(self._result(60.0, 20.0, 100))
+        assert not prof.cores[0].overcommitted
+        assert prof.overcommitted_cores == ()
+        assert prof.cores[0].idle_cycles == 20.0
+
+    def test_strict_raises_on_overcommit(self):
+        from repro.machine.profile import OvercommitError
+
+        with pytest.raises(OvercommitError, match="core 0"):
+            profile_run(self._result(80.0, 40.0, 100), strict=True)
+
+    def test_strict_passes_consistent_run(self):
+        prof = profile_run(self._result(60.0, 20.0, 100), strict=True)
+        assert prof.cycles == 100
+
+    def test_real_backends_profile_strictly(self):
+        from repro.machine.backends import get_machine
+
+        cfg = RadarConfig.small(n_pulses=16, n_ranges=33)
+        for backend in ("event:e16", "analytic:e16"):
+            res = run_ffbp_spmd(get_machine(backend), plan_ffbp(cfg), 16)
+            prof = profile_run(res, strict=True)  # must not raise
+            assert prof.overcommitted_cores == ()

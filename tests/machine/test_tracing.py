@@ -114,3 +114,21 @@ class TestChipIntegration:
         run_ffbp_spmd(chip, plan, 16)
         kinds = chip.recorder.total_by_kind()
         assert kinds["mem"] > kinds["compute"]
+
+
+class TestSendKind:
+    def test_send_is_a_documented_legend_kind(self):
+        import repro.machine.tracing as tracing
+
+        assert "send" in tracing.GLYPHS
+        assert "send" in (tracing.__doc__ or "")
+
+    def test_chrome_trace_events_carry_kind_args(self):
+        rec = ActivityRecorder()
+        rec.record(0, "compute", 0, 10)
+        rec.record(1, "send", 10, 20)
+        doc = json.loads(rec.chrome_trace(1e9))
+        kinds = {ev["args"]["kind"] for ev in doc["traceEvents"]}
+        assert kinds == {"compute", "send"}
+        for ev in doc["traceEvents"]:
+            assert ev["name"] == ev["args"]["kind"]

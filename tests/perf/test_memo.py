@@ -1,0 +1,148 @@
+"""Unit tests for the process-level memo (:mod:`repro.perf.memo`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.perf import (
+    clear_memo,
+    freeze,
+    memo_budget_bytes,
+    memo_disabled,
+    memo_enabled,
+    memo_key,
+    memo_stats,
+    memoize,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+class TestMemoize:
+    def test_hit_returns_same_object(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return np.arange(8.0)
+
+        a = memoize("t/hit", ("k",), build)
+        b = memoize("t/hit", ("k",), build)
+        assert a is b
+        assert len(calls) == 1
+
+    def test_distinct_payloads_build_separately(self):
+        a = memoize("t/d", (1,), lambda: np.zeros(3))
+        b = memoize("t/d", (2,), lambda: np.ones(3))
+        assert not np.array_equal(a, b)
+
+    def test_kind_namespaces_keys(self):
+        a = memoize("t/ns1", ("same",), lambda: np.zeros(2))
+        b = memoize("t/ns2", ("same",), lambda: np.ones(2))
+        assert not np.array_equal(a, b)
+
+    def test_cached_arrays_are_frozen(self):
+        arr = memoize("t/frozen", (), lambda: np.arange(4.0))
+        with pytest.raises(ValueError):
+            arr[0] = 99.0
+
+    def test_disabled_builds_cold_and_writable(self):
+        with memo_disabled():
+            assert not memo_enabled()
+            a = memoize("t/off", (), lambda: np.arange(4.0))
+            b = memoize("t/off", (), lambda: np.arange(4.0))
+        assert a is not b
+        a[0] = 5.0  # uncached values stay writable
+        assert memo_stats()["entries"] == 0
+
+    def test_zero_budget_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_MEMO_BYTES", "0")
+        assert memo_budget_bytes() == 0
+        assert not memo_enabled()
+        a = memoize("t/zb", (), lambda: np.arange(4.0))
+        b = memoize("t/zb", (), lambda: np.arange(4.0))
+        assert a is not b
+
+    def test_lru_eviction_under_budget(self, monkeypatch):
+        # Budget fits ~2 of the 1 KiB arrays (plus key overhead).
+        monkeypatch.setenv("REPRO_PERF_MEMO_BYTES", str(2 * 1024 + 200))
+        for i in range(4):
+            memoize("t/lru", (i,), lambda: np.zeros(128))  # 1 KiB each
+        stats = memo_stats()
+        assert stats["evictions"] >= 2
+        assert stats["bytes"] <= 2 * 1024 + 200
+
+    def test_value_larger_than_budget_never_resident(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_MEMO_BYTES", "512")
+        memoize("t/big", (), lambda: np.zeros(1024))  # 8 KiB > budget
+        assert memo_stats()["entries"] == 0
+
+    def test_stats_count_hits_and_misses(self):
+        before = memo_stats()
+        memoize("t/st", (), lambda: np.zeros(2))
+        memoize("t/st", (), lambda: np.zeros(2))
+        after = memo_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 1
+
+
+class TestMemoKey:
+    def test_stable_across_calls(self):
+        assert memo_key("k", (1, "a")) == memo_key("k", (1, "a"))
+
+    def test_payload_sensitivity(self):
+        assert memo_key("k", (1,)) != memo_key("k", (2,))
+
+
+class TestFreeze:
+    def test_freezes_nested_containers(self):
+        obj = {"a": [np.zeros(2), (np.ones(2),)]}
+        freeze(obj)
+        with pytest.raises(ValueError):
+            obj["a"][0][0] = 1.0
+        with pytest.raises(ValueError):
+            obj["a"][1][0][0] = 2.0
+
+    def test_freezes_dataclass_fields(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Box:
+            data: np.ndarray
+
+        box = Box(np.zeros(3))
+        freeze(box)
+        with pytest.raises(ValueError):
+            box.data[0] = 1.0
+
+
+class TestDiskPersistence:
+    def test_persist_round_trips_through_result_cache(self, tmp_path):
+        disk = ResultCache(tmp_path)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"arr": np.arange(6.0)}
+
+        first = memoize("t/disk", ("p",), build, disk=disk)
+        clear_memo()  # drop the resident copy; disk survives
+        second = memoize("t/disk", ("p",), build, disk=disk)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(first["arr"], second["arr"])
+        assert memo_stats()["disk_hits"] >= 1
+
+    def test_no_disk_without_persist_or_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        before = memo_stats()["disk_hits"]
+        memoize("t/nodisk", (), lambda: np.zeros(2), persist=True)
+        memoize("t/nodisk", (), lambda: np.zeros(2), persist=True)
+        # No REPRO_CACHE_DIR: persist=True silently degrades to memory.
+        assert memo_stats()["disk_hits"] == before

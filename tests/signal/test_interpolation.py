@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.signal.interpolation import (
     cubic_neville,
+    cubic_neville_rows,
     interp_linear,
     interp_nearest,
     neville,
@@ -61,6 +62,26 @@ class TestLinear:
         s = slope * x + intercept
         got = interp_linear(s, np.array([pos]))[0]
         assert got == pytest.approx(slope * pos + intercept, abs=1e-9)
+
+    def test_single_sample_degenerate_case(self):
+        # Regression: the stencil clip np.clip(i0, 0, n - 2) had
+        # inverted bounds for n == 1, producing index -1 and a silent
+        # wraparound through samples[i0c + 1].
+        s = np.array([7.5])
+        got = interp_linear(s, np.array([0.0, -0.5, 0.5, 3.0]))
+        assert got[0] == 7.5  # the single valid position
+        assert np.all(got[1:] == 0.0)  # everything else is out of range
+
+    def test_single_complex_sample(self):
+        s = np.array([1.0 + 2.0j])
+        got = interp_linear(s, np.array([0.0, 1.0]))
+        assert got[0] == 1.0 + 2.0j
+        assert got[1] == 0.0
+        assert got.dtype == s.dtype
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            interp_linear(np.array([]), np.array([0.0]))
 
 
 class TestNevilleScalar:
@@ -168,3 +189,32 @@ class TestCubicNeville:
         got = cubic_neville(s, pos)
         assert got.shape == (2, 2)
         assert np.allclose(got, pos)  # linear data -> exact
+
+
+class TestCubicNevilleRows:
+    def test_matches_per_row_kernel_shared_path(self):
+        rng = np.random.default_rng(11)
+        samples = rng.standard_normal((5, 20))
+        pos = np.linspace(-1.0, 21.0, 16)
+        got = cubic_neville_rows(samples, pos)
+        for i in range(5):
+            np.testing.assert_array_equal(got[i], cubic_neville(samples[i], pos))
+
+    def test_matches_per_row_kernel_tilted_paths(self):
+        rng = np.random.default_rng(12)
+        samples = rng.standard_normal((4, 16)) + 1j * rng.standard_normal((4, 16))
+        pos = rng.uniform(-2.0, 18.0, size=(4, 9))
+        got = cubic_neville_rows(samples, pos)
+        for i in range(4):
+            np.testing.assert_array_equal(
+                got[i], cubic_neville(samples[i], pos[i])
+            )
+
+    def test_shape_and_validation(self):
+        assert cubic_neville_rows(np.zeros((3, 8)), np.zeros(5)).shape == (3, 5)
+        with pytest.raises(ValueError):
+            cubic_neville_rows(np.zeros(8), np.zeros(3))  # not 2-D
+        with pytest.raises(ValueError):
+            cubic_neville_rows(np.zeros((2, 3)), np.zeros(3))  # n < 4
+        with pytest.raises(ValueError):
+            cubic_neville_rows(np.zeros((2, 8)), np.zeros((3, 4)))  # rows
