@@ -39,6 +39,35 @@ def test_ffbp_hits_the_memory_wall_on_e64(benchmark, paper_plan):
     assert util > 0.9
 
 
+def test_e64_parity_as_a_one_chip_fabric(benchmark, paper_plan):
+    """The fabric layer's conformance contract at E64 scale: wrapping
+    the 8x8 chip as a one-chip fabric (``analytic:1x(8x8)``) must
+    reproduce the plain ``analytic:8x8`` run -- empirically *exact*
+    (cycles, joules and per-core traces), well inside the documented
+    5% analytic/event band."""
+    from repro.kernels.ffbp_fabric import run_ffbp_fabric
+    from repro.machine.backends import get_machine
+
+    def run():
+        plain = run_ffbp_spmd(
+            get_machine("analytic:8x8"), paper_plan, 64
+        )
+        fabric = run_ffbp_fabric(
+            get_machine("analytic:1x(8x8)"), paper_plan, 64
+        )
+        return plain, fabric
+
+    plain, fabric = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nE64 parity: plain {plain.cycles} cycles "
+        f"/ {plain.energy_joules * 1e3:.2f} mJ, 1x(8x8) fabric "
+        f"{fabric.cycles} cycles / {fabric.energy_joules * 1e3:.2f} mJ"
+    )
+    assert fabric.cycles == plain.cycles
+    assert fabric.energy_joules == plain.energy_joules
+    assert fabric.results == plain.results
+
+
 def test_autofocus_scales_by_replication_on_e64(benchmark, paper_workload):
     w = paper_workload
 

@@ -19,7 +19,8 @@ driven without writing Python:
 Commands that run the simulator accept ``--backend`` with a
 ``[backend][:spec]`` string (see :mod:`repro.machine.backends`):
 ``event`` is the calibrated default, ``analytic`` the fast closed-form
-engine, and specs select the chip (``e16``, ``e64``, ``8x8@800e6``).
+engine, and specs select the chip (``e16``, ``e64``, ``8x8@800e6``) or
+a multi-chip fabric (``4x(8x8)@800e6``, ``2x(e16)``).
 
 ``table1``, ``sweep`` and ``verify`` accept ``--jobs N`` (``-j N``) to
 fan their independent simulations out over N worker processes via the
@@ -56,7 +57,8 @@ def _add_backend_arg(p: argparse.ArgumentParser, default: str = "event") -> None
         default=default,
         metavar="SPEC",
         help="simulation backend as '[backend][:spec]', e.g. 'event', "
-        "'analytic', 'analytic:e64', '8x8@800e6' (default: %(default)s)",
+        "'analytic', 'analytic:e64', '8x8@800e6', or a multi-chip "
+        "fabric 'analytic:4x(8x8)' (default: %(default)s)",
     )
 
 
@@ -155,10 +157,22 @@ def cmd_image(args: argparse.Namespace) -> int:
     from repro.sar.simulate import simulate_compressed
 
     cfg = _config(args)
+    if args.shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1 and args.algorithm != "ffbp":
+        raise ValueError(
+            f"--shards applies to the ffbp algorithm, not {args.algorithm!r}"
+        )
     scene = default_scene(cfg)
     data = simulate_compressed(cfg, scene)
     if args.algorithm == "ffbp":
-        img = ffbp(data, cfg, FfbpOptions(interpolation=args.interpolation))
+        opts = FfbpOptions(interpolation=args.interpolation)
+        if args.shards > 1:
+            from repro.sar.shard import sharded_ffbp
+
+            img = sharded_ffbp(data, cfg, args.shards, opts)
+        else:
+            img = ffbp(data, cfg, opts)
         mag = img.magnitude
     elif args.algorithm == "gbp":
         mag = gbp_polar(np.asarray(data, np.complex128), cfg).magnitude
@@ -230,6 +244,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         series = sweeps.clock_sweep(
             plan=plan_ffbp(_config(args)), backend=backend, jobs=jobs
         )
+    elif args.series == "ffbp-chips":
+        chips = tuple(int(c) for c in args.chips.split(","))
+        series = sweeps.ffbp_chip_sweep(
+            cfg=_config(args), chips=chips, backend=backend, jobs=jobs
+        )
     else:  # candidates
         series = sweeps.candidate_sweep(backend=backend, jobs=jobs)
     print(series.chart(width=args.chart_width))
@@ -267,7 +286,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     backends = tuple(
         tok.strip() for tok in args.backends.split(",") if tok.strip()
     )
-    doc = run_bench(quick=args.quick, backends=backends, repeats=args.repeats)
+    fabric_backends = tuple(
+        tok.strip() for tok in args.fabric_backends.split(",") if tok.strip()
+    )
+    doc = run_bench(
+        quick=args.quick,
+        backends=backends,
+        repeats=args.repeats,
+        fabric_backends=fabric_backends,
+    )
     text = json.dumps(doc, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w") as fh:
@@ -338,6 +365,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--interpolation", choices=("nearest", "bilinear"), default="nearest"
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the FFBP aperture as N chips would (a power of the "
+        "merge base); the image is byte-identical to --shards 1",
+    )
     p.add_argument("--width", type=int, default=64)
     p.add_argument("--height", type=int, default=20)
     p.set_defaults(fn=cmd_image)
@@ -371,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
             "af-units",
             "clock",
             "candidates",
+            "ffbp-chips",
         ),
         help="which data series to produce",
     )
@@ -378,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cores",
         default="1,2,4,8,16",
         help="comma-separated core counts (ffbp-cores series)",
+    )
+    p.add_argument(
+        "--chips",
+        default="1,2,4",
+        help="comma-separated fabric chip counts (ffbp-chips series)",
     )
     p.add_argument("--chart-width", type=int, default=48)
     p.set_defaults(fn=cmd_sweep)
@@ -496,6 +537,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="event:e16,analytic:e16",
         metavar="B1,B2",
         help="comma-separated backend specs to bench (default: %(default)s)",
+    )
+    p.add_argument(
+        "--fabric-backends",
+        default="analytic:4x(8x8)",
+        metavar="F1,F2",
+        help="comma-separated fabric specs for the sharded-FFBP rows; "
+        "empty string skips them (default: %(default)s)",
     )
     p.set_defaults(fn=cmd_bench)
 

@@ -34,6 +34,12 @@ deterministic outputs guarded by the verify gate's golden
 fingerprints, and RSS is informational (``ru_maxrss`` never decreases
 within a process, so later workloads inherit earlier high-water
 marks).
+
+The sharded-fabric rows (``{scale}/ffbp_sharded/{fabric-spec}``) add
+two informational keys on top of the schema triple -- ``energy_j``
+(simulated joules for the full fabric) and ``speedup_vs_1chip``
+(simulated-cycle ratio against one chip of the same fabric) -- the
+measured counterpart of the paper's multi-chip outlook.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ from typing import Any, Callable, Mapping
 
 BENCH_SCHEMA = "repro-bench/1"
 DEFAULT_BACKENDS: tuple[str, ...] = ("event:e16", "analytic:e16")
+DEFAULT_FABRIC_BACKENDS: tuple[str, ...] = ("analytic:4x(8x8)",)
 DEFAULT_REGRESSION_FACTOR = 2.0
 DEFAULT_REPEATS = 3
 
@@ -146,16 +153,55 @@ def _bench_autofocus(backends: tuple[str, ...], repeats: int):
     return out
 
 
+def _bench_fabric(cfg, fabric_backends: tuple[str, ...], repeats: int):
+    """Sharded FFBP over a multi-chip fabric, vs one chip of the same
+    fabric (the measured counterpart of the paper's E64/E1024 outlook).
+
+    Extra row keys beyond the schema triple -- ``energy_j`` and
+    ``speedup_vs_1chip`` -- are informational; :func:`compare_bench`
+    gates only ``wall_s``, so adding them never breaks a baseline.
+    """
+    from repro.kernels.ffbp_common import plan_ffbp
+    from repro.kernels.ffbp_fabric import run_ffbp_fabric
+    from repro.kernels.ffbp_spmd import run_ffbp_spmd
+    from repro.machine.backends import resolve_backend
+    from repro.machine.specs import FabricSpec
+
+    plan = plan_ffbp(cfg)
+    out: dict[str, dict[str, Any]] = {}
+    for backend in fabric_backends:
+        make, spec = resolve_backend(backend)
+        if not isinstance(spec, FabricSpec):
+            raise ValueError(
+                f"fabric backend {backend!r} is not a fabric spec; "
+                f"expected the '<n>x(<chip-spec>)' form"
+            )
+        base = run_ffbp_spmd(make(spec.chip), plan, spec.cores_per_chip)
+        wall, res = _time_best(
+            lambda: run_ffbp_fabric(make(spec), plan), repeats
+        )
+        out[f"ffbp_sharded/{backend}"] = {
+            "wall_s": wall,
+            "cycles": int(res.cycles),
+            "peak_rss_kb": _peak_rss_kb(),
+            "energy_j": float(res.energy_joules),
+            "speedup_vs_1chip": round(base.cycles / res.cycles, 3),
+        }
+    return out
+
+
 def run_bench(
     quick: bool = False,
     backends: tuple[str, ...] = DEFAULT_BACKENDS,
     repeats: int = DEFAULT_REPEATS,
+    fabric_backends: tuple[str, ...] = DEFAULT_FABRIC_BACKENDS,
 ) -> dict[str, Any]:
     """Run the benchmark suite; return the schema document.
 
     ``quick=True`` restricts the scaled workloads to the 256x257 quick
     scale (the CI smoke configuration); the default also runs the
-    paper's 1024x1001 workload.
+    paper's 1024x1001 workload.  ``fabric_backends`` names the fabric
+    specs the sharded-FFBP rows run on (empty tuple: skip them).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -175,6 +221,8 @@ def run_bench(
         for key, row in _bench_plan(cfg, repeats).items():
             results[f"{scale}/{key}"] = row
         for key, row in _bench_ffbp(cfg, backends, repeats).items():
+            results[f"{scale}/{key}"] = row
+        for key, row in _bench_fabric(cfg, fabric_backends, repeats).items():
             results[f"{scale}/{key}"] = row
     for key, row in _bench_autofocus(backends, repeats).items():
         results[f"fixed/{key}"] = row

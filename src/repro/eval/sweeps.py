@@ -2,8 +2,8 @@
 
 Packages the experiments the ablation benchmarks run into reusable
 series producers (core count, prefetch window, clock, candidate grid,
-chip generation), each returning a :class:`Series` that the report
-helpers can render as an ASCII chart.
+chip generation, fabric chip count), each returning a :class:`Series`
+that the report helpers can render as an ASCII chart.
 
 Every sweep takes a ``backend`` spec string (see
 :mod:`repro.machine.backends`); design-space exploration normally runs
@@ -114,6 +114,17 @@ def _candidate_point(backend: str, n_candidates: int) -> float:
     return w.pixels / res.seconds
 
 
+def _ffbp_chips_point(
+    backend: str, cfg: RadarConfig, n_chips: int, n_cores: int
+) -> int:
+    from repro.kernels.ffbp_fabric import run_ffbp_fabric
+    from repro.machine.backends import get_machine
+
+    plan = plan_ffbp(cfg)
+    machine = get_machine(f"{backend}:{n_chips}x(e16)")
+    return run_ffbp_fabric(machine, plan, n_cores).cycles
+
+
 def _run_points(
     series: str,
     backend: str,
@@ -219,6 +230,46 @@ def autofocus_unit_sweep(
         y_label="pixels/s",
         x=tuple(units),
         y=tuple(round(v) for v in ys),
+    )
+
+
+def ffbp_chip_sweep(
+    cfg: RadarConfig | None = None,
+    chips: Sequence[int] = (1, 2, 4),
+    n_cores: int = 16,
+    backend: str = "analytic",
+    jobs: int = 1,
+) -> Series:
+    """Sharded-FFBP speedup versus chip count (the multi-chip outlook).
+
+    Each point runs the phased fabric executive
+    (:func:`~repro.kernels.ffbp_fabric.run_ffbp_fabric`) on
+    ``<n>x(e16)``; the 1-chip point is the zero-overhead fabric
+    wrapper, so the series measures exactly what scale-out buys.
+    ``backend`` must be a bare backend name (``analytic``/``event``) --
+    the sweep composes the fabric spec itself.
+    """
+    if ":" in backend:
+        raise ValueError(
+            f"ffbp-chips sweeps a fabric spec per point; pass a bare "
+            f"backend name, not {backend!r}"
+        )
+    cfg = cfg or RadarConfig.paper()
+    cycles = _run_points(
+        "ffbp-chips",
+        backend,
+        _ffbp_chips_point,
+        [(backend, cfg, n, n_cores) for n in chips],
+        chips,
+        jobs,
+    )
+    base = cycles[0]
+    return Series(
+        name="FFBP fabric scale-out",
+        x_label="chips",
+        y_label=f"speedup vs {chips[0]} chip(s)",
+        x=tuple(chips),
+        y=tuple(round(base / c, 3) for c in cycles),
     )
 
 

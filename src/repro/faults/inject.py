@@ -38,7 +38,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
-from repro.faults.plan import FaultPlan, FaultSchedule, LinkFault, parse_plan
+from repro.faults.plan import (
+    ChipLinkFault,
+    FaultPlan,
+    FaultSchedule,
+    LinkFault,
+    parse_plan,
+)
 from repro.faults.report import FaultReport
 from repro.machine.api import Machine, MachineContext, Programs, RunResult
 
@@ -267,9 +273,16 @@ class FaultyMachine:
             if isinstance(f, LinkFault)
         ]
         self._link_triggers = {j: 0 for j, _ in self._link_faults}
+        self._chiplink_faults = [
+            (j, f)
+            for j, f in enumerate(self.plan.faults)
+            if isinstance(f, ChipLinkFault)
+        ]
+        self._chiplink_triggers = {j: 0 for j, _ in self._chiplink_faults}
         self._dma_counts: dict[int, int] = {}
         self._flag_raises = 0
         self._drop_next_landing = False
+        self._chips: tuple[Machine, ...] | None = None
 
     # -- delegated Machine surface --------------------------------------
     @property
@@ -393,6 +406,66 @@ class FaultyMachine:
                 )
                 return True
         return False
+
+    # -- multi-chip fabric -------------------------------------------------
+    @property
+    def chips(self):
+        """The inner fabric's chips, with chip 0 fault-wrapped.
+
+        Convention: a plan's un-prefixed clauses (``core:``, ``link:``,
+        ``dma:``, ``flag:``) address **chip 0** of a fabric -- the
+        merge chip, where a fault hurts most -- while ``chiplink:``
+        clauses address the fabric's e-links (resolved by
+        :meth:`chiplink_outcome`).  None when the inner machine is not
+        fabric-shaped.
+        """
+        inner_chips = getattr(self.inner, "chips", None)
+        if inner_chips is None:
+            return None
+        if self._chips is None:
+            self._chips = (
+                FaultyMachine(
+                    inner_chips[0],
+                    self.plan.without_chiplink(),
+                    self.schedule.seed,
+                ),
+            ) + tuple(inner_chips[1:])
+        return self._chips
+
+    def chiplink_cycles(self, nbytes: float, n_links: int = 1) -> int:
+        return self.inner.chiplink_cycles(nbytes, n_links)
+
+    def chiplink_energy_j(self, nbytes: float, n_links: int = 1) -> float:
+        return self.inner.chiplink_energy_j(nbytes, n_links)
+
+    def chiplink_outcome(self, src_chip: int, dst_chip: int) -> tuple[int, bool, str]:
+        """(extra stall cycles, dropped?, clause) for one chip-boundary
+        transfer, resolved against the plan's ``chiplink:`` clauses."""
+        extra, dropped, clause = self.inner.chiplink_outcome(
+            src_chip, dst_chip
+        )
+        for j, fault in self._chiplink_faults:
+            if (fault.src_chip, fault.dst_chip) != (src_chip, dst_chip):
+                continue
+            idx = self._chiplink_triggers[j]
+            self._chiplink_triggers[j] = idx + 1
+            if not self.schedule.fires(j, idx):
+                continue
+            clause = fault.clause()
+            if fault.action == "stall":
+                extra += fault.stall_cycles
+                self._record(
+                    "chiplink-stall", self.inner.now, clause,
+                    f"transfer chip {src_chip}->chip {dst_chip} "
+                    f"+{fault.stall_cycles}c",
+                )
+            else:
+                dropped = True
+                self._record(
+                    "chiplink-drop", self.inner.now, clause,
+                    f"transfer chip {src_chip}->chip {dst_chip} lost",
+                )
+        return extra, dropped, clause
 
     # -- fabric services -------------------------------------------------
     def set_flag_at(self, flag: Any, cycle: int) -> None:

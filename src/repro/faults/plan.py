@@ -6,6 +6,8 @@ which hardware faults to inject into a simulated run::
     core:5@cycle=10000:crash            # core 5 halts at cycle 10000
     link:(1,2)->(2,2)@p=0.01:stall=40   # mesh link degrades 1% of msgs
     link:(0,0)->(0,1)@p=0.5:drop        # mesh link loses messages
+    chiplink:(1)->(0)@p=0.1:stall=500   # chip 1->0 e-link runs late
+    chiplink:(2)->(0)@p=0.05:drop       # chip 2->0 e-link loses data
     dma:3:corrupt-word                  # core 3's next DMA is corrupted
     dma:3@n=2:stall=64                  # core 3's 2nd DMA runs 64c late
     flag:drop@n=2                       # the 2nd flag raise is lost
@@ -42,6 +44,7 @@ from repro.exec.seeding import SEED_BITS, derive_seed
 __all__ = [
     "CoreFault",
     "LinkFault",
+    "ChipLinkFault",
     "DmaFault",
     "FlagFault",
     "Fault",
@@ -128,6 +131,36 @@ class DmaFault:
 
 
 @dataclass(frozen=True)
+class ChipLinkFault:
+    """A directed chip-to-chip e-link degrades boundary transfers.
+
+    The fabric analogue of :class:`LinkFault`: per transfer from chip
+    ``src_chip`` to chip ``dst_chip``, with probability ``p`` (seeded,
+    deterministic), either delay the arrival by ``stall_cycles``
+    (``action="stall"``, maskable) or lose the transfer
+    (``action="drop"``: the sharded executive surfaces a structured
+    ``chiplink-drop`` :class:`~repro.faults.report.FaultReport`).
+    """
+
+    src_chip: int
+    dst_chip: int
+    p: float
+    action: str
+    stall_cycles: int = 0
+
+    @property
+    def maskable(self) -> bool:
+        return self.action == "stall"
+
+    def clause(self) -> str:
+        tail = f"stall={self.stall_cycles}" if self.action == "stall" else "drop"
+        return (
+            f"chiplink:({self.src_chip})->({self.dst_chip})"
+            f"@p={self.p:g}:{tail}"
+        )
+
+
+@dataclass(frozen=True)
 class FlagFault:
     """The ``nth`` flag raise through the machine API is lost.
 
@@ -147,11 +180,15 @@ class FlagFault:
         return f"flag:drop@n={self.nth}"
 
 
-Fault = Union[CoreFault, LinkFault, DmaFault, FlagFault]
+Fault = Union[CoreFault, LinkFault, DmaFault, FlagFault, ChipLinkFault]
 
 _CORE_RE = re.compile(r"^core:(\d+)@cycle=(\d+):crash$")
 _LINK_RE = re.compile(
     r"^link:\((\d+),(\d+)\)->\((\d+),(\d+)\)"
+    r"@p=([0-9.eE+-]+):(?:stall=(\d+)|(drop))$"
+)
+_CHIPLINK_RE = re.compile(
+    r"^chiplink:\((\d+)\)->\((\d+)\)"
     r"@p=([0-9.eE+-]+):(?:stall=(\d+)|(drop))$"
 )
 _DMA_RE = re.compile(r"^dma:(\d+)(?:@n=(\d+))?:(?:(corrupt-word)|stall=(\d+))$")
@@ -201,6 +238,27 @@ class FaultPlan:
     def flag_faults(self) -> tuple[FlagFault, ...]:
         return tuple(f for f in self.faults if isinstance(f, FlagFault))
 
+    @property
+    def chiplink_faults(self) -> tuple[ChipLinkFault, ...]:
+        return tuple(f for f in self.faults if isinstance(f, ChipLinkFault))
+
+    def without_chiplink(self) -> "FaultPlan":
+        """The plan's chip-local clauses only (chiplink clauses removed).
+
+        Used by the faulty fabric wrapper: un-prefixed clauses address
+        chip 0, chiplink clauses address the fabric's e-links.
+        """
+        if not self.chiplink_faults:
+            return self
+        clauses = [
+            f.clause()
+            for f in self.faults
+            if not isinstance(f, ChipLinkFault)
+        ]
+        if self.seed:
+            clauses.append(f"seed={self.seed}")
+        return parse_plan("; ".join(clauses))
+
     def dead_cores(self) -> tuple[int, ...]:
         """Cores crashed before cycle 1 (re-mappable around)."""
         return tuple(
@@ -235,6 +293,32 @@ def _parse_clause(clause: str) -> Fault:
                 raise ValueError(f"link fault {clause!r}: stall must be >= 1")
             return LinkFault(src, dst, p, "stall", stall)
         return LinkFault(src, dst, p, "drop")
+    m = _CHIPLINK_RE.match(clause)
+    if m:
+        src_chip, dst_chip = int(m.group(1)), int(m.group(2))
+        if src_chip == dst_chip:
+            raise ValueError(
+                f"chiplink fault {clause!r}: source and destination "
+                f"chip are both {src_chip}"
+            )
+        try:
+            p = float(m.group(3))
+        except ValueError:
+            raise ValueError(
+                f"chiplink fault {clause!r}: bad probability"
+            ) from None
+        if not 0.0 < p <= 1.0:
+            raise ValueError(
+                f"chiplink fault {clause!r}: p={p:g} outside (0, 1]"
+            )
+        if m.group(4) is not None:
+            stall = int(m.group(4))
+            if stall < 1:
+                raise ValueError(
+                    f"chiplink fault {clause!r}: stall must be >= 1"
+                )
+            return ChipLinkFault(src_chip, dst_chip, p, "stall", stall)
+        return ChipLinkFault(src_chip, dst_chip, p, "drop")
     m = _DMA_RE.match(clause)
     if m:
         nth = int(m.group(2)) if m.group(2) else 1
@@ -258,6 +342,7 @@ def _parse_clause(clause: str) -> Fault:
         f"unparseable fault clause {clause!r}; expected one of "
         f"'core:<id>@cycle=<N>:crash', "
         f"'link:(r,c)->(r,c)@p=<p>:stall=<K>|drop', "
+        f"'chiplink:(i)->(j)@p=<p>:stall=<K>|drop', "
         f"'dma:<core>[@n=<N>]:corrupt-word|stall=<K>', "
         f"'flag:drop@n=<N>', 'seed=<int>'"
     )

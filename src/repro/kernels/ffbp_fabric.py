@@ -1,0 +1,178 @@
+"""Sharded FFBP executive over a multi-chip fabric (timing layer).
+
+The timing/energy counterpart of :mod:`repro.sar.shard`: the same
+shard-local / top-level split of the subaperture tree, phased over the
+chips of a :class:`~repro.machine.fabric.FabricMachine`.
+
+Dataflow (``F`` chips)::
+
+    chip 0:  [local merges 1..B]--(wait)--[top merges B+1..S]
+    chip 1:  [local merges 1..B]--e-link-->|
+    ...                                    | start_top = max(arrivals)
+    chip F-1:[local merges 1..B]--e-link-->|
+
+Phase 1 runs the *real* SPMD kernel (:func:`~repro.kernels.ffbp_spmd.
+run_ffbp_spmd`) per chip on a shard-local plan -- the full plan's
+stages with ``n_parents`` divided by ``F``, valid because the per-row
+statistics of a :class:`~repro.kernels.ffbp_common.StagePlan` are
+parent-independent.  Phase 2 charges each chip's boundary subaperture
+crossing ``|f - 0|`` e-links (latency + bandwidth from
+:class:`~repro.machine.specs.ChipLinkSpec`; energy per byte per link),
+consulting the fabric's ``chiplink_outcome`` hook so injected
+``chiplink:`` faults stall or drop the transfer (a drop surfaces as a
+structured :class:`~repro.faults.report.FaultReport`, kind
+``"chiplink-drop"``).  Phase 3 advances chip 0's clock to the last
+arrival and runs the top merges there -- again the real kernel, so the
+analytic-vs-event cycle/energy banding of the single-chip oracles
+carries over to fabrics unchanged.
+
+Energy assembly respects the cumulative-meter contract: chip 0's
+top-phase :class:`~repro.machine.api.RunResult` already includes its
+phase-1 activity and the idle wait (backends carry clock *and* meter
+across runs), so the fabric total adds only the other chips' phase-1
+energies and the e-link transfer energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.faults.report import FaultReport
+from repro.geometry.apertures import SubapertureTree
+from repro.kernels.ffbp_common import FfbpPlan
+from repro.kernels.ffbp_spmd import run_ffbp_spmd
+from repro.machine.api import Machine, RunResult
+from repro.sar.shard import shard_boundary_level
+
+__all__ = ["split_plan", "run_ffbp_fabric", "fabric_chips"]
+
+COMPLEX_BYTES = 8
+
+
+def fabric_chips(machine: Machine):
+    """The per-chip machines behind ``machine``, or None.
+
+    Fabric-shaped machines (:class:`~repro.machine.fabric.
+    FabricMachine`, or a :class:`~repro.faults.inject.FaultyMachine`
+    wrapping one) expose ``chips`` and a multi-chip spec; anything else
+    is a single chip and runs the plain SPMD path.
+    """
+    chips = getattr(machine, "chips", None)
+    if chips is None or getattr(machine.spec, "n_chips", 1) < 1:
+        return None
+    return chips
+
+
+def split_plan(plan: FfbpPlan, n_chips: int) -> tuple[FfbpPlan, FfbpPlan]:
+    """Split a full plan into (shard-local plan, top-level plan).
+
+    The local plan holds levels ``1..boundary`` with ``n_parents``
+    divided by ``n_chips`` (each chip merges only its own pulse
+    block); the top plan holds the cross-chip levels.  Valid because a
+    :class:`~repro.kernels.ffbp_common.StagePlan`'s per-row arrays
+    describe one parent's beams and apply to every parent identically.
+    """
+    cfg = plan.cfg
+    tree = SubapertureTree(cfg.n_pulses, cfg.spacing, cfg.merge_base)
+    boundary = shard_boundary_level(tree, n_chips)
+    local = tuple(
+        replace(s, n_parents=s.n_parents // n_chips)
+        for s in plan.stages[:boundary]
+    )
+    top = plan.stages[boundary:]
+    return (
+        FfbpPlan(cfg=cfg, stages=local, window_bytes=plan.window_bytes),
+        FfbpPlan(cfg=cfg, stages=top, window_bytes=plan.window_bytes),
+    )
+
+
+def run_ffbp_fabric(
+    machine: Machine,
+    plan: FfbpPlan,
+    n_cores: int | None = None,
+    interpolation: str = "nearest",
+) -> RunResult:
+    """Run the sharded FFBP timing model across a fabric's chips.
+
+    ``n_cores`` is the per-chip SPMD width (defaults to a full chip).
+    On a single-chip machine this is exactly
+    :func:`~repro.kernels.ffbp_spmd.run_ffbp_spmd`; on a 1-chip fabric
+    it runs the full plan on chip 0 -- same kernel, same clock, zero
+    wrapper overhead (the E64 parity test pins that down).
+    """
+    chips = fabric_chips(machine)
+    if chips is None:
+        return run_ffbp_spmd(machine, plan, n_cores, interpolation)
+    spec = machine.spec
+    n_chips = spec.n_chips
+    cores = n_cores if n_cores is not None else spec.cores_per_chip
+    if not 1 <= cores <= spec.cores_per_chip:
+        raise ValueError(
+            f"n_cores must be in 1..{spec.cores_per_chip} (per chip)"
+        )
+    local_plan, top_plan = split_plan(plan, n_chips)
+
+    # -- phase 1: shard-local merges, every chip independently ----------
+    phase1 = [
+        run_ffbp_spmd(chip, local_plan, cores, interpolation)
+        for chip in chips
+    ]
+
+    # -- phase 2: boundary subapertures cross to chip 0 ------------------
+    if local_plan.stages:
+        last = local_plan.stages[-1]
+        nbytes = last.n_parents * last.beams * last.n_ranges * COMPLEX_BYTES
+    else:  # F == n_pulses: ship the raw pulse block
+        nbytes = (plan.cfg.n_pulses // n_chips) * plan.cfg.n_ranges * (
+            COMPLEX_BYTES
+        )
+    link_energy = 0.0
+    start_top = chips[0].now
+    for f in range(1, n_chips):
+        extra, dropped, clause = machine.chiplink_outcome(f, 0)
+        if dropped:
+            raise FaultReport(
+                kind="chiplink-drop",
+                detail=(
+                    f"boundary subaperture from chip {f} to chip 0 "
+                    f"({nbytes} bytes) dropped on the e-link"
+                ),
+                cycle=chips[f].now,
+                fault=clause,
+            )
+        arrival = (
+            chips[f].now
+            + machine.chiplink_cycles(nbytes, n_links=f)
+            + extra
+        )
+        link_energy += machine.chiplink_energy_j(nbytes, n_links=f)
+        if arrival > start_top:
+            start_top = arrival
+    chips[0].advance(start_top - chips[0].now, busy_cores=0)
+
+    # -- phase 3: top-level merges on chip 0 ------------------------------
+    if top_plan.stages:
+        top = run_ffbp_spmd(chips[0], top_plan, cores, interpolation)
+    else:
+        top = phase1[0]
+
+    # Chip 0's meter and traces are cumulative across its two runs (and
+    # the idle advance), so `top` already accounts for all of chip 0.
+    cycles = top.cycles
+    seconds = cycles / spec.clock_hz
+    energy = (
+        top.energy_joules
+        + sum(r.energy_joules for r in phase1[1:])
+        + link_energy
+    )
+    return RunResult(
+        cycles=cycles,
+        seconds=seconds,
+        energy_joules=energy,
+        average_power_w=energy / seconds if seconds > 0 else 0.0,
+        traces=tuple(top.traces)
+        + tuple(t for r in phase1[1:] for t in r.traces),
+        results=top.results,
+        stalled=top.stalled or any(r.stalled for r in phase1),
+        wait_states=top.wait_states,
+    )

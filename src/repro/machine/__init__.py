@@ -42,9 +42,10 @@ from repro.machine.chip import EpiphanyChip
 from repro.machine.core import OpBlock
 from repro.machine.cpu import CpuMachine
 from repro.machine.event import Engine
+from repro.machine.fabric import FabricMachine
 from repro.machine.loader import LoadPlan, ProgramImage
 from repro.machine.profile import OvercommitError, profile_run
-from repro.machine.specs import CpuSpec, EpiphanySpec
+from repro.machine.specs import ChipLinkSpec, CpuSpec, EpiphanySpec, FabricSpec
 from repro.machine.tracing import ActivityRecorder
 
 __all__ = [
@@ -65,5 +66,8 @@ __all__ = [
     "profile_run",
     "CpuSpec",
     "EpiphanySpec",
+    "FabricSpec",
+    "FabricMachine",
+    "ChipLinkSpec",
     "ActivityRecorder",
 ]

@@ -17,6 +17,19 @@ mesh, or a named configuration with a clock override
 (``e16@700e6``).  Clocks accept any Python float literal (``800e6``,
 ``1.0e9``).
 
+Multi-chip fabrics spell ``<n>x(<chip-spec>)[@<clock_hz>]``: a linear
+fabric of ``n`` identical chips joined by chip-to-chip e-links (see
+:class:`~repro.machine.specs.FabricSpec`)::
+
+    get_machine("analytic:4x(8x8)@800e6")   # 4 chips of 8x8 @ 800 MHz
+    get_machine("event:2x(e16)")            # 2 event-driven E16 chips
+    get_machine("1x(e64)")                  # one chip, fabric-wrapped
+
+``1x(...)`` deliberately stays a fabric (the wrapper must add zero
+cycles or energy -- the E64 parity test in ``benchmarks/`` holds it to
+that).  Fabric specs nest inside ``faulty(...)`` but not inside other
+fabrics.
+
 Backends compose: ``faulty(<plan>):<inner-spec>`` wraps any inner
 backend in a :class:`~repro.faults.inject.FaultyMachine` injecting the
 given fault plan (see :mod:`repro.faults.plan` for the grammar)::
@@ -37,7 +50,7 @@ import re
 from typing import Callable
 
 from repro.machine.api import Machine
-from repro.machine.specs import EpiphanySpec
+from repro.machine.specs import EpiphanySpec, FabricSpec
 
 __all__ = [
     "get_machine",
@@ -49,7 +62,8 @@ __all__ = [
     "DEFAULT_SPEC",
 ]
 
-BackendFactory = Callable[[EpiphanySpec], Machine]
+MachineSpec = EpiphanySpec | FabricSpec
+BackendFactory = Callable[[MachineSpec], Machine]
 
 DEFAULT_BACKEND = "event"
 DEFAULT_SPEC = "e16"
@@ -86,12 +100,77 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def get_spec(token: str) -> EpiphanySpec:
-    """Resolve a spec token (named, named@clock, or RxC[@clock])."""
+_FABRIC_OPEN_RE = re.compile(r"^(?P<chips>\d+)x\(")
+
+
+def _try_fabric(token: str) -> FabricSpec | None:
+    """Parse a ``<n>x(<chip-spec>)[@<clock>]`` fabric token, or None.
+
+    Returns None when the token does not *look* like a fabric (no
+    ``<digits>x(`` prefix); raises a clean ValueError when it looks
+    like one but is malformed, so the error names the actual mistake
+    (unbalanced parens, zero chips, empty inner spec) instead of
+    falling through to the generic unknown-spec message.
+    """
+    m = _FABRIC_OPEN_RE.match(token)
+    if m is None:
+        return None
+    depth = 0
+    close = -1
+    for i in range(m.end() - 1, len(token)):
+        ch = token[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                close = i
+                break
+    if close < 0:
+        raise ValueError(
+            f"unbalanced parentheses in fabric spec {token!r}; expected "
+            f"'<n>x(<chip-spec>)[@<clock_hz>]'"
+        )
+    n_chips = int(m.group("chips"))
+    if n_chips < 1:
+        raise ValueError(
+            f"fabric needs at least 1 chip, got {n_chips} in {token!r}"
+        )
+    inner = token[m.end() : close]
+    if not inner:
+        raise ValueError(f"empty chip spec in fabric spec {token!r}")
+    if _FABRIC_OPEN_RE.match(inner):
+        raise ValueError(
+            f"nested fabric in spec {token!r}; fabrics hold chips, "
+            f"not fabrics"
+        )
+    rest = token[close + 1 :]
+    chip = get_spec(inner)
+    if isinstance(chip, FabricSpec):  # defensive: inner named a fabric
+        raise ValueError(
+            f"nested fabric in spec {token!r}; fabrics hold chips, "
+            f"not fabrics"
+        )
+    if rest:
+        if not rest.startswith("@"):
+            raise ValueError(
+                f"trailing {rest!r} after fabric spec {token!r}; expected "
+                f"'@<clock_hz>' or nothing"
+            )
+        chip = chip.with_clock(_parse_clock(rest[1:], token))
+    return FabricSpec(chip=chip, n_chips=n_chips)
+
+
+def get_spec(token: str) -> MachineSpec:
+    """Resolve a spec token (named, named@clock, RxC[@clock], or the
+    ``<n>x(<chip-spec>)[@<clock>]`` fabric form)."""
     token = token.strip().lower()
     named = _NAMED_SPECS.get(token)
     if named is not None:
         return named()
+    fabric = _try_fabric(token)
+    if fabric is not None:
+        return fabric
     m = _NAMED_CLOCK_RE.match(token)
     if m and m.group("name") in _NAMED_SPECS:
         return _NAMED_SPECS[m.group("name")]().with_clock(
@@ -108,8 +187,9 @@ def get_spec(token: str) -> EpiphanySpec:
         return spec
     raise ValueError(
         f"unknown machine spec {token!r}; expected one of "
-        f"{sorted(_NAMED_SPECS)}, '<name>@<clock_hz>' or "
-        f"'<rows>x<cols>[@<clock_hz>]'"
+        f"{sorted(_NAMED_SPECS)}, '<name>@<clock_hz>', "
+        f"'<rows>x<cols>[@<clock_hz>]' or the fabric form "
+        f"'<n>x(<chip-spec>)[@<clock_hz>]'"
     )
 
 
@@ -196,7 +276,10 @@ def resolve_backend(name: str = "") -> tuple[BackendFactory, EpiphanySpec]:
     try:
         spec = get_spec(spec_token)
     except ValueError:
-        if not bare:
+        # A bare token that *looks* like a fabric ('<n>x(...') is a
+        # spec mistake, not a misspelled backend: keep the specific
+        # parse error (unbalanced parens, zero chips, trailing junk).
+        if not bare or _FABRIC_OPEN_RE.match(spec_token):
             raise
         # e.g. "analytc": neither a registered backend nor a parsable
         # spec.  A spec-only error here would send a user who merely
@@ -224,15 +307,25 @@ def get_machine(name: str = "") -> Machine:
 
 def _register_builtins() -> None:
     # Imported lazily so importing the registry never drags in both
-    # engines when only one is used.
-    def _event(spec: EpiphanySpec) -> Machine:
+    # engines when only one is used.  A FabricSpec builds one chip per
+    # slot behind a FabricMachine -- even for 1x(...), so the fabric
+    # wrapper's zero-overhead contract stays testable.
+    def _event(spec: MachineSpec) -> Machine:
         from repro.machine.chip import EpiphanyChip
 
+        if isinstance(spec, FabricSpec):
+            from repro.machine.fabric import FabricMachine
+
+            return FabricMachine(spec, EpiphanyChip)
         return EpiphanyChip(spec)
 
-    def _analytic(spec: EpiphanySpec) -> Machine:
+    def _analytic(spec: MachineSpec) -> Machine:
         from repro.machine.analytic import AnalyticMachine
 
+        if isinstance(spec, FabricSpec):
+            from repro.machine.fabric import FabricMachine
+
+            return FabricMachine(spec, AnalyticMachine)
         return AnalyticMachine(spec)
 
     register_backend("event", _event)

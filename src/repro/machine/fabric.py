@@ -1,0 +1,175 @@
+"""A fabric of Epiphany chips behind the single-machine Protocol.
+
+:class:`FabricMachine` aggregates ``n_chips`` identical chip backends
+(event or analytic -- any factory taking an
+:class:`~repro.machine.specs.EpiphanySpec`) into one
+:class:`~repro.machine.api.Machine`-shaped object with fabric-global
+core ids.  Each chip keeps its own mesh, local memories, external
+channel, clock and energy meter; chip-boundary traffic pays the
+:class:`~repro.machine.specs.ChipLinkSpec` e-link cost (Brauer et
+al.'s multi-node Epiphany measurements say this is the term that
+matters, so it is charged explicitly rather than approximated away).
+
+Design choice: one :meth:`FabricMachine.run` call executes on **one**
+chip.  A chip's event/analytic engine resolves contention *within* its
+mesh and external channel; programs spanning chips need explicit
+chip-boundary transfers, which is exactly the sharded executive's job
+(:func:`repro.kernels.ffbp_fabric.run_ffbp_fabric` phases per-chip
+runs and charges the e-link between them).  Passing a cross-chip
+program set here raises immediately with a pointer at that executive,
+instead of silently mismodelling the boundary as mesh traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.machine.api import Machine, MachineContext, Programs, RunResult
+from repro.machine.specs import EpiphanySpec, FabricSpec
+
+__all__ = ["FabricMachine"]
+
+
+class FabricMachine:
+    """``n_chips`` chip backends addressed by fabric-global core id.
+
+    Global core ``g`` lives on chip ``g // cores_per_chip`` as local
+    core ``g % cores_per_chip`` (the :meth:`FabricSpec.global_core` /
+    :meth:`FabricSpec.split_core` bijection).  Contexts returned by
+    :meth:`context` are the underlying chip contexts, so their
+    ``core_id`` attribute is chip-local -- kernels address their
+    barrier/flag peers within a run, and a run is chip-resident.
+    """
+
+    def __init__(
+        self,
+        spec: FabricSpec,
+        chip_factory: Callable[[EpiphanySpec], Machine],
+    ) -> None:
+        self.spec = spec
+        self.chips: tuple[Machine, ...] = tuple(
+            chip_factory(spec.chip) for _ in range(spec.n_chips)
+        )
+
+    # -- Machine protocol -----------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return self.spec.n_cores
+
+    @property
+    def now(self) -> int:
+        """The fabric clock: the furthest-ahead chip clock."""
+        return max(chip.now for chip in self.chips)
+
+    @property
+    def energy(self):
+        """Chip 0's meter (the merge chip).
+
+        Kept so single-chip-shaped consumers (profilers, meters) see a
+        real :class:`~repro.machine.energy.EnergyMeter`; fabric-total
+        energy is assembled by the sharded executive from the per-chip
+        meters plus the e-link charges.
+        """
+        return self.chips[0].energy
+
+    @property
+    def engine(self):
+        """Chip 0's event engine, when the chip backend has one."""
+        return getattr(self.chips[0], "engine", None)
+
+    def chip_of(self, global_core: int) -> tuple[int, int]:
+        """(chip index, local core id) of a fabric-global core."""
+        if not 0 <= global_core < self.n_cores:
+            raise ValueError(
+                f"core {global_core} outside 0..{self.n_cores - 1}"
+            )
+        return divmod(global_core, self.spec.cores_per_chip)
+
+    def context(self, core_id: int) -> MachineContext:
+        chip_index, local = self.chip_of(core_id)
+        return self.chips[chip_index].context(local)
+
+    def run(
+        self, programs: Programs, max_cycles: int | None = None
+    ) -> RunResult:
+        """Run a chip-resident program set (fabric-global core ids).
+
+        All listed cores must map to one chip; cross-chip work phases
+        per-chip runs through the sharded executive
+        (:mod:`repro.kernels.ffbp_fabric`), which owns the e-link
+        transfer accounting this method cannot see.
+        """
+        if not programs:
+            raise ValueError("no programs given")
+        by_chip: dict[int, Programs] = {}
+        for g, fn in programs.items():
+            chip_index, local = self.chip_of(g)
+            by_chip.setdefault(chip_index, {})[local] = fn
+        if len(by_chip) > 1:
+            raise ValueError(
+                f"programs span chips {sorted(by_chip)}; one run is "
+                f"chip-resident -- shard across chips with the fabric "
+                f"executive (repro.kernels.ffbp_fabric)"
+            )
+        ((chip_index, local_programs),) = by_chip.items()
+        return self.chips[chip_index].run(local_programs, max_cycles)
+
+    # -- fabric services used by the runtime layer ----------------------
+    def flag(self, name: str = ""):
+        """Flags live on chip 0 (the merge chip)."""
+        return self.chips[0].flag(name=name)
+
+    def set_flag_at(self, flag, cycle: int) -> None:
+        self.chips[0].set_flag_at(flag, cycle)
+
+    def hops(self, src_core: int, dst_core: int) -> int:
+        """Mesh-hop-equivalent distance between fabric-global cores.
+
+        Intra-chip: the chip mesh distance.  Cross-chip: hops to the
+        source chip's e-link node (column ``mesh_cols - 1`` of row 0),
+        ``|i - j|`` e-link crossings at their head latency expressed in
+        hop-equivalents, then hops from the destination chip's e-link
+        node -- the additive path model Brauer et al. measure.
+        """
+        src_chip, src_local = self.chip_of(src_core)
+        dst_chip, dst_local = self.chip_of(dst_core)
+        if src_chip == dst_chip:
+            return self.chips[src_chip].hops(src_local, dst_local)
+        chip = self.spec.chip
+        elink = chip.mesh_cols - 1  # local id of node (0, cols-1)
+        return (
+            self.chips[src_chip].hops(src_local, elink)
+            + abs(src_chip - dst_chip) * self.spec.link.latency_cycles
+            + self.chips[dst_chip].hops(elink, dst_local)
+        )
+
+    def advance(self, cycles: int, busy_cores: int = 0) -> None:
+        """Advance every chip clock together (one fabric clock domain).
+
+        ``busy_cores`` are charged on chip 0, matching the merge-chip
+        convention of :attr:`energy`.
+        """
+        for i, chip in enumerate(self.chips):
+            chip.advance(cycles, busy_cores=busy_cores if i == 0 else 0)
+
+    # -- chip-to-chip e-link --------------------------------------------
+    def chiplink_cycles(self, nbytes: float, n_links: int = 1) -> int:
+        """Cycles for one chip-boundary transfer over ``n_links`` hops."""
+        link = self.spec.link
+        if nbytes <= 0 or n_links <= 0:
+            return 0
+        bw = int(-(-nbytes // link.bytes_per_cycle))  # ceil
+        return n_links * link.latency_cycles + bw
+
+    def chiplink_energy_j(self, nbytes: float, n_links: int = 1) -> float:
+        """Joules for one chip-boundary transfer over ``n_links`` hops."""
+        return max(0, n_links) * self.spec.link.transfer_energy_j(nbytes)
+
+    def chiplink_outcome(self, src_chip: int, dst_chip: int) -> tuple[int, bool, str]:
+        """(extra stall cycles, dropped?, clause) for one transfer.
+
+        The healthy fabric never stalls or drops; the faulty wrapper
+        (:class:`~repro.faults.inject.FaultyMachine`) overrides this
+        with its ``chiplink:`` clause draws.
+        """
+        return (0, False, "")

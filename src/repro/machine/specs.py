@@ -191,6 +191,143 @@ class EpiphanySpec:
 
 
 @dataclass(frozen=True)
+class ChipLinkSpec:
+    """Chip-to-chip e-link parameters (fabric scale-out).
+
+    The Epiphany e-link is the same channel the off-chip SDRAM model
+    rides; here it carries chip-boundary traffic between neighbouring
+    chips of a fabric.  Brauer et al.'s multi-node Epiphany latency
+    study (PAPERS.md) identifies this chip-boundary e-link traffic as
+    the dominant cost of multi-chip signal processing, which is why the
+    fabric model charges it explicitly instead of folding it into the
+    mesh.
+    """
+
+    latency_cycles: int = 64
+    """Calibrated: head latency of one chip-to-chip e-link crossing
+    (serialisation + resynchronisation on the receiving chip), in the
+    same spirit as :attr:`EpiphanySpec.ext_read_latency_cycles` minus
+    the SDRAM access itself."""
+
+    bytes_per_cycle: float = 8.0
+    """Quoted: the e-link moves a double word per clock cycle -- the
+    same 8 GB/s-at-1-GHz figure as the off-chip channel."""
+
+    pj_per_byte: float = 45.0
+    """Calibrated: chip-boundary e-link energy per byte -- below the
+    :attr:`EpiphanySpec.ext_pj_per_byte` SDRAM figure (no DRAM access)
+    but far above the on-chip mesh's per-hop cost."""
+
+    def transfer_cycles(self, nbytes: float) -> int:
+        """Cycles for one chip-to-chip transfer of ``nbytes``."""
+        if nbytes <= 0:
+            return 0
+        bw = int(-(-nbytes // self.bytes_per_cycle))  # ceil
+        return self.latency_cycles + bw
+
+    def transfer_energy_j(self, nbytes: float) -> float:
+        """Joules for one chip-to-chip transfer of ``nbytes``."""
+        return max(0.0, nbytes) * self.pj_per_byte * 1e-12
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """A linear fabric of identical Epiphany chips joined by e-links.
+
+    The fabric is the scale-out direction the paper's conclusion
+    anticipates: chips are arranged in a chain (chip ``i`` reaches chip
+    ``j`` over ``|i - j|`` e-link crossings), each chip keeps its own
+    mesh, local memories and external channel, and chip-boundary
+    traffic pays the :class:`ChipLinkSpec` cost.  Fabric-global core
+    ``g`` addresses local core ``g % chip.n_cores`` on chip
+    ``g // chip.n_cores`` (see :meth:`global_core` /
+    :meth:`split_core`).
+    """
+
+    chip: EpiphanySpec
+    n_chips: int = 1
+    link: ChipLinkSpec = ChipLinkSpec()
+
+    def __post_init__(self) -> None:
+        if self.n_chips < 1:
+            raise ValueError(
+                f"fabric needs at least 1 chip, got {self.n_chips}"
+            )
+
+    # -- delegation: existing `.spec.X` consumers keep working ----------
+    @property
+    def n_cores(self) -> int:
+        return self.n_chips * self.chip.n_cores
+
+    @property
+    def cores_per_chip(self) -> int:
+        return self.chip.n_cores
+
+    @property
+    def mesh_rows(self) -> int:
+        return self.chip.mesh_rows
+
+    @property
+    def mesh_cols(self) -> int:
+        return self.chip.mesh_cols
+
+    @property
+    def clock_hz(self) -> float:
+        return self.chip.clock_hz
+
+    @property
+    def datasheet_chip_power_w(self) -> float:
+        """Datasheet-class power of the whole fabric: every chip burns
+        its own budget, links ride the per-byte energy model."""
+        return self.n_chips * self.chip.datasheet_chip_power_w
+
+    # -- fabric-global core addressing ----------------------------------
+    def global_core(self, chip_index: int, row: int, col: int) -> int:
+        """Fabric-global id of local core (row, col) on ``chip_index``."""
+        if not 0 <= chip_index < self.n_chips:
+            raise ValueError(
+                f"chip {chip_index} outside 0..{self.n_chips - 1}"
+            )
+        if not (0 <= row < self.chip.mesh_rows
+                and 0 <= col < self.chip.mesh_cols):
+            raise ValueError(
+                f"core ({row}, {col}) outside the "
+                f"{self.chip.mesh_rows}x{self.chip.mesh_cols} mesh"
+            )
+        return (
+            chip_index * self.chip.n_cores
+            + row * self.chip.mesh_cols
+            + col
+        )
+
+    def split_core(self, global_core: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`global_core`: (chip, row, col)."""
+        if not 0 <= global_core < self.n_cores:
+            raise ValueError(
+                f"core {global_core} outside 0..{self.n_cores - 1}"
+            )
+        chip_index, local = divmod(global_core, self.chip.n_cores)
+        row, col = divmod(local, self.chip.mesh_cols)
+        return chip_index, row, col
+
+    def with_clock(self, clock_hz: float) -> "FabricSpec":
+        """All chips of the fabric share one clock domain."""
+        return replace(self, chip=self.chip.with_clock(clock_hz))
+
+    def canonical(self) -> str:
+        """The registry-grammar spelling that parses back to ``self``.
+
+        Fully explicit (``4x(8x8@8e+08)``) so that
+        ``get_spec(spec.canonical()) == spec`` round-trips for every
+        fabric, whatever named shorthand built it.
+        """
+        return (
+            f"{self.n_chips}x({self.chip.mesh_rows}x"
+            f"{self.chip.mesh_cols}@{self.chip.clock_hz:g})"
+        )
+
+
+@dataclass(frozen=True)
 class CpuSpec:
     """Single-core Intel i7-M620-like reference model.
 

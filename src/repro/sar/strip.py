@@ -69,33 +69,46 @@ class StripProcessor:
             return 0
         return 1 + (total_pulses - self.cfg.n_pulses) // self.hop
 
+    def _check(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[1] != self.cfg.n_ranges:
+            raise ValueError(
+                f"range count {data.shape[-1] if data.ndim == 2 else '?'} "
+                f"!= config {self.cfg.n_ranges}"
+            )
+        return data
+
+    def frame_at(self, data: np.ndarray, k: int) -> StripFrame:
+        """Form frame ``k`` of a (checked) data take.
+
+        The single code path for one frame -- the serial iterator and
+        the multi-chip sub-swath sharding both call this, which is what
+        makes the sharded mosaic byte-identical to the serial one.
+        """
+        first = k * self.hop
+        window = data[first : first + self.cfg.n_pulses]
+        # The window's aperture is centred at its own track
+        # position: image in window-local coordinates, then shift
+        # the grid centre to global coordinates.
+        img = ffbp(window, self.cfg, self.options)
+        global_center = img.grid.center + np.array(
+            [first * self.cfg.spacing, 0.0]
+        )
+        shifted = PolarImage(
+            grid=type(img.grid)(
+                center=global_center,
+                r=img.grid.r,
+                theta=img.grid.theta,
+            ),
+            data=img.data,
+        )
+        return StripFrame(index=k, first_pulse=first, image=shifted)
+
     def frames(self, data: np.ndarray) -> Iterator[StripFrame]:
         """Process a long ``(total_pulses, n_ranges)`` data take."""
-        data = np.asarray(data)
-        total, n_ranges = data.shape
-        if n_ranges != self.cfg.n_ranges:
-            raise ValueError(
-                f"range count {n_ranges} != config {self.cfg.n_ranges}"
-            )
-        for k in range(self.n_frames(total)):
-            first = k * self.hop
-            window = data[first : first + self.cfg.n_pulses]
-            # The window's aperture is centred at its own track
-            # position: image in window-local coordinates, then shift
-            # the grid centre to global coordinates.
-            img = ffbp(window, self.cfg, self.options)
-            global_center = img.grid.center + np.array(
-                [first * self.cfg.spacing, 0.0]
-            )
-            shifted = PolarImage(
-                grid=type(img.grid)(
-                    center=global_center,
-                    r=img.grid.r,
-                    theta=img.grid.theta,
-                ),
-                data=img.data,
-            )
-            yield StripFrame(index=k, first_pulse=first, image=shifted)
+        data = self._check(data)
+        for k in range(self.n_frames(data.shape[0])):
+            yield self.frame_at(data, k)
 
     def mosaic(
         self,
@@ -108,29 +121,48 @@ class StripProcessor:
         centre is nearest (the best-integrated look).
         """
         frames = list(self.frames(data))
-        if not frames:
-            raise ValueError("data take shorter than one aperture")
-        total = data.shape[0]
-        x_lo = 0.0
-        x_hi = total * self.cfg.spacing
-        r_mid = 0.5 * (self.cfg.r0 + self.cfg.r_max)
-        y_half = 0.45 * (self.cfg.r_max - self.cfg.r0)
-        nx = max(8, int((x_hi - x_lo) * pixels_per_meter))
-        ny = max(8, int(2 * y_half * pixels_per_meter))
-        grid = CartesianGrid(
-            x=np.linspace(x_lo, x_hi, nx),
-            y=r_mid + np.linspace(-y_half, y_half, ny),
+        return stitch_frames(
+            self.cfg, frames, data.shape[0], pixels_per_meter
         )
-        out = np.zeros(grid.shape, dtype=np.complex128)
-        best = np.full(grid.shape, np.inf)
-        xx = grid.pixel_positions()[..., 0]
-        for frame in frames:
-            cart = frame.image.to_cartesian(grid)
-            dist = np.abs(xx - frame.center_x)
-            take = (dist < best) & (cart.data != 0)
-            out[take] = cart.data[take]
-            best[take] = dist[take]
-        return CartesianImage(grid=grid, data=out)
+
+
+def stitch_frames(
+    cfg: RadarConfig,
+    frames: list[StripFrame],
+    total_pulses: int,
+    pixels_per_meter: float = 0.25,
+) -> CartesianImage:
+    """Stitch strip frames onto one Cartesian mosaic.
+
+    Frames are consumed in ascending index order (enforced by sorting),
+    so the stitch is deterministic however the frames were produced --
+    serially, or sharded over the chips of a fabric.  Each ground pixel
+    takes the value from the frame whose aperture centre is nearest
+    (the best-integrated look).
+    """
+    if not frames:
+        raise ValueError("data take shorter than one aperture")
+    frames = sorted(frames, key=lambda f: f.index)
+    x_lo = 0.0
+    x_hi = total_pulses * cfg.spacing
+    r_mid = 0.5 * (cfg.r0 + cfg.r_max)
+    y_half = 0.45 * (cfg.r_max - cfg.r0)
+    nx = max(8, int((x_hi - x_lo) * pixels_per_meter))
+    ny = max(8, int(2 * y_half * pixels_per_meter))
+    grid = CartesianGrid(
+        x=np.linspace(x_lo, x_hi, nx),
+        y=r_mid + np.linspace(-y_half, y_half, ny),
+    )
+    out = np.zeros(grid.shape, dtype=np.complex128)
+    best = np.full(grid.shape, np.inf)
+    xx = grid.pixel_positions()[..., 0]
+    for frame in frames:
+        cart = frame.image.to_cartesian(grid)
+        dist = np.abs(xx - frame.center_x)
+        take = (dist < best) & (cart.data != 0)
+        out[take] = cart.data[take]
+        best[take] = dist[take]
+    return CartesianImage(grid=grid, data=out)
 
 
 def simulate_strip(

@@ -61,6 +61,13 @@ CHAOS_BACKENDS = ("event", "analytic")
 
 CHAOS_SPEC = "e16"
 
+CHAOS_FABRIC_SPEC = "2x(e16)"
+"""Fabric spec for the multi-chip chaos cases: two chips keep the
+sharded run cheap while exercising the e-link path and ``chiplink:``
+fault clauses."""
+
+CHAOS_FABRIC_CHIPS = 2
+
 WATCHDOG_CYCLES = 50_000
 """Channel watchdog for chaos pipeline runs: generous against the
 largest injected stall (a few hundred cycles) yet small enough that a
@@ -80,17 +87,21 @@ def _draw(seed: int, case: int, key: str, n: int) -> int:
     return derive_seed(seed, f"chaos/{case}/{key}") % n
 
 
-def random_plan(seed: int, case: int, rows: int = 4, cols: int = 4) -> str:
+def random_plan(
+    seed: int, case: int, rows: int = 4, cols: int = 4, chips: int = 1
+) -> str:
     """Generate the fault plan for one chaos case, deterministically.
 
     1-2 clauses drawn over every fault family of the grammar, plus an
     explicit plan-level ``seed=`` clause so probabilistic link faults
-    expand reproducibly.
+    expand reproducibly.  ``chips > 1`` (the fabric cases) adds the
+    ``chiplink:`` family to the draw; single-chip draws are unchanged,
+    so pre-fabric chaos cases keep their historical plans.
     """
     n_clauses = 1 + _draw(seed, case, "n_clauses", 2)
     clauses = []
     for j in range(n_clauses):
-        kind = _draw(seed, case, f"kind/{j}", 6)
+        kind = _draw(seed, case, f"kind/{j}", 6 if chips < 2 else 7)
         if kind == 0:  # core crash (sometimes dead-on-arrival)
             core = _draw(seed, case, f"core/{j}", rows * cols - 3)
             cycle = (0, 500, 5_000)[_draw(seed, case, f"cycle/{j}", 3)]
@@ -123,9 +134,21 @@ def random_plan(seed: int, case: int, rows: int = 4, cols: int = 4) -> str:
             core = _draw(seed, case, f"ccore/{j}", rows * cols)
             nth = 1 + _draw(seed, case, f"cn/{j}", 3)
             clauses.append(f"dma:{core}@n={nth}:corrupt-word")
-        else:  # lost flag raise
+        elif kind == 5:  # lost flag raise
             nth = 1 + _draw(seed, case, f"fn/{j}", 12)
             clauses.append(f"flag:drop@n={nth}")
+        else:  # chip-to-chip e-link stall / drop (fabric cases only)
+            src = _draw(seed, case, f"xs/{j}", chips)
+            dst = _draw(seed, case, f"xd/{j}", chips - 1)
+            if dst >= src:
+                dst += 1
+            p = ("0.05", "0.5", "1")[_draw(seed, case, f"xp/{j}", 3)]
+            if _draw(seed, case, f"xk/{j}", 3):
+                stall = (64, 500, 2000)[_draw(seed, case, f"xst/{j}", 3)]
+                tail = f"stall={stall}"
+            else:
+                tail = "drop"
+            clauses.append(f"chiplink:({src})->({dst})@p={p}:{tail}")
     clauses.append(f"seed={_draw(seed, case, 'plan_seed', 1_000_000)}")
     return "; ".join(clauses)
 
@@ -162,10 +185,17 @@ def _work_fingerprint(result) -> str:
     return h.hexdigest()
 
 
-def _build_machine(backend: str, plan: FaultPlan | None) -> object:
+def _case_chips(case: int) -> int:
+    """Chip count of one chaos case: every third case runs the fabric."""
+    return CHAOS_FABRIC_CHIPS if case % 3 == 2 else 1
+
+
+def _build_machine(
+    backend: str, plan: FaultPlan | None, spec: str = CHAOS_SPEC
+) -> object:
     from repro.machine.backends import get_machine
 
-    inner = get_machine(f"{backend}:{CHAOS_SPEC}")
+    inner = get_machine(f"{backend}:{spec}")
     if plan is None:
         return inner
     return FaultyMachine(inner, plan)
@@ -175,12 +205,27 @@ def _execute(backend: str, case: int, plan: FaultPlan | None) -> dict:
     """One run; returns a canonical outcome record (JSON-stable)."""
     from repro.kernels.autofocus_mpmd import build_pipeline, paper_placement
     from repro.kernels.ffbp_common import plan_ffbp
+    from repro.kernels.ffbp_fabric import run_ffbp_fabric
     from repro.kernels.ffbp_spmd import run_ffbp_spmd
     from repro.kernels.opcounts import AutofocusWorkload, RadarConfig
     from repro.runtime.mapping import remap_placement
 
-    machine = _build_machine(backend, plan)
+    chips = _case_chips(case)
+    spec = CHAOS_FABRIC_SPEC if chips > 1 else CHAOS_SPEC
+    machine = _build_machine(backend, plan, spec)
     try:
+        if chips > 1:
+            # Sharded fabric FFBP: per-chip SPMD phases, e-link
+            # transfers (the chiplink: fault surface), top merge.
+            fplan = plan_ffbp(RadarConfig.small(n_pulses=64, n_ranges=65))
+            result = run_ffbp_fabric(machine, fplan, 16)
+            if result.stalled:
+                return {"kind": "stalled", "waits": []}
+            return {
+                "kind": "ok",
+                "remapped": [],
+                "work": _work_fingerprint(result),
+            }
         if case % 2 == 0:
             # MPMD autofocus: channels, flags, the Fig. 9 mapping.
             work = AutofocusWorkload(
@@ -228,7 +273,7 @@ def _canonical(record: dict) -> str:
 def run_chaos_case(backend: str, case: int, seed: int) -> list[Check]:
     """Run one chaos case on one backend; return its contract checks."""
     checks: list[Check] = []
-    plan_text = random_plan(seed, case)
+    plan_text = random_plan(seed, case, chips=_case_chips(case))
     prefix = f"chaos/{backend}/{case}"
     t0 = time.perf_counter()
     try:

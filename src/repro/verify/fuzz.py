@@ -15,8 +15,11 @@ spec strings -- and checks *invariants* rather than values:
   bit-identical operation counters on both engines, banded cycle
   agreement, non-negative energy, and cycle counts monotone in work;
 - ``spec_strings`` -- every well-formed ``[backend][:spec]`` string
-  builds the machine it names; every malformed one raises ``ValueError``
-  (never a traceback-class error).
+  (including the fabric form ``<n>x(<chip-spec>)[@clock]``) builds the
+  machine it names; every malformed one raises ``ValueError`` (never a
+  traceback-class error);
+- ``fabric``      -- fabric specs round-trip through ``canonical()``
+  and their global core ids biject with ``(chip, row, col)``.
 
 The drivers are dependency-free (a seeded in-repo generator, not
 hypothesis) so the CLI gate and CI can run them anywhere; the richer
@@ -349,6 +352,15 @@ _MALFORMED = (
     ":::",
     "e99",
     "-1x4",
+    # malformed fabric specs (PR-6 grammar)
+    "analytic:4x(",
+    "0x(8x8)",
+    "2x()",
+    "2x(8x8",
+    "2x(2x(e16))",
+    "2x(e16)junk",
+    "2x(nope)",
+    "faulty(core:0@cycle=0:crash:2x(e16)",
 )
 
 
@@ -363,7 +375,7 @@ def fuzz_spec_strings(seed: int, cases: int) -> list[Check]:
         if rng.random() < 0.6:
             # Well-formed: random backend prefix x random spec form.
             prefix = rng.choice(("",) + tuple(b + ":" for b in backends))
-            form = rng.randrange(3)
+            form = rng.randrange(4)
             if form == 0:
                 name = rng.choice(sorted(named))
                 spec, n_cores = name, named[name]
@@ -371,11 +383,24 @@ def fuzz_spec_strings(seed: int, cases: int) -> list[Check]:
                 r = rng.randrange(1, 9)
                 c = rng.randrange(1, 9)
                 spec, n_cores = f"{r}x{c}", r * c
-            else:
+            elif form == 2:
                 r = rng.randrange(1, 9)
                 c = rng.randrange(1, 9)
                 clock = rng.choice(("400e6", "8.0e8", "1e9"))
                 spec, n_cores = f"{r}x{c}@{clock}", r * c
+            else:
+                # Fabric form: <n>x(<chip>)[@clock]; n_cores scales
+                # with the chip count.
+                n = rng.randrange(1, 5)
+                if rng.random() < 0.5:
+                    name = rng.choice(sorted(named))
+                    chip_spec, chip_cores = name, named[name]
+                else:
+                    r = rng.randrange(1, 9)
+                    c = rng.randrange(1, 9)
+                    chip_spec, chip_cores = f"{r}x{c}", r * c
+                suffix = rng.choice(("", "@400e6", "@1e9"))
+                spec, n_cores = f"{n}x({chip_spec}){suffix}", n * chip_cores
             token = prefix + spec
             try:
                 machine = get_machine(token)
@@ -412,11 +437,75 @@ def fuzz_spec_strings(seed: int, cases: int) -> list[Check]:
     return inv.checks()
 
 
+# ---------------------------------------------------------------------------
+# fabric: canonical round-trip + global-core addressing bijection
+# ---------------------------------------------------------------------------
+
+def fuzz_fabric(seed: int, cases: int) -> list[Check]:
+    from repro.machine.backends import get_spec
+    from repro.machine.specs import FabricSpec
+
+    rng = random.Random(seed)
+    inv = Invariants("fabric")
+    for _ in range(cases):
+        n = rng.randrange(1, 7)
+        rows = rng.randrange(1, 7)
+        cols = rng.randrange(1, 7)
+        clock = rng.choice(("", "@400e6", "@8e8", "@1e9"))
+        token = f"{n}x({rows}x{cols}{clock})"
+        tag = f"{token!r}"
+        spec = get_spec(token)
+        inv.record(
+            "is_fabric", isinstance(spec, FabricSpec), tag
+        )
+        inv.record(
+            "core_count",
+            spec.n_cores == n * rows * cols,
+            f"{tag}: {spec.n_cores} cores, expected {n * rows * cols}",
+        )
+        # parse(spec).canonical() must parse back to the same spec.
+        canon = spec.canonical()
+        inv.record(
+            "canonical_roundtrip",
+            get_spec(canon) == spec,
+            f"{tag}: canonical {canon!r} did not round-trip",
+        )
+        # Global core ids biject with (chip, row, col).
+        cells = [
+            (f, r, c)
+            for f in range(n)
+            for r in range(rows)
+            for c in range(cols)
+        ]
+        gids = [spec.global_core(*cell) for cell in cells]
+        inv.record(
+            "addressing_onto",
+            sorted(gids) == list(range(spec.n_cores)),
+            f"{tag}: global ids not a permutation of 0..{spec.n_cores - 1}",
+        )
+        sample = rng.sample(range(spec.n_cores), min(8, spec.n_cores))
+        inv.record(
+            "addressing_inverse",
+            all(spec.global_core(*spec.split_core(g)) == g for g in sample),
+            f"{tag}: split_core/global_core not inverse on {sample}",
+        )
+        for bad in (-1, spec.n_cores):
+            try:
+                spec.split_core(bad)
+                inv.record(
+                    "out_of_range_rejected", False, f"{tag}: {bad} accepted"
+                )
+            except ValueError:
+                inv.record("out_of_range_rejected", True, "")
+    return inv.checks()
+
+
 FUZZ_DRIVERS: dict[str, Callable[[int, int], list[Check]]] = {
     "partition": fuzz_partition,
     "placement": fuzz_placement,
     "channels": fuzz_channels,
     "backend_parity": fuzz_backend_parity,
     "spec_strings": fuzz_spec_strings,
+    "fabric": fuzz_fabric,
 }
 """Registered drivers: name -> ``fn(seed, cases) -> list[Check]``."""

@@ -5,6 +5,11 @@ Composes the three verification layers into a single pass/fail run:
 1. **Differential oracles** -- replay the kernel workloads across the
    registered backends (event reference vs candidates) and the CPU
    reference, checking banded cycles/energy and exact counters.
+1b. **Fabric conformance** -- the multi-chip contracts of
+   :func:`~repro.verify.oracles.fabric_identity_oracle` (sharded SAR
+   images byte-identical to serial) and :func:`~repro.verify.oracles.
+   fabric_timing_oracle` (the fabric FFBP executive keeps the
+   single-chip analytic banding).
 2. **Golden snapshots** -- rebuild every registered fingerprint and
    compare it against ``tests/golden/*.json`` (or regenerate the
    snapshots with ``update_golden=True``).
@@ -125,6 +130,20 @@ def _work_parity_cell(workload_names: Sequence[str]) -> list[Check]:
     return work_parity_oracle(wls)
 
 
+def _fabric_identity_cell(kind: str) -> list[Check]:
+    """Single-chip == multi-chip byte identity for one SAR workload."""
+    from repro.verify.oracles import fabric_identity_oracle
+
+    return fabric_identity_oracle(kind)
+
+
+def _fabric_timing_cell(spec: str) -> list[Check]:
+    """Analytic-vs-event banding of the fabric FFBP executive."""
+    from repro.verify.oracles import fabric_timing_oracle
+
+    return fabric_timing_oracle(spec)
+
+
 def _golden_verify_cell(name: str, root: str | None) -> list[Check]:
     return verify_golden(name, root)
 
@@ -211,6 +230,21 @@ def run_verify(
         "oracle[cpu-work-parity]",
         _work_parity_cell,
         (tuple(wl.name for wl in workloads),),
+    )
+
+    # -- 1b. fabric conformance (multi-chip == single-chip) -------------
+    for kind in ("ffbp", "strip"):
+        cell(
+            f"fabric/identity/{kind}",
+            "fabric",
+            _fabric_identity_cell,
+            (kind,),
+        )
+    cell(
+        "fabric/timing/2x(e16)",
+        "fabric",
+        _fabric_timing_cell,
+        ("2x(e16)",),
     )
 
     # -- 2. golden snapshots (file-backed: never cached) ----------------

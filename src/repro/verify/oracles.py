@@ -53,6 +53,8 @@ __all__ = [
     "oracle_workloads",
     "differential_oracle",
     "work_parity_oracle",
+    "fabric_identity_oracle",
+    "fabric_timing_oracle",
 ]
 
 CYCLES_TOL = Tolerance(rel=0.05, abs=512.0)
@@ -228,6 +230,112 @@ def differential_oracle(
             _compare_runs(prefix, ref, cand, cycles_tol, energy_tol)
         )
     return checks
+
+
+def fabric_identity_oracle(
+    kind: str = "ffbp",
+    shard_counts: Sequence[int] = (),
+) -> list[Check]:
+    """Single-chip == multi-chip byte identity (the fabric contract).
+
+    The sharded SAR executives (:mod:`repro.sar.shard`) promise the
+    multi-chip decomposition is *exact*: same image, ``.tobytes()``
+    equal, at every shard count and therefore at any ``--jobs`` level.
+    ``kind`` selects the workload:
+
+    - ``"ffbp"``  -- subaperture-tree sharding of one 64x65 aperture,
+      shard counts 1/2/4 (powers of the merge base);
+    - ``"strip"`` -- sub-swath sharding of a 3-frame data take, shard
+      counts 1/2/3 (any count; frames are independent apertures).
+    """
+    from repro.geometry.scene import PointTarget, Scene
+    from repro.sar.ffbp import ffbp
+    from repro.sar.shard import sharded_ffbp, sharded_strip_mosaic
+    from repro.sar.simulate import simulate_compressed
+    from repro.sar.strip import StripProcessor, simulate_strip
+
+    checks: list[Check] = []
+    if kind == "ffbp":
+        cfg = RadarConfig.small(n_pulses=64, n_ranges=65)
+        r_mid = 0.5 * (cfg.r0 + cfg.r_max)
+        data = simulate_compressed(cfg, Scene.single(40.0, r_mid))
+        serial = ffbp(data, cfg)
+        for n in shard_counts or (1, 2, 4):
+            image = sharded_ffbp(data, cfg, n)
+            checks.append(
+                Check(
+                    name=f"fabric.ffbp.bytes[{n} shards]",
+                    passed=(
+                        image.data.tobytes() == serial.data.tobytes()
+                        and image.data.shape == serial.data.shape
+                        and image.data.dtype == serial.data.dtype
+                    ),
+                    note=(
+                        f"sharded_ffbp(n_shards={n}) must equal the "
+                        f"serial image bit-for-bit"
+                    ),
+                )
+            )
+    elif kind == "strip":
+        cfg = RadarConfig.small(n_pulses=64, n_ranges=65)
+        total = 3 * cfg.n_pulses
+        r_mid = 0.5 * (cfg.r0 + cfg.r_max)
+        scene = Scene(
+            tuple(
+                PointTarget((k + 0.5) * cfg.n_pulses * cfg.spacing, r_mid)
+                for k in range(3)
+            )
+        )
+        data = simulate_strip(cfg, scene, total)
+        serial = StripProcessor(cfg, hop=64).mosaic(data)
+        for n in shard_counts or (1, 2, 3):
+            mosaic = sharded_strip_mosaic(cfg, data, n, hop=64)
+            checks.append(
+                Check(
+                    name=f"fabric.strip.bytes[{n} shards]",
+                    passed=(
+                        mosaic.data.tobytes() == serial.data.tobytes()
+                        and mosaic.data.shape == serial.data.shape
+                    ),
+                    note=(
+                        f"sharded_strip_mosaic(n_shards={n}) must equal "
+                        f"the serial mosaic bit-for-bit"
+                    ),
+                )
+            )
+    else:
+        raise ValueError(
+            f"unknown fabric identity workload {kind!r}; "
+            f"expected 'ffbp' or 'strip'"
+        )
+    return checks
+
+
+def fabric_timing_oracle(
+    spec: str = "2x(e16)",
+    cfg: RadarConfig | None = None,
+    cycles_tol: Tolerance = CYCLES_TOL,
+    energy_tol: Tolerance = ENERGY_TOL,
+) -> list[Check]:
+    """Analytic-vs-event conformance of the fabric FFBP executive.
+
+    Replays :func:`~repro.kernels.ffbp_fabric.run_ffbp_fabric` on the
+    event and analytic builds of one fabric spec: exact counters and
+    results (same generators), banded cycles/energy (the single-chip
+    analytic contract, which the phased executive must not loosen).
+    The default scale matches :func:`oracle_workloads` -- 256x257 is
+    the smallest scale at which fixed costs (pipeline fill, first-touch
+    DMA, and here the one-shot e-link wait) stop dominating the parity
+    ratio.
+    """
+    from repro.kernels.ffbp_fabric import run_ffbp_fabric
+
+    cfg = cfg or RadarConfig.small(n_pulses=256, n_ranges=257)
+    plan = plan_ffbp(cfg)
+    ref = run_ffbp_fabric(get_machine(f"event:{spec}"), plan)
+    cand = run_ffbp_fabric(get_machine(f"analytic:{spec}"), plan)
+    prefix = f"ffbp_fabric[analytic:{spec} vs event:{spec}]"
+    return _compare_runs(prefix, ref, cand, cycles_tol, energy_tol)
 
 
 def work_parity_oracle(

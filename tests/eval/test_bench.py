@@ -33,8 +33,23 @@ class TestRunBench:
             "quick/ffbp_spmd16/analytic:e16",
             "fixed/autofocus_mpmd/event:e16",
             "fixed/autofocus_mpmd/analytic:e16",
+            "quick/ffbp_sharded/analytic:4x(8x8)",
         }
         assert set(quick_doc["results"]) == expected
+
+    def test_fabric_rows_carry_scaleout_metrics(self, quick_doc):
+        row = quick_doc["results"]["quick/ffbp_sharded/analytic:4x(8x8)"]
+        assert row["energy_j"] > 0.0
+        assert row["speedup_vs_1chip"] > 1.0
+        assert isinstance(row["cycles"], int) and row["cycles"] > 0
+
+    def test_fabric_backends_can_be_skipped(self):
+        doc = run_bench(quick=True, repeats=1, fabric_backends=())
+        assert not any("ffbp_sharded" in k for k in doc["results"])
+
+    def test_non_fabric_backend_rejected_for_fabric_rows(self):
+        with pytest.raises(ValueError, match="fabric"):
+            run_bench(quick=True, repeats=1, fabric_backends=("analytic:e16",))
 
     def test_result_rows_have_metrics(self, quick_doc):
         for key, row in quick_doc["results"].items():
@@ -130,12 +145,25 @@ class TestLoadBench:
 
 
 class TestCommittedBaseline:
-    def test_bench_5_json_is_a_valid_baseline(self):
+    @pytest.mark.parametrize("name", ["BENCH_5.json", "BENCH_6.json"])
+    def test_committed_baselines_are_valid(self, name):
         from pathlib import Path
 
         root = Path(__file__).resolve().parents[2]
-        doc = load_bench(str(root / "BENCH_5.json"))
+        doc = load_bench(str(root / name))
         assert doc["schema"] == BENCH_SCHEMA
-        # The committed baseline covers both scales plus the fixed rows.
+        # The committed baselines cover both scales plus the fixed rows.
         scales = {k.split("/", 1)[0] for k in doc["results"]}
         assert scales == {"quick", "paper", "fixed"}
+
+    def test_bench_6_gates_clean_against_bench_5(self):
+        """Fabric rows are additions: the single-chip gate is unchanged."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        current = load_bench(str(root / "BENCH_6.json"))
+        baseline = load_bench(str(root / "BENCH_5.json"))
+        regressions, notes = compare_bench(current, baseline, factor=10.0)
+        assert regressions == []
+        extra = {n for n in notes if "only in current" in n}
+        assert any("ffbp_sharded" in n for n in extra)

@@ -177,3 +177,59 @@ class TestRegistrySpec:
     def test_bad_plan_rejected_eagerly(self):
         with pytest.raises(ValueError, match="gremlin"):
             get_machine("faulty(gremlin:1):event:e16")
+
+
+class TestChipLinkInjection:
+    def test_chips_property_none_for_single_chip(self):
+        m = get_machine("faulty():analytic:e16")
+        assert m.chips is None
+
+    def test_chips_wraps_only_chip_zero(self):
+        m = get_machine(
+            "faulty(core:0@cycle=10:crash):analytic:2x(e16)"
+        )
+        chips = m.chips
+        assert isinstance(chips[0], FaultyMachine)
+        assert not isinstance(chips[1], FaultyMachine)
+        # Chip 0's plan keeps the local clause, loses any chiplink ones.
+        assert chips[0].plan.chiplink_faults == ()
+
+    def test_certain_stall_adds_cycles_on_the_matching_route(self):
+        m = get_machine(
+            "faulty(chiplink:(1)->(0)@p=1:stall=300):analytic:2x(e16)"
+        )
+        extra, dropped, clause = m.chiplink_outcome(1, 0)
+        assert (extra, dropped) == (300, False)
+        assert "chiplink:(1)->(0)" in clause
+        assert m.events[-1].kind == "chiplink-stall"
+
+    def test_other_routes_stay_clean(self):
+        m = get_machine(
+            "faulty(chiplink:(1)->(0)@p=1:stall=300):analytic:2x(e16)"
+        )
+        assert m.chiplink_outcome(0, 1) == (0, False, "")
+
+    def test_certain_drop_flags_the_transfer(self):
+        m = get_machine(
+            "faulty(chiplink:(1)->(0)@p=1:drop):analytic:2x(e16)"
+        )
+        extra, dropped, clause = m.chiplink_outcome(1, 0)
+        assert dropped
+        assert m.events[-1].kind == "chiplink-drop"
+
+    def test_outcomes_are_seed_deterministic(self):
+        spec = "faulty(chiplink:(1)->(0)@p=0.5:drop; seed=9):analytic:2x(e16)"
+        runs = []
+        for _ in range(2):
+            m = get_machine(spec)
+            runs.append([m.chiplink_outcome(1, 0)[1] for _ in range(32)])
+        assert runs[0] == runs[1]
+        assert any(runs[0]) and not all(runs[0])  # p=0.5 mixes
+
+    def test_cost_model_delegates_to_inner_fabric(self):
+        faulty = get_machine("faulty():analytic:2x(e16)")
+        plain = get_machine("analytic:2x(e16)")
+        assert faulty.chiplink_cycles(800, 2) == plain.chiplink_cycles(800, 2)
+        assert faulty.chiplink_energy_j(800, 2) == plain.chiplink_energy_j(
+            800, 2
+        )

@@ -143,3 +143,62 @@ class TestSchedule:
             f.clause() for f in plan.faults
         ]
         assert all(len(c["decisions"]) == 8 for c in exp["clauses"])
+
+
+class TestChipLinkGrammar:
+    def test_stall_clause_parses(self):
+        from repro.faults.plan import ChipLinkFault
+
+        plan = parse_plan("chiplink:(1)->(0)@p=0.1:stall=500")
+        (fault,) = plan.faults
+        assert fault == ChipLinkFault(1, 0, 0.1, "stall", 500)
+        assert fault.maskable  # a late e-link still delivers
+
+    def test_drop_clause_parses_and_is_not_maskable(self):
+        plan = parse_plan("chiplink:(2)->(0)@p=0.05:drop")
+        (fault,) = plan.faults
+        assert fault.action == "drop"
+        assert not fault.maskable
+
+    def test_clause_round_trips(self):
+        for text in (
+            "chiplink:(1)->(0)@p=0.1:stall=500",
+            "chiplink:(3)->(1)@p=1:drop",
+        ):
+            plan = parse_plan(text)
+            assert parse_plan(plan.faults[0].clause()) == plan
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="both 2"):
+            parse_plan("chiplink:(2)->(2)@p=0.5:drop")
+
+    @pytest.mark.parametrize("p", ["0", "1.5", "-0.1"])
+    def test_probability_domain_checked(self, p):
+        with pytest.raises(ValueError, match="outside"):
+            parse_plan(f"chiplink:(1)->(0)@p={p}:drop")
+
+    def test_stall_must_be_positive(self):
+        with pytest.raises(ValueError, match="stall must be >= 1"):
+            parse_plan("chiplink:(1)->(0)@p=0.5:stall=0")
+
+    def test_chiplink_faults_property_filters(self):
+        plan = parse_plan(
+            "core:0@cycle=10:crash; chiplink:(1)->(0)@p=1:drop"
+        )
+        assert len(plan.chiplink_faults) == 1
+        assert plan.chiplink_faults[0].src_chip == 1
+
+    def test_without_chiplink_keeps_local_clauses_and_seed(self):
+        plan = parse_plan(
+            "core:0@cycle=10:crash; chiplink:(1)->(0)@p=1:drop; seed=7"
+        )
+        local = plan.without_chiplink()
+        assert local.chiplink_faults == ()
+        assert len(local.faults) == 1
+        assert local.seed == plan.seed
+
+    def test_chiplink_schedule_is_seed_deterministic(self):
+        plan = parse_plan("chiplink:(1)->(0)@p=0.5:drop; seed=3")
+        a = [FaultSchedule(plan).fires(0, i) for i in range(64)]
+        b = [FaultSchedule(parse_plan(plan.text)).fires(0, i) for i in range(64)]
+        assert a == b

@@ -107,3 +107,66 @@ class TestRegisterBackend:
     def test_invalid_names_rejected(self, bad):
         with pytest.raises(ValueError):
             register_backend(bad, lambda spec: AnalyticMachine(spec))
+
+
+class TestFabricSpecs:
+    def test_fabric_of_named_chips(self):
+        from repro.machine.specs import FabricSpec
+
+        spec = get_spec("4x(e16)")
+        assert isinstance(spec, FabricSpec)
+        assert spec.n_chips == 4
+        assert spec.chip == EpiphanySpec()
+        assert spec.n_cores == 64
+
+    def test_fabric_of_mesh_chips_with_clock(self):
+        spec = get_spec("2x(8x8)@400e6")
+        assert spec.n_chips == 2
+        assert (spec.chip.mesh_rows, spec.chip.mesh_cols) == (8, 8)
+        assert spec.clock_hz == 400e6
+
+    def test_inner_clock_also_accepted(self):
+        assert get_spec("2x(8x8@400e6)").clock_hz == 400e6
+
+    def test_one_chip_fabric_is_still_a_fabric(self):
+        from repro.machine.specs import FabricSpec
+
+        assert isinstance(get_spec("1x(e16)"), FabricSpec)
+
+    @pytest.mark.parametrize(
+        ("bad", "needle"),
+        [
+            ("4x(", "unbalanced"),
+            ("0x(8x8)", "at least 1 chip"),
+            ("2x()", "empty chip spec"),
+            ("2x(8x8", "unbalanced"),
+            ("2x(2x(e16))", "nested fabric"),
+            ("2x(e16)junk", "trailing"),
+            ("2x(nope)", "nope"),
+        ],
+    )
+    def test_malformed_fabric_names_the_bad_token(self, bad, needle):
+        with pytest.raises(ValueError, match=needle):
+            get_spec(bad)
+
+    def test_get_machine_builds_a_fabric(self):
+        from repro.machine.fabric import FabricMachine
+
+        machine = get_machine("analytic:2x(e16)")
+        assert isinstance(machine, FabricMachine)
+        assert machine.n_cores == 32
+
+    def test_fabric_composes_with_faulty(self):
+        from repro.faults.inject import FaultyMachine
+
+        machine = get_machine(
+            "faulty(chiplink:(0)->(1)@p=1:drop):analytic:2x(e16)"
+        )
+        assert isinstance(machine, FaultyMachine)
+        assert len(machine.chips) == 2
+
+    def test_bare_fabric_token_keeps_specific_error(self):
+        # A bare token shaped like a fabric is a spec mistake, not an
+        # ambiguous backend name: the parse error must survive.
+        with pytest.raises(ValueError, match="at least 1 chip"):
+            get_machine("0x(8x8)")

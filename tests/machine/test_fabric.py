@@ -1,0 +1,163 @@
+"""Tests for the multi-chip fabric layer (specs + machine wrapper)."""
+
+import pytest
+
+from repro.machine.analytic import AnalyticMachine
+from repro.machine.backends import get_machine, get_spec
+from repro.machine.chip import EpiphanyChip
+from repro.machine.fabric import FabricMachine
+from repro.machine.specs import ChipLinkSpec, EpiphanySpec, FabricSpec
+
+
+class TestChipLinkSpec:
+    def test_transfer_cycles_is_latency_plus_ceil_bandwidth(self):
+        link = ChipLinkSpec(latency_cycles=64, bytes_per_cycle=8.0)
+        assert link.transfer_cycles(8) == 64 + 1
+        assert link.transfer_cycles(9) == 64 + 2  # ceil
+        assert link.transfer_cycles(800) == 64 + 100
+
+    def test_zero_bytes_cost_nothing(self):
+        link = ChipLinkSpec()
+        assert link.transfer_cycles(0) == 0
+        assert link.transfer_energy_j(0) == 0.0
+
+    def test_transfer_energy_scales_per_byte(self):
+        link = ChipLinkSpec(pj_per_byte=45.0)
+        assert link.transfer_energy_j(1000) == pytest.approx(45e-9)
+
+
+class TestFabricSpec:
+    def test_delegates_chip_geometry(self):
+        spec = FabricSpec(chip=EpiphanySpec(), n_chips=4)
+        assert spec.n_cores == 64
+        assert spec.cores_per_chip == 16
+        assert (spec.mesh_rows, spec.mesh_cols) == (4, 4)
+        assert spec.clock_hz == EpiphanySpec().clock_hz
+
+    def test_needs_at_least_one_chip(self):
+        with pytest.raises(ValueError, match="at least 1 chip"):
+            FabricSpec(chip=EpiphanySpec(), n_chips=0)
+
+    def test_with_clock_replaces_chip_clock(self):
+        spec = FabricSpec(chip=EpiphanySpec(), n_chips=2)
+        assert spec.with_clock(400e6).clock_hz == 400e6
+        assert spec.with_clock(400e6).n_chips == 2
+
+    def test_global_core_bijects_with_chip_row_col(self):
+        spec = FabricSpec(chip=EpiphanySpec(), n_chips=3)
+        seen = set()
+        for f in range(3):
+            for r in range(4):
+                for c in range(4):
+                    g = spec.global_core(f, r, c)
+                    assert spec.split_core(g) == (f, r, c)
+                    seen.add(g)
+        assert seen == set(range(spec.n_cores))
+
+    @pytest.mark.parametrize("bad", [-1, 48])
+    def test_split_core_range_checked(self, bad):
+        spec = FabricSpec(chip=EpiphanySpec(), n_chips=3)
+        with pytest.raises(ValueError):
+            spec.split_core(bad)
+
+    def test_global_core_range_checked(self):
+        spec = FabricSpec(chip=EpiphanySpec(), n_chips=2)
+        with pytest.raises(ValueError):
+            spec.global_core(2, 0, 0)
+        with pytest.raises(ValueError):
+            spec.global_core(0, 4, 0)
+
+    def test_datasheet_power_scales_with_chip_count(self):
+        spec = FabricSpec(chip=EpiphanySpec(), n_chips=3)
+        assert spec.datasheet_chip_power_w == pytest.approx(
+            3 * EpiphanySpec().datasheet_chip_power_w
+        )
+
+    def test_canonical_round_trips_through_the_registry(self):
+        for token in ("4x(8x8)", "2x(3x5@400e6)", "1x(4x4)"):
+            spec = get_spec(token)
+            assert get_spec(spec.canonical()) == spec
+
+
+class TestFabricMachine:
+    def test_builds_one_backend_per_chip(self):
+        m = get_machine("analytic:3x(e16)")
+        assert isinstance(m, FabricMachine)
+        assert len(m.chips) == 3
+        assert all(isinstance(c, AnalyticMachine) for c in m.chips)
+        assert m.n_cores == 48
+
+    def test_event_fabric_builds_event_chips(self):
+        m = get_machine("event:2x(e16)")
+        assert all(isinstance(c, EpiphanyChip) for c in m.chips)
+
+    def test_chip_of_follows_the_addressing(self):
+        m = get_machine("analytic:2x(e16)")
+        assert m.chip_of(0) == (0, 0)
+        assert m.chip_of(15) == (0, 15)
+        assert m.chip_of(16) == (1, 0)
+        with pytest.raises(ValueError):
+            m.chip_of(32)
+
+    def test_run_is_chip_resident(self):
+        m = get_machine("analytic:2x(e16)")
+
+        def prog(ctx):
+            return
+            yield
+
+        with pytest.raises(ValueError, match="span chips"):
+            m.run({0: prog, 16: prog})
+
+    def test_run_on_second_chip_uses_local_ids(self):
+        from repro.machine.core import OpBlock
+
+        m = get_machine("analytic:2x(e16)")
+
+        def prog(ctx):
+            yield from ctx.work(OpBlock(flops=100.0))
+
+        res = m.run({16: prog, 17: prog})
+        assert res.cycles > 0
+        assert m.chips[1].now == res.cycles
+        assert m.chips[0].now == 0
+
+    @pytest.mark.parametrize("backend", ["analytic", "event"])
+    def test_one_chip_fabric_is_a_zero_overhead_wrapper(self, backend):
+        """1x(e16) must match plain e16 cycle-for-cycle, joule-for-joule."""
+        from repro.machine.core import OpBlock
+
+        def make_programs():
+            def prog(ctx):
+                yield from ctx.work(OpBlock(flops=500.0, local_loads=100.0))
+                yield from ctx.barrier()
+
+            return {c: prog for c in range(4)}
+
+        plain = get_machine(f"{backend}:e16").run(make_programs())
+        fabric = get_machine(f"{backend}:1x(e16)").run(make_programs())
+        assert fabric.cycles == plain.cycles
+        assert fabric.energy_joules == plain.energy_joules
+
+    def test_cross_chip_hops_exceed_local(self):
+        m = get_machine("analytic:2x(e16)")
+        local = m.hops(0, 15)
+        cross = m.hops(0, 16)
+        assert cross > local
+        assert cross >= m.spec.link.latency_cycles
+
+    def test_chiplink_costs_delegate_to_the_link_spec(self):
+        m = get_machine("analytic:2x(e16)")
+        link = m.spec.link
+        assert m.chiplink_cycles(800, n_links=1) == link.transfer_cycles(800)
+        assert m.chiplink_cycles(800, n_links=2) == (
+            2 * link.latency_cycles + link.transfer_cycles(800)
+            - link.latency_cycles
+        )
+        assert m.chiplink_energy_j(800, n_links=2) == pytest.approx(
+            2 * link.transfer_energy_j(800)
+        )
+
+    def test_clean_fabric_outcome_is_a_no_op(self):
+        m = get_machine("analytic:2x(e16)")
+        assert m.chiplink_outcome(1, 0) == (0, False, "")

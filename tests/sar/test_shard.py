@@ -1,0 +1,116 @@
+"""Tests for multi-chip SAR sharding: serial == sharded, bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.apertures import SubapertureTree
+from repro.geometry.scene import PointTarget, Scene
+from repro.sar.config import RadarConfig
+from repro.sar.ffbp import ffbp
+from repro.sar.shard import (
+    shard_boundary_level,
+    sharded_ffbp,
+    sharded_ffbp_array,
+    sharded_strip_frames,
+    sharded_strip_mosaic,
+)
+from repro.sar.simulate import simulate_compressed
+from repro.sar.strip import StripProcessor, simulate_strip
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return RadarConfig.small(n_pulses=64, n_ranges=65)
+
+
+@pytest.fixture(scope="module")
+def data(cfg):
+    r_mid = 0.5 * (cfg.r0 + cfg.r_max)
+    return simulate_compressed(cfg, Scene.single(40.0, r_mid))
+
+
+class TestBoundaryLevel:
+    def test_one_shard_keeps_every_level_local(self, cfg):
+        tree = SubapertureTree(cfg.n_pulses, cfg.spacing, cfg.merge_base)
+        assert shard_boundary_level(tree, 1) == tree.n_stages
+
+    def test_each_doubling_peels_one_level(self, cfg):
+        tree = SubapertureTree(cfg.n_pulses, cfg.spacing, cfg.merge_base)
+        assert shard_boundary_level(tree, 2) == tree.n_stages - 1
+        assert shard_boundary_level(tree, 4) == tree.n_stages - 2
+
+    def test_non_power_of_base_rejected(self, cfg):
+        tree = SubapertureTree(cfg.n_pulses, cfg.spacing, cfg.merge_base)
+        with pytest.raises(ValueError, match="power of merge base"):
+            shard_boundary_level(tree, 3)
+
+    def test_too_many_shards_rejected(self):
+        tree = SubapertureTree(4, 0.25, 2)
+        with pytest.raises(ValueError, match="at least"):
+            shard_boundary_level(tree, 8)
+
+    def test_nonpositive_rejected(self, cfg):
+        tree = SubapertureTree(cfg.n_pulses, cfg.spacing, cfg.merge_base)
+        with pytest.raises(ValueError, match=">= 1"):
+            shard_boundary_level(tree, 0)
+
+
+class TestShardedFfbp:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_byte_identical_to_serial(self, cfg, data, n_shards):
+        serial = ffbp(data, cfg)
+        sharded = sharded_ffbp(data, cfg, n_shards)
+        assert sharded.data.tobytes() == serial.data.tobytes()
+        assert sharded.data.dtype == serial.data.dtype
+        assert np.array_equal(sharded.grid.r, serial.grid.r)
+        assert np.array_equal(sharded.grid.theta, serial.grid.theta)
+
+    def test_final_stage_array_shape(self, cfg, data):
+        final = sharded_ffbp_array(data, cfg, 4)
+        assert final.shape[0] == 1
+        assert final.shape[2] == cfg.n_ranges
+
+    def test_data_shape_validated(self, cfg):
+        with pytest.raises(ValueError, match="shape"):
+            sharded_ffbp_array(
+                np.zeros((8, 8), dtype=np.complex64), cfg, 2
+            )
+
+
+class TestShardedStrip:
+    @pytest.fixture(scope="class")
+    def strip_data(self, cfg):
+        total = 3 * cfg.n_pulses
+        r_mid = 0.5 * (cfg.r0 + cfg.r_max)
+        scene = Scene(
+            tuple(
+                PointTarget((k + 0.5) * cfg.n_pulses * cfg.spacing, r_mid)
+                for k in range(3)
+            )
+        )
+        return simulate_strip(cfg, scene, total)
+
+    def test_shards_partition_the_frames(self, cfg, strip_data):
+        proc = StripProcessor(cfg, hop=64)
+        shards = sharded_strip_frames(proc, strip_data, 2)
+        indices = [f.index for shard in shards for f in shard]
+        assert indices == list(range(proc.n_frames(strip_data.shape[0])))
+        assert len(shards[0]) >= len(shards[1])  # ceil-partitioned
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3])
+    def test_mosaic_byte_identical_to_serial(self, cfg, strip_data, n_shards):
+        serial = StripProcessor(cfg, hop=64).mosaic(strip_data)
+        sharded = sharded_strip_mosaic(cfg, strip_data, n_shards, hop=64)
+        assert sharded.data.tobytes() == serial.data.tobytes()
+        assert sharded.data.shape == serial.data.shape
+
+    def test_more_shards_than_frames_leaves_empties(self, cfg, strip_data):
+        proc = StripProcessor(cfg, hop=64)
+        shards = sharded_strip_frames(proc, strip_data, 5)
+        assert sum(len(s) for s in shards) == proc.n_frames(
+            strip_data.shape[0]
+        )
+
+    def test_shard_count_validated(self, cfg, strip_data):
+        with pytest.raises(ValueError, match=">= 1"):
+            sharded_strip_frames(StripProcessor(cfg), strip_data, 0)

@@ -215,3 +215,68 @@ class TestBenchCommand:
                    "--backends", "warpdrive:e16"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestFabricCli:
+    """Fabric spec grammar and sharding through the CLI surface."""
+
+    def test_image_with_shards_matches_serial(self, capsys):
+        args = ["image", "--algorithm", "ffbp", "--pulses", "64",
+                "--ranges", "65"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--shards", "4"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == serial
+
+    def test_image_shards_requires_ffbp(self, capsys):
+        rc = main(["image", "--algorithm", "gbp", "--pulses", "64",
+                   "--ranges", "65", "--shards", "2"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "ffbp" in err
+        assert "Traceback" not in err
+
+    def test_image_shards_must_divide_the_tree(self, capsys):
+        rc = main(["image", "--algorithm", "ffbp", "--pulses", "64",
+                   "--ranges", "65", "--shards", "3"])
+        assert rc == 2
+        assert "power of merge base" in capsys.readouterr().err
+
+    def test_sweep_ffbp_chips(self, capsys):
+        rc = main(["sweep", "ffbp-chips", "--chips", "1,2",
+                   "--pulses", "64", "--ranges", "65"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fabric" in out.lower()
+
+    def test_sweep_ffbp_chips_rejects_spec_suffix(self, capsys):
+        rc = main(["sweep", "ffbp-chips", "--backend", "analytic:e16",
+                   "--pulses", "64", "--ranges", "65"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "bare backend" in err
+
+    @pytest.mark.parametrize(
+        ("spec", "needle"),
+        [
+            ("analytic:4x(", "unbalanced"),
+            ("analytic:0x(8x8)", "at least 1 chip"),
+            ("analytic:2x()", "empty chip spec"),
+            ("analytic:2x(e16)junk", "trailing"),
+            ("faulty(core:0@cycle=0:crash:2x(e16)", "error:"),
+        ],
+    )
+    def test_malformed_fabric_specs_exit_two(self, capsys, spec, needle):
+        rc = main(["table1", "--backend", spec,
+                   "--pulses", "16", "--ranges", "33"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and needle in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1  # one clean line
+
+    def test_fabric_backend_accepted_by_table1(self, capsys):
+        rc = main(["table1", "--backend", "analytic:2x(e16)",
+                   "--pulses", "16", "--ranges", "33"])
+        assert rc == 0

@@ -152,3 +152,50 @@ class TestSimulationPhysics:
         e0 = float(np.sum(np.abs(base) ** 2))
         e1 = float(np.sum(np.abs(moved) ** 2))
         assert e1 == pytest.approx(e0, rel=0.05)
+
+
+class TestFabricSpecProperties:
+    """Satellite invariants: spec grammar round-trips and the fabric
+    addressing bijection, over randomly drawn fabric shapes."""
+
+    @given(
+        n_chips=st.integers(1, 6),
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 8),
+        clock=st.sampled_from([None, 400e6, 700e6, 1e9]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_round_trips(self, n_chips, rows, cols, clock):
+        from repro.machine.backends import get_spec
+
+        token = f"{n_chips}x({rows}x{cols})"
+        if clock is not None:
+            token += f"@{clock:g}"
+        spec = get_spec(token)
+        assert get_spec(spec.canonical()) == spec
+        # And canonicalisation is a fixed point.
+        assert get_spec(spec.canonical()).canonical() == spec.canonical()
+
+    @given(
+        n_chips=st.integers(1, 5),
+        rows=st.integers(1, 6),
+        cols=st.integers(1, 6),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_global_addressing_bijects(self, n_chips, rows, cols, data):
+        from repro.machine.specs import EpiphanySpec, FabricSpec
+
+        spec = FabricSpec(
+            chip=EpiphanySpec(mesh_rows=rows, mesh_cols=cols),
+            n_chips=n_chips,
+        )
+        g = data.draw(st.integers(0, spec.n_cores - 1))
+        f, r, c = spec.split_core(g)
+        assert 0 <= f < n_chips and 0 <= r < rows and 0 <= c < cols
+        assert spec.global_core(f, r, c) == g
+        # Out-of-range ids are rejected on both sides.
+        with pytest.raises(ValueError):
+            spec.split_core(spec.n_cores)
+        with pytest.raises(ValueError):
+            spec.global_core(n_chips, 0, 0)

@@ -110,3 +110,46 @@ class TestJobsIndependence:
         # And every check in the batch passed on both paths.
         for r in serial + parallel:
             assert all(c.passed for c in r.value)
+
+
+class TestFabricChaos:
+    def test_single_chip_plans_never_draw_chiplink(self):
+        for case in range(0, 24):
+            plan = random_plan(DEFAULT_SEED, case, chips=1)
+            assert "chiplink:" not in plan
+
+    def test_chips_param_leaves_single_chip_draws_unchanged(self):
+        # chips=1 must reproduce the historical plan stream exactly.
+        for case in range(0, 12):
+            assert random_plan(DEFAULT_SEED, case) == random_plan(
+                DEFAULT_SEED, case, chips=1
+            )
+
+    def test_multi_chip_plans_eventually_draw_chiplink(self):
+        plans = [
+            random_plan(DEFAULT_SEED, case, chips=2)
+            for case in range(2, 120, 3)
+        ]
+        assert any("chiplink:" in p for p in plans)
+        for p in plans:
+            parse_plan(p)  # every drawn plan must be grammatical
+
+    def test_chiplink_clauses_stay_on_fabric_routes(self):
+        from repro.verify.chaos import CHAOS_FABRIC_CHIPS, _case_chips
+
+        for case in range(2, 120, 3):
+            assert _case_chips(case) == CHAOS_FABRIC_CHIPS
+            plan = parse_plan(
+                random_plan(DEFAULT_SEED, case, chips=CHAOS_FABRIC_CHIPS)
+            )
+            for f in plan.chiplink_faults:
+                assert 0 <= f.src_chip < CHAOS_FABRIC_CHIPS
+                assert 0 <= f.dst_chip < CHAOS_FABRIC_CHIPS
+                assert f.src_chip != f.dst_chip
+
+    @pytest.mark.parametrize("backend", CHAOS_BACKENDS)
+    def test_fabric_case_passes_the_contract(self, backend):
+        # case 14 draws a chiplink clause under the default seed.
+        checks = run_chaos_case(backend, 14, DEFAULT_SEED)
+        assert any("chiplink:" in c.note for c in checks if c.note)
+        assert all(c.passed for c in checks)

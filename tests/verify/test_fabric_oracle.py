@@ -1,0 +1,32 @@
+"""Tests for the single-chip ≡ multi-chip conformance oracles."""
+
+import pytest
+
+from repro.verify.oracles import fabric_identity_oracle, fabric_timing_oracle
+
+
+class TestFabricIdentityOracle:
+    @pytest.mark.parametrize("kind", ["ffbp", "strip"])
+    def test_all_checks_pass(self, kind):
+        checks = fabric_identity_oracle(kind)
+        assert checks
+        failed = [c for c in checks if not c.passed]
+        assert failed == []
+
+    def test_checks_cover_every_shard_count(self):
+        checks = fabric_identity_oracle("ffbp")
+        names = " ".join(c.name for c in checks)
+        for n in (1, 2, 4):
+            assert f"[{n} shards]" in names
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="nope"):
+            fabric_identity_oracle("nope")
+
+
+class TestFabricTimingOracle:
+    def test_two_chip_event_fabric_within_analytic_bands(self):
+        checks = fabric_timing_oracle("2x(e16)")
+        assert checks
+        failed = [c for c in checks if not c.passed]
+        assert failed == []
