@@ -14,7 +14,14 @@ driven without writing Python:
   snapshots, fuzz drivers; see :mod:`repro.verify`),
 - ``bench``       machine-readable performance benchmarks (wall time,
   cycles, peak RSS; see :mod:`repro.eval.bench`), optionally gated
-  against a committed ``BENCH_<n>.json`` baseline.
+  against a committed ``BENCH_<n>.json`` baseline,
+- ``serve``       long-running async image-formation service over a
+  length-prefixed JSON protocol (see :mod:`repro.serve`): batched
+  scheduling, content-addressed response cache, streamed FFBP merge
+  levels, structured deadline/stall responses,
+- ``load``        load generator + latency harness against a running
+  ``serve`` (p50/p99 under N concurrent clients, ``repro-load/1``
+  JSON output).
 
 Commands that run the simulator accept ``--backend`` with a
 ``[backend][:spec]`` string (see :mod:`repro.machine.backends`):
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from typing import Sequence
 
 import numpy as np
@@ -72,6 +80,41 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
         help="fan independent simulations out over N worker processes; "
         "output is byte-identical at any N (default: %(default)s)",
     )
+
+
+def _shard_count(text: str) -> int:
+    """argparse type for ``--shards``: an integer >= 1.
+
+    Validating at the parser level turns misuse into a proper usage
+    error (exit 2, usage + one-line message on stderr, no traceback)
+    *before* any scene is simulated.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer value {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _validate_image(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Cross-field checks for ``image``, run before any work starts.
+
+    ``--shards`` and ``--interpolation`` only affect the ffbp
+    algorithm; combining them with gbp/rda used to be silently ignored
+    or rejected deep in the command body -- both are argparse-level
+    usage errors now.
+    """
+    if args.shards > 1 and args.algorithm != "ffbp":
+        parser.error(
+            f"--shards applies to the ffbp algorithm, not {args.algorithm!r}"
+        )
+    if args.interpolation != "nearest" and args.algorithm != "ffbp":
+        parser.error(
+            f"--interpolation applies to the ffbp algorithm, "
+            f"not {args.algorithm!r}"
+        )
 
 
 def _backend_with_default_spec(token: str, spec: str) -> str:
@@ -156,13 +199,10 @@ def cmd_image(args: argparse.Namespace) -> int:
     from repro.sar.rda import range_doppler_image
     from repro.sar.simulate import simulate_compressed
 
+    # --shards / --interpolation misuse is rejected at argparse level
+    # (see _validate_image); by the time we are here the combination is
+    # legal and work may start.
     cfg = _config(args)
-    if args.shards < 1:
-        raise ValueError(f"--shards must be >= 1, got {args.shards}")
-    if args.shards > 1 and args.algorithm != "ffbp":
-        raise ValueError(
-            f"--shards applies to the ffbp algorithm, not {args.algorithm!r}"
-        )
     scene = default_scene(cfg)
     data = simulate_compressed(cfg, scene)
     if args.algorithm == "ffbp":
@@ -320,6 +360,116 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.service import ImageService, ServeSettings
+
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        max_frame_bytes=args.max_frame_bytes,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        default_deadline_ms=args.deadline_ms,
+    )
+
+    async def _serve() -> int:
+        service = ImageService(settings)
+        await service.start()
+        print(
+            f"serve: listening on {settings.host}:{service.port} "
+            f"({settings.workers} workers, "
+            f"{settings.batch_window_ms:g} ms batch window)",
+            file=sys.stderr,
+            flush=True,
+        )
+        if args.port_file:
+            with open(args.port_file, "w") as fh:
+                fh.write(f"{service.port}\n")
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, service._shutdown.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await service.serve_until_shutdown()
+        s = service.stats
+        print(
+            f"serve: shut down cleanly -- {s.served} responses, "
+            f"{s.errors} errors, {s.batches} batches "
+            f"({s.coalesced} coalesced), {s.streams} streams",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive ^C
+        return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.load import dump_load, format_load, run_load
+
+    payload = {
+        "pulses": args.pulses,
+        "ranges": args.ranges,
+        "algorithm": args.algorithm,
+    }
+    if args.deadline_ms is not None:
+        payload["deadline_ms"] = args.deadline_ms
+
+    async def _load() -> int:
+        host, port, service = args.host, args.port, None
+        if args.spawn:
+            from repro.serve.service import ImageService, ServeSettings
+
+            service = ImageService(
+                ServeSettings(host=host, port=0, workers=args.workers)
+            )
+            await service.start()
+            port = service.port
+        elif not port:  # None or 0: no usable target
+            raise ValueError("--port is required (or use --spawn)")
+        try:
+            doc = await run_load(
+                host,
+                port,
+                clients=args.clients,
+                requests=args.requests,
+                payload=payload,
+                unique=args.unique,
+                shutdown_after=args.shutdown_after,
+            )
+        finally:
+            if service is not None:
+                await service.close()
+        text = dump_load(doc)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"load: wrote {args.out}", file=sys.stderr)
+        else:
+            print(text)
+        print(format_load(doc), file=sys.stderr)
+        return 0 if doc["errors"] == 0 else 1
+
+    try:
+        return asyncio.run(_load())
+    except ConnectionError as exc:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+
+
 def cmd_specs(_args: argparse.Namespace) -> int:
     from dataclasses import fields
 
@@ -367,15 +517,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--shards",
-        type=int,
+        type=_shard_count,
         default=1,
         metavar="N",
-        help="shard the FFBP aperture as N chips would (a power of the "
-        "merge base); the image is byte-identical to --shards 1",
+        help="shard the FFBP aperture as N chips would (>= 1, a power "
+        "of the merge base, ffbp only); the image is byte-identical "
+        "to --shards 1",
     )
     p.add_argument("--width", type=int, default=64)
     p.add_argument("--height", type=int, default=20)
-    p.set_defaults(fn=cmd_image)
+    p.set_defaults(fn=cmd_image, validate=partial(_validate_image, p))
 
     p = sub.add_parser("profile", help="cycle breakdown of a kernel")
     _add_scale_args(p)
@@ -547,6 +698,126 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_bench)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the async image-formation service (length-prefixed "
+        "JSON protocol; see repro.serve)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 binds an ephemeral port (default: %(default)s)",
+    )
+    p.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound port here once listening (for scripts/CI)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads executing request batches (default: %(default)s)",
+    )
+    p.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long a request waits for batchable company "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=1 << 20,
+        metavar="N",
+        help="per-frame byte ceiling (default: 1 MiB)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="response-cache directory (default: a private temporary "
+        "directory; the cache is content-addressed and "
+        "code_version()-invalidated)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the response cache entirely",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request deadline; exceeding it returns a "
+        "structured 'deadline' error instead of blocking",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "load",
+        help="drive a running serve with N concurrent clients and "
+        "report p50/p99 latency (repro-load/1 JSON)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="port of a running 'repro serve' (omit with --spawn)",
+    )
+    p.add_argument(
+        "--spawn",
+        action="store_true",
+        help="spawn an in-process service for a self-contained run",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads of the --spawn service (default: %(default)s)",
+    )
+    p.add_argument("--clients", type=int, default=2, metavar="N")
+    p.add_argument("--requests", type=int, default=8, metavar="M",
+                   help="requests per client (default: %(default)s)")
+    p.add_argument("--pulses", type=int, default=64)
+    p.add_argument("--ranges", type=int, default=65)
+    p.add_argument(
+        "--algorithm", choices=("ffbp", "gbp", "rda"), default="ffbp"
+    )
+    p.add_argument(
+        "--unique",
+        action="store_true",
+        help="distinct scene per request (a cache-miss workload; the "
+        "default repeats one request to exercise the response cache)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline forwarded to the server",
+    )
+    p.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the repro-load/1 JSON document here instead of stdout",
+    )
+    p.add_argument(
+        "--shutdown-after",
+        action="store_true",
+        help="send a shutdown request once the load completes",
+    )
+    p.set_defaults(fn=cmd_load)
+
     return parser
 
 
@@ -562,7 +833,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     from repro.exec import TaskFailure
 
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    validate = getattr(args, "validate", None)
+    if validate is not None:
+        validate(args)
     try:
         return args.fn(args)
     except TaskFailure as exc:

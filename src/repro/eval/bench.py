@@ -19,10 +19,10 @@ Schema (``repro-bench/1``)
       "host":    {"python": .., "platform": .., "numpy": ..},
       "results": {
         "<scale>/<workload>/<backend>": {
-          "wall_s":      0.0123,   # best-of-repeats host seconds
-          "cycles":      3243780,  # simulated cycles (null: host-only)
-          "peak_rss_kb": 81234     # ru_maxrss high-water mark *after*
-        }                          # the workload (monotonic per process)
+          "wall_s":       0.0123,   # best-of-repeats host seconds
+          "cycles":       3243780,  # simulated cycles (null: host-only)
+          "rss_delta_kb": 81234     # growth of the RSS high-water mark
+        }                           # across this row's repeats
       }
     }
 
@@ -31,9 +31,15 @@ Keys are ``{scale}/{workload}/{backend}``: scale is ``quick``
 workloads); backend is a registry spec (``event:e16``) or ``host`` for
 pure-Python work.  ``wall_s`` is the only gated metric -- cycles are
 deterministic outputs guarded by the verify gate's golden
-fingerprints, and RSS is informational (``ru_maxrss`` never decreases
-within a process, so later workloads inherit earlier high-water
-marks).
+fingerprints, and RSS is informational.  ``rss_delta_kb`` is measured
+as the *growth* of ``ru_maxrss`` across the row's own repeats:
+``ru_maxrss`` is a monotonic process-global high-water mark, so the
+absolute value after a workload mostly describes whatever heavy row
+ran before it.  The delta isolates each row's own contribution -- a
+light workload scheduled after a heavy one reports ~0, not the heavy
+row's inherited peak.  (Documents from schema revisions before PR 7
+carry the old absolute ``peak_rss_kb`` field instead; readers here
+accept both.)
 
 The sharded-fabric rows (``{scale}/ffbp_sharded/{fabric-spec}``) add
 two informational keys on top of the schema triple -- ``energy_j``
@@ -78,15 +84,23 @@ def _peak_rss_kb() -> int:
     return int(rss)
 
 
-def _time_best(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
-    """Best-of-``repeats`` wall time of ``fn`` and its last return value."""
+def _time_best(fn: Callable[[], Any], repeats: int) -> tuple[float, Any, int]:
+    """Best-of-``repeats`` wall time, last return value, and RSS delta.
+
+    The third element is the growth of the process RSS high-water mark
+    (KiB) across the repeats.  Snapshotting ``ru_maxrss`` before and
+    after -- rather than reporting its absolute value -- keeps a row
+    from inheriting the peak of whatever heavier workload happened to
+    run earlier in the process.
+    """
+    before = _peak_rss_kb()
     best = float("inf")
     value = None
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
         value = fn()
         best = min(best, time.perf_counter() - t0)
-    return best, value
+    return best, value, max(0, _peak_rss_kb() - before)
 
 
 def _bench_plan(cfg, repeats: int) -> dict[str, dict[str, Any]]:
@@ -100,15 +114,15 @@ def _bench_plan(cfg, repeats: int) -> dict[str, dict[str, Any]]:
         with memo_disabled():
             return plan_ffbp(cfg)
 
-    wall, _ = _time_best(cold, repeats)
+    wall, _, rss = _time_best(cold, repeats)
     out["plan_ffbp_cold/host"] = {
-        "wall_s": wall, "cycles": None, "peak_rss_kb": _peak_rss_kb()
+        "wall_s": wall, "cycles": None, "rss_delta_kb": rss
     }
 
     plan_ffbp(cfg)  # warm the memo
-    wall, _ = _time_best(lambda: plan_ffbp(cfg), repeats)
+    wall, _, rss = _time_best(lambda: plan_ffbp(cfg), repeats)
     out["plan_ffbp_memo/host"] = {
-        "wall_s": wall, "cycles": None, "peak_rss_kb": _peak_rss_kb()
+        "wall_s": wall, "cycles": None, "rss_delta_kb": rss
     }
     return out
 
@@ -122,13 +136,13 @@ def _bench_ffbp(cfg, backends: tuple[str, ...], repeats: int):
     plan = plan_ffbp(cfg)
     out: dict[str, dict[str, Any]] = {}
     for backend in backends:
-        wall, res = _time_best(
+        wall, res, rss = _time_best(
             lambda b=backend: run_ffbp_spmd(get_machine(b), plan, 16), repeats
         )
         out[f"ffbp_spmd16/{backend}"] = {
             "wall_s": wall,
             "cycles": int(res.cycles),
-            "peak_rss_kb": _peak_rss_kb(),
+            "rss_delta_kb": rss,
         }
     return out
 
@@ -142,13 +156,13 @@ def _bench_autofocus(backends: tuple[str, ...], repeats: int):
     work = AutofocusWorkload()
     out: dict[str, dict[str, Any]] = {}
     for backend in backends:
-        wall, res = _time_best(
+        wall, res, rss = _time_best(
             lambda b=backend: run_autofocus_mpmd(get_machine(b), work), repeats
         )
         out[f"autofocus_mpmd/{backend}"] = {
             "wall_s": wall,
             "cycles": int(res.cycles),
-            "peak_rss_kb": _peak_rss_kb(),
+            "rss_delta_kb": rss,
         }
     return out
 
@@ -177,13 +191,13 @@ def _bench_fabric(cfg, fabric_backends: tuple[str, ...], repeats: int):
                 f"expected the '<n>x(<chip-spec>)' form"
             )
         base = run_ffbp_spmd(make(spec.chip), plan, spec.cores_per_chip)
-        wall, res = _time_best(
+        wall, res, rss = _time_best(
             lambda: run_ffbp_fabric(make(spec), plan), repeats
         )
         out[f"ffbp_sharded/{backend}"] = {
             "wall_s": wall,
             "cycles": int(res.cycles),
-            "peak_rss_kb": _peak_rss_kb(),
+            "rss_delta_kb": rss,
             "energy_j": float(res.energy_joules),
             "speedup_vs_1chip": round(base.cycles / res.cycles, 3),
         }
@@ -288,9 +302,13 @@ def format_summary(doc: Mapping[str, Any]) -> str:
     for key in sorted(doc["results"]):
         row = doc["results"][key]
         cycles = "-" if row.get("cycles") is None else str(row["cycles"])
+        if "rss_delta_kb" in row:
+            rss = f"rss=+{row['rss_delta_kb']} KiB"
+        else:  # pre-PR-7 baseline: absolute high-water mark
+            rss = f"rss={row.get('peak_rss_kb', 0)} KiB"
         lines.append(
             f"{key:<42} {row['wall_s']*1e3:>10.2f} ms  "
-            f"cycles={cycles:>12}  rss={row['peak_rss_kb']} KiB"
+            f"cycles={cycles:>12}  {rss}"
         )
     return "\n".join(lines)
 

@@ -20,8 +20,11 @@ The store lives under ``$REPRO_CACHE_DIR`` if set, else
 only caches when handed a :class:`ResultCache` (the CLI consumers
 enable it exactly when ``REPRO_CACHE_DIR`` is set, see
 :func:`default_cache`).  Entries are pickles written atomically
-(temp file + rename) so concurrent writers on the same key are safe;
-unreadable/corrupt entries count as misses and are discarded.
+(temp file + rename) so concurrent writers on the same key are safe.
+A confirmed-corrupt entry (fully read, fails to unpickle) is a miss
+and is discarded; a read that merely *fails* (transient I/O error) is
+a miss that leaves the entry alone, so a flaky read can never delete a
+good entry out from under a concurrent reader.
 """
 
 from __future__ import annotations
@@ -170,16 +173,33 @@ class ResultCache:
 
     # -- store -----------------------------------------------------------
 
+    def _read_blob(self, path: Path) -> bytes:
+        """Read one entry's full bytes (separate for fault-injection tests)."""
+        with open(path, "rb") as fh:
+            return fh.read()
+
     def get(self, key: str) -> tuple[bool, Any]:
-        """``(hit, value)``; corrupt/unreadable entries are misses."""
+        """``(hit, value)``; corrupt entries are misses and are dropped.
+
+        Only a *confirmed-corrupt* entry is unlinked: the blob was read
+        in full and still failed to unpickle.  A read that fails partway
+        (EIO, EINTR, a transient mount hiccup) is just a miss -- the
+        entry on disk may be perfectly good, and writers are atomic
+        (temp + rename), so a concurrent ``put`` can never leave a
+        half-written blob at ``path`` for readers to destroy.
+        """
         path = self._path(key)
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
+            blob = self._read_blob(path)
         except FileNotFoundError:
             self.misses += 1
             return False, None
-        except Exception:  # corrupt entry: drop it, report a miss
+        except OSError:  # transient read failure: miss, keep the entry
+            self.misses += 1
+            return False, None
+        try:
+            value = pickle.loads(blob)
+        except Exception:  # the full blob is corrupt: drop it
             self.misses += 1
             try:
                 path.unlink()

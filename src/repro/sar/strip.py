@@ -139,9 +139,12 @@ def stitch_frames(
     serially, or sharded over the chips of a fabric.  Each ground pixel
     takes the value from the frame whose aperture centre is nearest
     (the best-integrated look).
+
+    Zero frames (a data take shorter than one aperture, so
+    ``n_frames == 0``) is a valid boundary, not an error: the mosaic
+    grid still spans the take and every pixel stays zero, mirroring
+    "no aperture completed yet" in a live stream.
     """
-    if not frames:
-        raise ValueError("data take shorter than one aperture")
     frames = sorted(frames, key=lambda f: f.index)
     x_lo = 0.0
     x_hi = total_pulses * cfg.spacing

@@ -1,0 +1,501 @@
+"""The asyncio image-formation service (``repro serve``).
+
+Layering (docs/architecture.md §14): the service is *glue, not
+physics*.  It owns sockets, framing, batching and deadlines; every
+answer it produces comes from the layers below --
+
+- **workers** (:mod:`repro.serve.workers`): pure, picklable task
+  functions over the ``sar``/``kernels`` stacks,
+- **execution** (:mod:`repro.exec`): each batch runs through an
+  :class:`~repro.exec.runner.ExperimentRunner` whose attached
+  :class:`~repro.exec.cache.ResultCache` doubles as the content-
+  addressed *response cache* -- a repeated identical request is served
+  from disk, byte-identical, ``code_version()``-invalidated, and the
+  hit is counted,
+- **performance** (:mod:`repro.perf`): merge geometry memoised across
+  tenants sharing a grid,
+- **faults** (:mod:`repro.faults`): watchdog stalls and injected
+  faults surface as structured error responses with blame reports,
+  and accumulate in the ``health`` diagnostics.
+
+Scheduling: requests land on one queue; a batcher drains it, waits
+``batch_window_ms`` for compatible company, groups by cache payload
+(identical requests in one window *coalesce* onto a single compute)
+and dispatches each group to a worker-thread pool.  Per-request
+deadlines convert to structured ``deadline`` error responses -- a
+slow request can never hang its connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exec.cache import ResultCache, code_version
+from repro.exec.runner import ExperimentRunner, TaskSpec
+from repro.serve import protocol, workers
+from repro.serve.protocol import (
+    HealthRequest,
+    ImageRequest,
+    ProfileRequest,
+    ProtocolError,
+    RequestError,
+    ShutdownRequest,
+    encode_frame,
+    error_response,
+    read_frame,
+)
+
+__all__ = ["ServeSettings", "ServeStats", "ImageService"]
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Tunables of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    batch_window_ms: float = 5.0
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    cache_dir: str | None = None
+    """Response-cache directory; ``None`` uses a private temporary
+    directory (cleaned up on close) so caching is on by default."""
+    no_cache: bool = False
+    default_deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_window_ms < 0:
+            raise ValueError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.max_frame_bytes < 1024:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1024, got {self.max_frame_bytes}"
+            )
+
+
+@dataclass
+class ServeStats:
+    """Rolling counters exposed through ``health`` responses."""
+
+    served: int = 0
+    errors: int = 0
+    batches: int = 0
+    coalesced: int = 0
+    deadline_misses: int = 0
+    streams: int = 0
+    contained_faults: int = 0
+    stalls: int = 0
+    last_fault: str | None = None
+    last_blame: dict | None = None
+
+
+@dataclass
+class _Pending:
+    """One batchable request waiting for its compute."""
+
+    request: ImageRequest | ProfileRequest
+    future: asyncio.Future = field(default_factory=asyncio.Future)
+
+
+class ImageService:
+    """Long-running asyncio server over the length-prefixed protocol."""
+
+    def __init__(self, settings: ServeSettings | None = None) -> None:
+        self.settings = settings or ServeSettings()
+        self.stats = ServeStats()
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
+        self._batcher: asyncio.Task | None = None
+        self._group_tasks: set[asyncio.Task] = set()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.settings.workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._tmpdir = None
+        if self.settings.no_cache:
+            self._cache: ResultCache | None = None
+        elif self.settings.cache_dir is not None:
+            self._cache = ResultCache(self.settings.cache_dir)
+        else:
+            import tempfile
+
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+            self._cache = ResultCache(self._tmpdir.name)
+        self._connections = 0
+        self._started = time.monotonic()
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_client, self.settings.host, self.settings.port
+        )
+        self._started = time.monotonic()
+        self._batcher = asyncio.create_task(self._batch_loop())
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`close`)."""
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        """Drain and stop: no new connections, pending groups finish."""
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._group_tasks:
+            await asyncio.gather(*self._group_tasks, return_exceptions=True)
+        self._pool.shutdown(wait=True)
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    # -- connection handling ---------------------------------------------
+
+    async def _on_client(self, reader, writer) -> None:
+        self._connections += 1
+        lock = asyncio.Lock()
+
+        async def send(obj: dict) -> None:
+            async with lock:
+                writer.write(encode_frame(obj, self.settings.max_frame_bytes))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    frame = await read_frame(
+                        reader, self.settings.max_frame_bytes
+                    )
+                except ProtocolError as exc:
+                    self.stats.errors += 1
+                    if not exc.recoverable:
+                        break
+                    await send(error_response(None, exc.code, exc.detail))
+                    continue
+                if frame is None:
+                    break
+                try:
+                    request = protocol.parse_request(frame)
+                except RequestError as exc:
+                    self.stats.errors += 1
+                    await send(
+                        error_response(frame.get("id"), exc.code, exc.detail)
+                    )
+                    continue
+                await self._dispatch(request, send)
+                if isinstance(request, ShutdownRequest):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request, send) -> None:
+        if isinstance(request, HealthRequest):
+            await send(self._health(request.id))
+            self.stats.served += 1
+            return
+        if isinstance(request, ShutdownRequest):
+            await send({"id": request.id, "type": "ok", "detail": "shutting down"})
+            self.stats.served += 1
+            self._shutdown.set()
+            return
+        if isinstance(request, ImageRequest) and request.stream:
+            await self._run_streaming(request, send)
+            return
+        await self._run_batched(request, send)
+
+    # -- request execution -----------------------------------------------
+
+    def _deadline_of(self, request) -> float | None:
+        if request.deadline_ms is not None:
+            return request.deadline_ms / 1e3
+        if self.settings.default_deadline_ms is not None:
+            return self.settings.default_deadline_ms / 1e3
+        return None
+
+    async def _run_batched(self, request, send) -> None:
+        pending = _Pending(request=request)
+        await self._queue.put(pending)
+        t0 = time.perf_counter()
+        try:
+            value, cached = await asyncio.wait_for(
+                pending.future, timeout=self._deadline_of(request)
+            )
+        except asyncio.TimeoutError:
+            self.stats.errors += 1
+            self.stats.deadline_misses += 1
+            await send(
+                error_response(
+                    request.id,
+                    "deadline",
+                    f"request exceeded its {request.deadline_ms or self.settings.default_deadline_ms} ms deadline",
+                )
+            )
+            return
+        except Exception as exc:  # structured, never a connection drop
+            self.stats.errors += 1
+            await send(error_response(request.id, "internal", str(exc)))
+            return
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        if isinstance(value, dict) and "error" in value:
+            # A contained fault (stall blame, injected fault) from the
+            # profile path: structured error, counted in health.
+            err = value["error"]
+            self.stats.errors += 1
+            self.stats.contained_faults += 1
+            self.stats.last_fault = err.get("detail")
+            if err.get("code") == "stall":
+                self.stats.stalls += 1
+                self.stats.last_blame = err.get("blame")
+            response = error_response(
+                request.id, err.get("code", "fault"), err.get("detail", "")
+            )
+            response["outcome"] = err.get("outcome")
+            if err.get("blame"):
+                response["blame"] = err["blame"]
+            await send(response)
+            return
+        self.stats.served += 1
+        response = dict(value)
+        response.update(
+            id=request.id,
+            type="result",
+            cached=bool(cached),
+            elapsed_ms=round(elapsed_ms, 3),
+        )
+        await send(response)
+
+    async def _run_streaming(self, request: ImageRequest, send) -> None:
+        """FFBP with merge levels streamed back as ``partial`` frames."""
+        self.stats.streams += 1
+        loop = asyncio.get_running_loop()
+        frames: asyncio.Queue = asyncio.Queue()
+        _DONE = object()
+
+        def emit(frame: dict) -> None:
+            loop.call_soon_threadsafe(frames.put_nowait, frame)
+
+        def run() -> dict:
+            try:
+                return workers.form_image_streaming(
+                    request.payload(), emit, stream_data=request.stream_data
+                )
+            finally:
+                loop.call_soon_threadsafe(frames.put_nowait, _DONE)
+
+        job = loop.run_in_executor(self._pool, run)
+        t0 = time.perf_counter()
+        deadline = self._deadline_of(request)
+
+        async def forward() -> dict:
+            while True:
+                frame = await frames.get()
+                if frame is _DONE:
+                    break
+                partial = dict(frame)
+                partial.update(id=request.id, type="partial")
+                await send(partial)
+            return await job
+
+        try:
+            value = await asyncio.wait_for(forward(), timeout=deadline)
+        except asyncio.TimeoutError:
+            self.stats.errors += 1
+            self.stats.deadline_misses += 1
+            await send(
+                error_response(
+                    request.id, "deadline",
+                    f"stream exceeded its {request.deadline_ms} ms deadline",
+                )
+            )
+            return
+        except Exception as exc:
+            self.stats.errors += 1
+            await send(error_response(request.id, "internal", str(exc)))
+            return
+        self.stats.served += 1
+        response = dict(value)
+        response.update(
+            id=request.id,
+            type="result",
+            cached=False,
+            elapsed_ms=round((time.perf_counter() - t0) * 1e3, 3),
+        )
+        await send(response)
+
+    # -- batching ---------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Drain the queue, gather a window, dispatch groups."""
+        loop = asyncio.get_running_loop()
+        window = self.settings.batch_window_ms / 1e3
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + window
+            while True:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            for group in self._group(batch):
+                task = asyncio.create_task(self._run_group(group))
+                self._group_tasks.add(task)
+                task.add_done_callback(self._group_tasks.discard)
+
+    @staticmethod
+    def _group(batch: list[_Pending]) -> list[list[_Pending]]:
+        """Split a window's requests into per-backend-compatible groups.
+
+        Image requests batch together; profile requests batch per
+        backend spec (they share a machine build and, on the event
+        backend, interleave poorly with host-numpy work).
+        """
+        groups: dict[tuple, list[_Pending]] = {}
+        for pending in batch:
+            req = pending.request
+            if isinstance(req, ProfileRequest):
+                key = ("profile", req.backend)
+            else:
+                key = ("image",)
+            groups.setdefault(key, []).append(pending)
+        return list(groups.values())
+
+    async def _run_group(self, group: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        self.stats.batches += 1
+        # Coalesce identical payloads: one compute, fanned out to all.
+        unique: dict[str, list[_Pending]] = {}
+        from repro.exec.cache import stable_digest
+
+        for pending in group:
+            unique.setdefault(
+                stable_digest(pending.request.payload()), []
+            ).append(pending)
+        self.stats.coalesced += len(group) - len(unique)
+        order = list(unique.items())
+        try:
+            outcomes = await loop.run_in_executor(
+                self._pool,
+                _execute_group,
+                [waiters[0].request.payload() for _, waiters in order],
+                [digest for digest, _ in order],
+                self._cache,
+            )
+        except Exception as exc:
+            for _, waiters in order:
+                for pending in waiters:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            return
+        for (_, waiters), outcome in zip(order, outcomes):
+            value, cached, failure = outcome
+            for pending in waiters:
+                if pending.future.done():
+                    continue  # its client already timed out
+                if failure is not None:
+                    pending.future.set_exception(RuntimeError(failure))
+                else:
+                    pending.future.set_result((value, cached))
+
+    # -- health ----------------------------------------------------------
+
+    def _health(self, req_id) -> dict:
+        from repro.perf import memo_stats
+
+        s = self.stats
+        return {
+            "id": req_id,
+            "type": "health",
+            "status": "ok",
+            "protocol": protocol.PROTOCOL,
+            "code_version": code_version(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "connections": self._connections,
+            "served": s.served,
+            "errors": s.errors,
+            "batches": s.batches,
+            "coalesced": s.coalesced,
+            "deadline_misses": s.deadline_misses,
+            "streams": s.streams,
+            "cache": None if self._cache is None else self._cache.stats(),
+            "memo": {
+                k: v
+                for k, v in memo_stats().items()
+                if isinstance(v, (int, float))
+            },
+            "faults": {
+                "contained": s.contained_faults,
+                "stalls": s.stalls,
+                "last": s.last_fault,
+                "last_blame": s.last_blame,
+            },
+        }
+
+
+def _execute_group(
+    payloads: list[dict],
+    digests: list[str],
+    cache: ResultCache | None,
+) -> list[tuple[Any, bool, str | None]]:
+    """Run one compatible group through an :class:`ExperimentRunner`.
+
+    Runs in a worker thread.  Returns ``(value, cached, failure)`` per
+    payload, in order; a failure is the formatted ``TaskFailure`` text
+    (the task's own structured child traceback), never an exception,
+    so one bad request cannot poison its batch-mates.
+    """
+    tasks = []
+    for payload, digest in zip(payloads, digests):
+        fn = (
+            workers.profile_kernel
+            if payload.get("kind") == "profile"
+            else workers.form_image
+        )
+        tasks.append(
+            TaskSpec(key=f"serve/{payload.get('kind')}/{digest}", fn=fn, args=(payload,))
+        )
+    runner = ExperimentRunner(jobs=1, cache=cache)
+    results = runner.run(tasks, strict=False)
+    out: list[tuple[Any, bool, str | None]] = []
+    for res in results:
+        if res.ok:
+            out.append((res.value, res.cached, None))
+        else:
+            out.append((None, False, res.failure.format()))
+    return out

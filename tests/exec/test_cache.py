@@ -97,6 +97,53 @@ class TestStore:
         cache.put(key, "fresh")
         assert cache.get(key) == (True, "fresh")
 
+    def test_transient_read_failure_is_a_miss_that_keeps_the_entry(
+        self, cache, monkeypatch
+    ):
+        """A flaky read (EIO, a slow mount) must NOT delete a good entry.
+
+        Before PR 7 any read exception unlinked the file, so a single
+        transient I/O error destroyed a valid cache entry that a
+        concurrent reader (or the very next call) could have served.
+        """
+        key = cache.entry_key("t")
+        cache.put(key, [1, 2, 3])
+        path = cache._path(key)
+
+        def flaky_read(p):
+            raise OSError(5, "Input/output error")
+
+        monkeypatch.setattr(cache, "_read_blob", flaky_read)
+        hit, value = cache.get(key)
+        assert not hit and value is None
+        assert path.exists(), "transient read failure must not unlink"
+        monkeypatch.undo()
+        # The entry survives and serves the next reader.
+        assert cache.get(key) == (True, [1, 2, 3])
+
+    def test_only_confirmed_corruption_unlinks(self, cache, monkeypatch):
+        """Unlink happens iff the *fully read* blob fails to unpickle."""
+        key = cache.entry_key("t")
+        cache.put(key, "good")
+        path = cache._path(key)
+
+        # Truncated pickle: the read succeeds, the unpickle fails ->
+        # confirmed corrupt, dropped.
+        path.write_bytes(path.read_bytes()[:-2])
+        hit, _ = cache.get(key)
+        assert not hit
+        assert not path.exists()
+
+        # Whereas a read error on a good entry leaves it in place.
+        cache.put(key, "good again")
+        monkeypatch.setattr(
+            cache, "_read_blob", lambda p: (_ for _ in ()).throw(OSError())
+        )
+        assert cache.get(key) == (False, None)
+        monkeypatch.undo()
+        assert path.exists()
+        assert cache.get(key) == (True, "good again")
+
     def test_unpicklable_value_skipped_gracefully(self, cache):
         key = cache.entry_key("t")
         cache.put(key, lambda: None)  # lambdas don't pickle

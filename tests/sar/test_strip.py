@@ -87,10 +87,21 @@ class TestMosaic:
             assert near.size > 0
             assert near.max() > 0.3 * mag.max()
 
-    def test_mosaic_requires_one_full_aperture(self, cfg):
+    def test_zero_frames_round_trip_without_error(self, cfg):
+        """A take shorter than one aperture: 0 frames, an empty mosaic.
+
+        ``n_frames == 0`` is a live-stream boundary ("no aperture
+        completed yet"), so the mosaic must come back well-formed and
+        all-zero rather than raising.
+        """
         sp = StripProcessor(cfg)
-        with pytest.raises(ValueError):
-            sp.mosaic(np.zeros((10, cfg.n_ranges), dtype=np.complex64))
+        short = np.zeros((10, cfg.n_ranges), dtype=np.complex64)
+        assert sp.n_frames(short.shape[0]) == 0
+        mosaic = sp.mosaic(short)
+        assert mosaic.data.shape == mosaic.grid.shape
+        assert np.all(mosaic.data == 0)
+        x_extent = mosaic.grid.x[-1] - mosaic.grid.x[0]
+        assert x_extent == pytest.approx(short.shape[0] * cfg.spacing, rel=0.01)
 
     def test_mosaic_shape_tracks_take_length(self, cfg, strip_setup):
         _scene, data = strip_setup

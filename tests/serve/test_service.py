@@ -1,0 +1,376 @@
+"""End-to-end service tests over real sockets (loopback).
+
+Every test spins up an :class:`ImageService` on an ephemeral port
+inside one ``asyncio.run`` and talks the real wire protocol to it, so
+framing, batching, caching, streaming and containment are exercised
+exactly as ``repro serve`` runs them.
+"""
+
+import asyncio
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve import ImageService, ServeSettings, decode_array, encode_frame, read_frame
+
+FAST = dict(host="127.0.0.1", port=0, workers=2, batch_window_ms=1.0)
+
+
+def service_test(coro_fn, **settings):
+    """Run ``coro_fn(service)`` against a started service, then close."""
+
+    async def main():
+        service = ImageService(ServeSettings(**{**FAST, **settings}))
+        await service.start()
+        try:
+            return await coro_fn(service)
+        finally:
+            await service.close()
+
+    return asyncio.run(main())
+
+
+async def send_recv(reader, writer, obj, max_bytes=None):
+    """One request; collect frames until the terminal one.
+
+    Returns ``(terminal, partials)``.
+    """
+    writer.write(encode_frame(obj))
+    await writer.drain()
+    partials = []
+    while True:
+        frame = await read_frame(reader, max_bytes or (1 << 20))
+        assert frame is not None, "server closed the connection mid-request"
+        if frame.get("type") == "partial":
+            partials.append(frame)
+            continue
+        return frame, partials
+
+
+async def one_shot(service, obj):
+    reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+    try:
+        return await send_recv(reader, writer, obj)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+IMG = {"kind": "image", "pulses": 32, "ranges": 33}
+
+
+class TestImagePath:
+    def test_result_matches_direct_ffbp(self):
+        async def scenario(service):
+            frame, _ = await one_shot(service, {**IMG, "id": "r0"})
+            return frame
+
+        frame = service_test(scenario)
+        assert frame["type"] == "result"
+        assert frame["id"] == "r0"
+        assert frame["cached"] is False
+        served = decode_array(frame["image"])
+
+        from repro.eval.figures import default_scene
+        from repro.sar.config import RadarConfig
+        from repro.sar.ffbp import FfbpOptions, ffbp
+        from repro.sar.simulate import simulate_compressed
+
+        cfg = RadarConfig.small(n_pulses=32, n_ranges=33)
+        data = simulate_compressed(
+            cfg, default_scene(cfg), noise_sigma=0.05, seed=1234
+        )
+        expected = ffbp(data, cfg, FfbpOptions()).data
+        np.testing.assert_array_equal(served, expected)
+
+    def test_repeat_request_hits_the_response_cache(self):
+        async def scenario(service):
+            first, _ = await one_shot(service, {**IMG, "id": "cold"})
+            # Fresh connection: the hit must come from the cache, not
+            # any per-connection state.
+            second, _ = await one_shot(service, {**IMG, "id": "warm"})
+            health, _ = await one_shot(service, {"kind": "health", "id": "h"})
+            return first, second, health
+
+        first, second, health = service_test(scenario)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        # Byte-identical replay is the cache contract.
+        assert second["image"]["sha256"] == first["image"]["sha256"]
+        assert second["image"]["data_b64"] == first["image"]["data_b64"]
+        assert health["cache"]["hits"] >= 1
+        assert health["cache"]["stores"] >= 1
+
+    def test_no_cache_mode_never_reports_cached(self):
+        async def scenario(service):
+            await one_shot(service, {**IMG, "id": "a"})
+            frame, _ = await one_shot(service, {**IMG, "id": "b"})
+            health, _ = await one_shot(service, {"kind": "health", "id": "h"})
+            return frame, health
+
+        frame, health = service_test(scenario, no_cache=True)
+        assert frame["cached"] is False
+        assert health["cache"] is None
+
+    def test_identical_requests_in_one_window_coalesce(self):
+        async def scenario(service):
+            async def client(tag):
+                return (await one_shot(service, {**IMG, "id": tag}))[0]
+
+            frames = await asyncio.gather(client("a"), client("b"), client("c"))
+            return frames, service.stats.coalesced
+
+        frames, coalesced = service_test(scenario, batch_window_ms=200.0)
+        shas = {f["image"]["sha256"] for f in frames}
+        assert len(shas) == 1
+        assert coalesced >= 1
+
+    def test_distinct_seeds_do_not_coalesce(self):
+        async def scenario(service):
+            a, _ = await one_shot(service, {**IMG, "id": "a", "noise_seed": 1})
+            b, _ = await one_shot(service, {**IMG, "id": "b", "noise_seed": 2})
+            return a, b
+
+        a, b = service_test(scenario)
+        assert a["image"]["sha256"] != b["image"]["sha256"]
+
+
+class TestStreaming:
+    def test_partials_cover_every_merge_level(self):
+        async def scenario(service):
+            streamed, partials = await one_shot(
+                service, {**IMG, "id": "s", "stream": True}
+            )
+            batched, _ = await one_shot(service, {**IMG, "id": "b"})
+            return streamed, partials, batched
+
+        streamed, partials, batched = service_test(scenario)
+        assert streamed["type"] == "result"
+        assert partials, "streaming produced no partial frames"
+        n_levels = partials[0]["n_levels"]
+        assert [p["level"] for p in partials] == list(range(n_levels + 1))
+        # Merge tree narrows to a single aperture at the top...
+        assert partials[-1]["subapertures"] == 1
+        assert partials[0]["subapertures"] > partials[-1]["subapertures"]
+        # ...and the streamed final level IS the result image.
+        assert partials[-1]["sha256"] == streamed["image"]["sha256"]
+        # Streaming never changes the answer.
+        assert streamed["image"]["sha256"] == batched["image"]["sha256"]
+
+    def test_stream_data_carries_stage_bytes(self):
+        async def scenario(service):
+            _, partials = await one_shot(
+                service,
+                {**IMG, "id": "sd", "stream": True, "stream_data": True},
+            )
+            return partials
+
+        partials = service_test(scenario)
+        for p in partials:
+            stage = decode_array(p["stage"])
+            assert stage.shape[0] == p["subapertures"]
+            assert stage.shape[1] == p["beams"]
+
+
+class TestContainment:
+    """Satellite: malformed input never takes the connection down."""
+
+    def test_bad_json_then_connection_still_usable(self):
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                bad = b"this is not json"
+                writer.write(struct.pack(">I", len(bad)) + bad)
+                await writer.drain()
+                err = await read_frame(reader)
+                ok, _ = await send_recv(reader, writer, {"kind": "health", "id": "h"})
+                return err, ok
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        err, ok = service_test(scenario)
+        assert err["type"] == "error"
+        assert err["code"] == "bad-json"
+        assert ok["type"] == "health"
+
+    def test_oversized_payload_then_connection_still_usable(self):
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                body = json.dumps({"pad": "x" * 4096}).encode()
+                writer.write(struct.pack(">I", len(body)) + body)
+                await writer.drain()
+                err = await read_frame(reader)
+                ok, _ = await send_recv(reader, writer, {"kind": "health", "id": "h"})
+                return err, ok
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        err, ok = service_test(scenario, max_frame_bytes=2048)
+        assert err["code"] == "oversized"
+        assert ok["type"] == "health"
+
+    def test_unknown_backend_is_a_structured_error(self):
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                err, _ = await send_recv(
+                    reader,
+                    writer,
+                    {"kind": "profile", "id": "p", "backend": "quantum:q9000"},
+                )
+                ok, _ = await send_recv(reader, writer, {"kind": "health", "id": "h"})
+                return err, ok
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        err, ok = service_test(scenario)
+        assert err["type"] == "error"
+        assert err["code"] == "unknown-backend"
+        assert err["id"] == "p"
+        assert ok["type"] == "health"
+
+    def test_unknown_kind_is_a_structured_error(self):
+        async def scenario(service):
+            return await one_shot(service, {"kind": "teleport", "id": "t"})
+
+        err, _ = service_test(scenario)
+        assert err["type"] == "error"
+        assert err["code"] == "bad-request"
+
+    def test_error_counters_accumulate(self):
+        async def scenario(service):
+            await one_shot(service, {"kind": "image", "id": "x", "pulses": 1})
+            health, _ = await one_shot(service, {"kind": "health", "id": "h"})
+            return health
+
+        health = service_test(scenario)
+        assert health["errors"] >= 1
+
+
+class TestDeadlines:
+    def test_deadline_yields_structured_timeout(self):
+        async def scenario(service):
+            frame, _ = await one_shot(
+                service, {**IMG, "id": "slow", "deadline_ms": 1}
+            )
+            health, _ = await one_shot(service, {"kind": "health", "id": "h"})
+            return frame, health
+
+        # A 200 ms batch window guarantees a 1 ms deadline fires first.
+        frame, health = service_test(scenario, batch_window_ms=200.0)
+        assert frame["type"] == "error"
+        assert frame["code"] == "deadline"
+        assert frame["id"] == "slow"
+        assert health["deadline_misses"] >= 1
+
+    def test_default_deadline_from_settings(self):
+        async def scenario(service):
+            frame, _ = await one_shot(service, {**IMG, "id": "d"})
+            return frame
+
+        frame = service_test(
+            scenario, batch_window_ms=200.0, default_deadline_ms=1.0
+        )
+        assert frame["type"] == "error"
+        assert frame["code"] == "deadline"
+
+
+class TestProfilePath:
+    def test_profile_returns_machine_numbers(self):
+        async def scenario(service):
+            frame, _ = await one_shot(
+                service,
+                {"kind": "profile", "id": "p", "backend": "analytic:e16", "pulses": 32, "ranges": 33},
+            )
+            return frame
+
+        frame = service_test(scenario)
+        assert frame["type"] == "result"
+        assert frame["cycles"] > 0
+        assert frame["energy_j"] > 0
+
+    def test_injected_fault_is_contained_and_counted(self):
+        async def scenario(service):
+            frame, _ = await one_shot(
+                service,
+                {
+                    "kind": "profile",
+                    "id": "f",
+                    "backend": "faulty(core:1@cycle=100:crash):event:e16",
+                    "kernel": "autofocus",
+                },
+            )
+            health, _ = await one_shot(service, {"kind": "health", "id": "h"})
+            return frame, health
+
+        frame, health = service_test(scenario)
+        assert frame["type"] == "error"
+        assert frame["code"] == "fault"
+        assert frame["outcome"], "containment must carry the outcome report"
+        assert health["faults"]["contained"] >= 1
+        assert health["faults"]["last"]
+
+    def test_stall_carries_a_blame_report(self):
+        async def scenario(service):
+            frame, _ = await one_shot(
+                service,
+                {
+                    "kind": "profile",
+                    "id": "s",
+                    "backend": "faulty(link:(0,0)->(0,1)@p=1:stall=500000):event:e16",
+                    "kernel": "autofocus",
+                    "watchdog": 5000,
+                },
+            )
+            health, _ = await one_shot(service, {"kind": "health", "id": "h"})
+            return frame, health
+
+        frame, health = service_test(scenario)
+        assert frame["code"] == "stall"
+        blame = frame["blame"]
+        assert blame["channel"]
+        assert blame["waited_cycles"] > 0
+        assert health["faults"]["stalls"] >= 1
+        assert health["faults"]["last_blame"] == blame
+
+
+class TestLifecycle:
+    def test_health_shape(self):
+        async def scenario(service):
+            frame, _ = await one_shot(service, {"kind": "health", "id": 9})
+            return frame
+
+        frame = service_test(scenario)
+        assert frame["type"] == "health"
+        assert frame["id"] == 9
+        assert frame["protocol"] == "repro-serve/1"
+        assert frame["status"] == "ok"
+        assert isinstance(frame["code_version"], str)
+        assert frame["uptime_s"] >= 0
+        assert isinstance(frame["memo"], dict)
+
+    def test_shutdown_request_stops_serve_until_shutdown(self):
+        async def main():
+            service = ImageService(ServeSettings(**FAST))
+            await service.start()
+            waiter = asyncio.create_task(service.serve_until_shutdown())
+            frame, _ = await one_shot(service, {"kind": "shutdown", "id": "bye"})
+            await asyncio.wait_for(waiter, timeout=10)
+            return frame
+
+        frame = asyncio.run(main())
+        assert frame["type"] == "ok"
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            ServeSettings(workers=0)
+        with pytest.raises(ValueError):
+            ServeSettings(batch_window_ms=-1)
+        with pytest.raises(ValueError):
+            ServeSettings(max_frame_bytes=16)

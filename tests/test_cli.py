@@ -230,11 +230,33 @@ class TestFabricCli:
         assert sharded == serial
 
     def test_image_shards_requires_ffbp(self, capsys):
-        rc = main(["image", "--algorithm", "gbp", "--pulses", "64",
-                   "--ranges", "65", "--shards", "2"])
-        assert rc == 2
+        """--shards with gbp is an argparse usage error: exit 2 before
+        any simulation work, usage line on stderr, no traceback."""
+        with pytest.raises(SystemExit) as exc_info:
+            main(["image", "--algorithm", "gbp", "--pulses", "64",
+                  "--ranges", "65", "--shards", "2"])
+        assert exc_info.value.code == 2
+        captured = capsys.readouterr()
+        assert "usage:" in captured.err
+        assert "error:" in captured.err and "ffbp" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.out == ""  # rejected before any work started
+
+    def test_image_interpolation_requires_ffbp(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["image", "--algorithm", "rda", "--pulses", "64",
+                  "--ranges", "65", "--interpolation", "bilinear"])
+        assert exc_info.value.code == 2
         err = capsys.readouterr().err
         assert "error:" in err and "ffbp" in err
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "four"])
+    def test_image_shards_rejected_at_parse_time(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["image", "--shards", bad])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err and "--shards" in err
         assert "Traceback" not in err
 
     def test_image_shards_must_divide_the_tree(self, capsys):
@@ -280,3 +302,49 @@ class TestFabricCli:
         rc = main(["table1", "--backend", "analytic:2x(e16)",
                    "--pulses", "16", "--ranges", "33"])
         assert rc == 0
+
+
+class TestServeCli:
+    """The serving-tier CLI surface (``repro serve`` / ``repro load``)."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.workers == 2
+        args = build_parser().parse_args(["load", "--spawn"])
+        assert args.clients == 2
+        assert args.requests == 8
+        assert args.spawn is True
+
+    def test_load_without_port_or_spawn_is_an_error(self, capsys):
+        rc = main(["load", "--port", "0" ])
+        # --port 0 is falsy: equivalent to not giving a port at all.
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--spawn" in err
+
+    def test_load_spawn_round_trip(self, capsys, tmp_path):
+        """End to end in one process: spawn a server, drive a burst,
+        check the repro-load/1 document it writes."""
+        import json
+
+        out = tmp_path / "load.json"
+        rc = main([
+            "load", "--spawn", "--clients", "2", "--requests", "2",
+            "--pulses", "32", "--ranges", "33", "--out", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-load/1"
+        assert doc["errors"] == 0
+        assert doc["total"] == 4
+        assert doc["byte_identical"] is True
+        assert doc["latency_ms"]["p50"] <= doc["latency_ms"]["p99"]
+        err = capsys.readouterr().err
+        assert "p50" in err and "p99" in err
+
+    def test_load_rejects_bad_counts(self, capsys):
+        rc = main(["load", "--spawn", "--clients", "0"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
