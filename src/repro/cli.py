@@ -310,6 +310,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         jobs=getattr(args, "jobs", 1),
         chaos_cases=args.chaos,
+        chaos_serve_cases=args.chaos_serve,
     )
 
 
@@ -375,6 +376,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         default_deadline_ms=args.deadline_ms,
+        max_inflight=args.max_inflight,
+        max_connection_inflight=args.max_conn_inflight,
+        max_retries=args.max_retries,
+        retry_backoff_ms=args.retry_backoff_ms,
+        breaker_window=args.breaker_window,
+        breaker_failures=args.breaker_failures,
+        breaker_cooldown=args.breaker_cooldown,
+        group_jobs=args.group_jobs,
+        group_retries=args.group_retries,
+        allow_chaos=args.allow_chaos,
     )
 
     async def _serve() -> int:
@@ -417,11 +428,22 @@ def cmd_load(args: argparse.Namespace) -> int:
 
     from repro.serve.load import dump_load, format_load, run_load
 
-    payload = {
-        "pulses": args.pulses,
-        "ranges": args.ranges,
-        "algorithm": args.algorithm,
-    }
+    if args.profile_backend:
+        payload = {
+            "kind": "profile",
+            "backend": args.profile_backend,
+            "kernel": args.profile_kernel,
+            "pulses": args.pulses,
+            "ranges": args.ranges,
+        }
+        if args.watchdog is not None:
+            payload["watchdog"] = args.watchdog
+    else:
+        payload = {
+            "pulses": args.pulses,
+            "ranges": args.ranges,
+            "algorithm": args.algorithm,
+        }
     if args.deadline_ms is not None:
         payload["deadline_ms"] = args.deadline_ms
 
@@ -458,6 +480,11 @@ def cmd_load(args: argparse.Namespace) -> int:
         else:
             print(text)
         print(format_load(doc), file=sys.stderr)
+        if args.allow_faults:
+            # Against a fault-injected backend, contained diagnoses
+            # (fault/stall/deadline/overloaded/...) are contractual
+            # answers; only unstructured errors fail the run.
+            return 0 if doc["unstructured_errors"] == 0 else 1
         return 0 if doc["errors"] == 0 else 1
 
     try:
@@ -635,6 +662,17 @@ def build_parser() -> argparse.ArgumentParser:
         "through the chaos containment gate (default: off)",
     )
     p.add_argument(
+        "--chaos-serve",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run N serve-level chaos cases: each boots a real "
+        "ImageService with chaos hooks armed (injected stalls, "
+        "SIGKILLed workers, admission bursts, shutdown drain) and "
+        "asserts end-to-end containment plus same-seed decision "
+        "identity (default: off)",
+    )
+    p.add_argument(
         "--golden-dir",
         default=None,
         metavar="DIR",
@@ -759,6 +797,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline; exceeding it returns a "
         "structured 'deadline' error instead of blocking",
     )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-control budget: total in-flight work requests "
+        "before new ones get a structured 'overloaded' answer with a "
+        "retry-after hint (default: %(default)s)",
+    )
+    p.add_argument(
+        "--max-conn-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-connection concurrency cap (default: %(default)s)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve-level retries of a request whose group fails with "
+        "a contained fault or broken pool (default: %(default)s)",
+    )
+    p.add_argument(
+        "--retry-backoff-ms",
+        type=float,
+        default=25.0,
+        metavar="MS",
+        help="base of the seeded exponential retry backoff "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--breaker-window",
+        type=int,
+        default=8,
+        metavar="N",
+        help="rolling per-backend-spec outcome window of the circuit "
+        "breaker (default: %(default)s)",
+    )
+    p.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=4,
+        metavar="N",
+        help="failures in the window that trip the breaker; 0 disables "
+        "degradation entirely (default: %(default)s)",
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=int,
+        default=4,
+        metavar="N",
+        help="degraded requests served before the breaker probes the "
+        "real backend again (default: %(default)s)",
+    )
+    p.add_argument(
+        "--group-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool width for request groups; 1 executes inline "
+        "in the worker thread (default: %(default)s)",
+    )
+    p.add_argument(
+        "--group-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="in-runner retries per group before the serve-level retry "
+        "loop sees the failure (default: %(default)s)",
+    )
+    p.add_argument(
+        "--allow-chaos",
+        action="store_true",
+        help="accept fail_marker chaos requests that SIGKILL pool "
+        "workers (requires --group-jobs >= 2; test/CI only)",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -791,6 +907,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranges", type=int, default=65)
     p.add_argument(
         "--algorithm", choices=("ffbp", "gbp", "rda"), default="ffbp"
+    )
+    p.add_argument(
+        "--profile-backend",
+        metavar="SPEC",
+        default=None,
+        help="switch the workload to kernel-profiling requests on this "
+        "registry backend spec (e.g. 'faulty(<plan>):event:e16' to "
+        "drive load through injected faults)",
+    )
+    p.add_argument(
+        "--profile-kernel",
+        choices=("ffbp", "autofocus"),
+        default="ffbp",
+        help="kernel for --profile-backend requests (default: %(default)s)",
+    )
+    p.add_argument(
+        "--watchdog",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="channel watchdog for autofocus profiling requests, so an "
+        "injected stall resolves to a structured blame report",
+    )
+    p.add_argument(
+        "--allow-faults",
+        action="store_true",
+        help="exit 0 as long as every error is structured (contained "
+        "fault, deadline, overloaded); for fault-injected backends",
     )
     p.add_argument(
         "--unique",

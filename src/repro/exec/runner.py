@@ -167,6 +167,10 @@ class ExecStats:
     retried: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    pool_rebuilds: int = 0
+    """Worker pools that died mid-run and were replaced; surviving
+    tasks were replayed on the fresh pool (serving self-healing reads
+    this to report pool churn in ``health``)."""
     wall_seconds: float = 0.0
 
     def format(self) -> str:
@@ -491,4 +495,6 @@ class ExperimentRunner:
             # Never block on hung/dead workers: cancel what we can and
             # let finished processes be reaped in the background.
             pool.shutdown(wait=False, cancel_futures=True)
+            if broken:
+                stats.pool_rebuilds += 1
             remaining = survivors

@@ -36,6 +36,7 @@ __all__ = [
     "StallError",
     "DeadlockReport",
     "CONTAINED_FAILURES",
+    "CONTAINED_CODES",
 ]
 
 
@@ -163,3 +164,12 @@ class DeadlockReport(RuntimeError):
 
 CONTAINED_FAILURES = (FaultReport, StallError, DeadlockReport)
 """The exception types an injected fault is allowed to surface as."""
+
+CONTAINED_CODES = ("fault", "stall", "deadlock")
+"""The leading ``describe()`` tags of :data:`CONTAINED_FAILURES`.
+
+The serving tier uses these as wire-level error codes and as the
+retryable class for its backoff policy: a contained failure is a
+*diagnosed* outcome, so retrying it is safe (idempotent work, seeded
+draws), unlike an unstructured crash.
+"""

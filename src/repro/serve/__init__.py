@@ -13,6 +13,13 @@ load generator / latency-percentile harness (``repro load``), emitting
 """
 
 from repro.serve.load import LOAD_SCHEMA, format_load, run_load, run_load_sync
+from repro.serve.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+    RollingWindow,
+    degrade_spec,
+)
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL,
@@ -43,4 +50,9 @@ __all__ = [
     "run_load",
     "run_load_sync",
     "format_load",
+    "AdmissionController",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "RollingWindow",
+    "degrade_spec",
 ]

@@ -31,11 +31,25 @@ import json
 import time
 from typing import Any
 
+from repro.faults.report import CONTAINED_CODES
 from repro.serve.protocol import encode_frame, read_frame
 
 LOAD_SCHEMA = "repro-load/1"
 
-__all__ = ["LOAD_SCHEMA", "run_load", "run_load_sync", "format_load", "percentile"]
+STRUCTURED_ERROR_CODES = CONTAINED_CODES + ("deadline", "overloaded", "broken-pool")
+"""Error codes that are *contractual* answers under adverse
+conditions: a diagnosed fault, a missed deadline, or admission-control
+backpressure.  Everything else (``internal``, protocol errors) is an
+unstructured failure -- the thing resilience CI gates on being zero."""
+
+__all__ = [
+    "LOAD_SCHEMA",
+    "STRUCTURED_ERROR_CODES",
+    "run_load",
+    "run_load_sync",
+    "format_load",
+    "percentile",
+]
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -87,7 +101,7 @@ async def _client(
         for i in range(requests):
             obj = dict(payload)
             obj["id"] = f"c{client_id}/r{i}"
-            if unique:
+            if unique and obj.get("kind", "image") == "image":
                 # Distinct scenes per request: a cache-miss workload.
                 obj["noise_seed"] = 1_000_003 * client_id + i
             frame, ms = await _request(reader, writer, obj)
@@ -98,6 +112,8 @@ async def _client(
                     "type": frame.get("type"),
                     "code": frame.get("code"),
                     "cached": bool(frame.get("cached", False)),
+                    "degraded": bool(frame.get("degraded", False)),
+                    "retries": int(frame.get("retries") or 0),
                     "sha256": (frame.get("image") or {}).get("sha256"),
                 }
             )
@@ -136,6 +152,9 @@ async def run_load(
     records = [r for client_records in per_client for r in client_records]
     latencies = [r["ms"] for r in records]
     errors = [r for r in records if r["type"] != "result"]
+    unstructured = [
+        r for r in errors if r["code"] not in STRUCTURED_ERROR_CODES
+    ]
     shas = {r["sha256"] for r in records if r["sha256"]}
 
     # Health snapshot (and optional clean shutdown) on a fresh
@@ -162,9 +181,13 @@ async def run_load(
         "requests_per_client": requests,
         "total": len(records),
         "errors": len(errors),
+        "structured_errors": len(errors) - len(unstructured),
+        "unstructured_errors": len(unstructured),
         "error_detail": [
             {"id": r["id"], "code": r["code"]} for r in errors[:10]
         ],
+        "degraded_responses": sum(1 for r in records if r["degraded"]),
+        "retries": sum(r["retries"] for r in records),
         "latency_ms": {
             "p50": round(percentile(latencies, 50), 3),
             "p99": round(percentile(latencies, 99), 3),
@@ -174,11 +197,21 @@ async def run_load(
         "wall_s": round(wall_s, 4),
         "throughput_rps": round(len(records) / wall_s, 2) if wall_s else None,
         "cached_responses": sum(1 for r in records if r["cached"]),
-        "byte_identical": (len(shas) == 1) if not unique else None,
+        "byte_identical": (len(shas) == 1) if shas and not unique else None,
         "payload": {k: v for k, v in base.items() if k != "id"},
         "server": {
             k: health.get(k)
-            for k in ("served", "errors", "batches", "coalesced", "cache", "faults")
+            for k in (
+                "served",
+                "errors",
+                "batches",
+                "coalesced",
+                "deadline_misses",
+                "cache",
+                "faults",
+                "window",
+                "resilience",
+            )
         },
     }
 
@@ -203,6 +236,16 @@ def format_load(doc: dict[str, Any]) -> str:
         lines.append(
             "load: responses byte-identical: "
             + ("yes" if doc["byte_identical"] else "NO")
+        )
+    if doc.get("errors"):
+        lines.append(
+            f"load: {doc.get('structured_errors', 0)} structured / "
+            f"{doc.get('unstructured_errors', 0)} unstructured errors"
+        )
+    if doc.get("retries") or doc.get("degraded_responses"):
+        lines.append(
+            f"load: {doc.get('retries', 0)} server retries, "
+            f"{doc.get('degraded_responses', 0)} degraded responses"
         )
     cache = (doc.get("server") or {}).get("cache")
     if cache:

@@ -29,6 +29,23 @@ Request vocabulary (``kind`` field):
 Image payloads travel as base64 of the raw array bytes plus dtype,
 shape and a SHA-256 digest, so clients can assert byte-identity
 (the response cache's contract) without trusting float round-trips.
+
+Resilience extensions (additive to ``repro-serve/1``; old clients see
+only keys they ignore):
+
+- error code ``overloaded`` -- admission control rejected the request
+  (in-flight budget or per-connection cap exhausted, or the server is
+  draining for shutdown); the response carries a ``retry_after_ms``
+  hint,
+- ``retries`` on batched terminal responses -- how many seeded-backoff
+  retries the server spent before this answer,
+- ``degraded: true`` plus ``degraded_to`` -- the circuit breaker
+  tripped on the requested ``event:*`` backend and the answer was
+  computed on the named ``analytic:*`` substitute spec,
+- profile requests accept ``fail_marker``/``fail_times`` (a filesystem
+  token that makes the first N executions kill their worker process) --
+  the chaos gate's hook for exercising pool self-healing end-to-end;
+  the service rejects it unless booted with ``allow_chaos``.
 """
 
 from __future__ import annotations
@@ -265,10 +282,17 @@ class ProfileRequest:
     cores: int = 16
     watchdog: int | None = None
     deadline_ms: float | None = None
+    fail_marker: str | None = None
+    """Chaos hook: filesystem token whose first ``fail_times``
+    claimants SIGKILL their worker process before computing (see
+    :func:`repro.serve.workers.profile_kernel`).  Part of the payload
+    when set -- a chaos request must never share a cache entry with
+    the clean request it imitates."""
+    fail_times: int = 1
     kind: str = field(default="profile", init=False)
 
     def payload(self) -> dict:
-        return {
+        payload = {
             "kind": "profile",
             "backend": self.backend,
             "kernel": self.kernel,
@@ -277,6 +301,10 @@ class ProfileRequest:
             "cores": self.cores,
             "watchdog": self.watchdog,
         }
+        if self.fail_marker is not None:
+            payload["fail_marker"] = self.fail_marker
+            payload["fail_times"] = self.fail_times
+        return payload
 
 
 @dataclass(frozen=True)
@@ -351,6 +379,14 @@ def parse_request(obj: dict) -> Request:
     watchdog = obj.get("watchdog")
     if watchdog is not None:
         watchdog = _require_int(obj, "watchdog", 0, 1, 2**31)
+    fail_marker = obj.get("fail_marker")
+    fail_times = 1
+    if fail_marker is not None:
+        if not isinstance(fail_marker, str) or not fail_marker:
+            raise RequestError(
+                "bad-request", "'fail_marker' must be a non-empty string"
+            )
+        fail_times = _require_int(obj, "fail_times", 1, 1, 16)
     return ProfileRequest(
         id=req_id,
         backend=backend,
@@ -360,6 +396,8 @@ def parse_request(obj: dict) -> Request:
         cores=_require_int(obj, "cores", 16, 1, 4096),
         watchdog=watchdog,
         deadline_ms=_deadline_ms(obj),
+        fail_marker=fail_marker,
+        fail_times=fail_times,
     )
 
 

@@ -16,26 +16,39 @@ answer it produces comes from the layers below --
   tenants sharing a grid,
 - **faults** (:mod:`repro.faults`): watchdog stalls and injected
   faults surface as structured error responses with blame reports,
-  and accumulate in the ``health`` diagnostics.
+  and accumulate in the ``health`` diagnostics,
+- **resilience** (:mod:`repro.serve.resilience`, §15): admission
+  control bounds in-flight work (structured ``overloaded`` + retry
+  hint instead of queue growth), contained faults and broken pools are
+  retried with seeded deterministic backoff, and a per-backend-spec
+  circuit breaker degrades ``event:*`` profile requests onto the
+  ``analytic:*`` substitute when the real backend keeps failing.
 
 Scheduling: requests land on one queue; a batcher drains it, waits
 ``batch_window_ms`` for compatible company, groups by cache payload
 (identical requests in one window *coalesce* onto a single compute)
 and dispatches each group to a worker-thread pool.  Per-request
 deadlines convert to structured ``deadline`` error responses -- a
-slow request can never hang its connection.
+slow request can never hang its connection.  With ``group_jobs >= 2``
+each group fans out over a *process* pool whose death is contained
+(``broken-pool`` failures, pool rebuilt, survivors replayed) -- one
+poisoned request cannot take down its batch window.  ``close()``
+drains: queued and in-flight requests get their terminal response
+before the listener and pools go away.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.exec.cache import ResultCache, code_version
+from repro.exec.cache import ResultCache, code_version, stable_digest
 from repro.exec.runner import ExperimentRunner, TaskSpec
+from repro.faults.report import CONTAINED_CODES
 from repro.serve import protocol, workers
 from repro.serve.protocol import (
     HealthRequest,
@@ -47,6 +60,13 @@ from repro.serve.protocol import (
     encode_frame,
     error_response,
     read_frame,
+)
+from repro.serve.resilience import (
+    DEFAULT_RESILIENCE_SEED,
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+    RollingWindow,
 )
 
 __all__ = ["ServeSettings", "ServeStats", "ImageService"]
@@ -66,6 +86,39 @@ class ServeSettings:
     directory (cleaned up on close) so caching is on by default."""
     no_cache: bool = False
     default_deadline_ms: float | None = None
+    max_inflight: int = 64
+    """Admission budget: work requests in flight across all
+    connections; one more gets a structured ``overloaded`` answer."""
+    max_connection_inflight: int = 8
+    """Per-connection concurrency cap (a single greedy client cannot
+    drain the whole admission budget)."""
+    max_retries: int = 1
+    """Seeded-backoff retries per request on contained faults and
+    broken pools; ``0`` disables retrying."""
+    retry_backoff_ms: float = 25.0
+    """Base of the exponential retry backoff (jittered, capped)."""
+    breaker_window: int = 8
+    """Rolling outcome window per backend spec for the breaker."""
+    breaker_failures: int = 4
+    """Failures within the window that trip the breaker; ``0``
+    disables degradation entirely."""
+    breaker_cooldown: int = 4
+    """Degraded requests served per open period before a probe."""
+    group_jobs: int = 1
+    """``ExperimentRunner`` jobs per batch group; ``1`` runs inline
+    (serial, no pool), ``>= 2`` fans out over worker processes whose
+    crashes are contained and healed."""
+    group_retries: int = 0
+    """Runner-level retries inside one group (pool self-healing
+    replays broken-pool survivors without a serve round trip)."""
+    resilience_seed: int = DEFAULT_RESILIENCE_SEED
+    """Root seed of the deterministic retry jitter."""
+    allow_chaos: bool = False
+    """Accept ``fail_marker`` chaos requests (worker suicide hooks);
+    requires ``group_jobs >= 2`` so the kill hits a pool process, not
+    the server."""
+    window_s: float = 60.0
+    """Horizon of the rolling rate window in ``health``."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -78,11 +131,57 @@ class ServeSettings:
             raise ValueError(
                 f"max_frame_bytes must be >= 1024, got {self.max_frame_bytes}"
             )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_connection_inflight < 1:
+            raise ValueError(
+                "max_connection_inflight must be >= 1, got "
+                f"{self.max_connection_inflight}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_ms <= 0:
+            raise ValueError(
+                f"retry_backoff_ms must be positive, got {self.retry_backoff_ms}"
+            )
+        if self.breaker_failures < 0:
+            raise ValueError(
+                f"breaker_failures must be >= 0, got {self.breaker_failures}"
+            )
+        if self.breaker_failures > self.breaker_window:
+            raise ValueError(
+                f"breaker_failures ({self.breaker_failures}) cannot exceed "
+                f"breaker_window ({self.breaker_window})"
+            )
+        if self.group_jobs < 1:
+            raise ValueError(
+                f"group_jobs must be >= 1, got {self.group_jobs}"
+            )
+        if self.group_retries < 0:
+            raise ValueError(
+                f"group_retries must be >= 0, got {self.group_retries}"
+            )
+        if self.allow_chaos and self.group_jobs < 2:
+            raise ValueError(
+                "allow_chaos requires group_jobs >= 2: a fail_marker kill "
+                "in an inline (jobs=1) group would take the server down"
+            )
+        if self.window_s <= 0:
+            raise ValueError(
+                f"window_s must be positive, got {self.window_s}"
+            )
 
 
 @dataclass
 class ServeStats:
-    """Rolling counters exposed through ``health`` responses."""
+    """Cumulative counters exposed through ``health`` responses.
+
+    Lifetime totals; the last-N-seconds view lives in the ``window``
+    block of the health report (:class:`RollingWindow`)."""
 
     served: int = 0
     errors: int = 0
@@ -92,13 +191,21 @@ class ServeStats:
     streams: int = 0
     contained_faults: int = 0
     stalls: int = 0
+    overloaded: int = 0
+    retries: int = 0
+    degraded: int = 0
+    pool_rebuilds: int = 0
     last_fault: str | None = None
     last_blame: dict | None = None
 
 
 @dataclass
 class _Pending:
-    """One batchable request waiting for its compute."""
+    """One batchable request waiting for its compute.
+
+    The future resolves to ``("ok", value, cached)`` or
+    ``("fail", kind, text)`` -- never an exception for a *task-level*
+    failure, so the dispatch side can classify retryability."""
 
     request: ImageRequest | ProfileRequest
     future: asyncio.Future = field(default_factory=asyncio.Future)
@@ -114,6 +221,8 @@ class ImageService:
         self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
         self._batcher: asyncio.Task | None = None
         self._group_tasks: set[asyncio.Task] = set()
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._writers: set = set()
         self._pool = ThreadPoolExecutor(
             max_workers=self.settings.workers,
             thread_name_prefix="repro-serve",
@@ -128,9 +237,25 @@ class ImageService:
 
             self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
             self._cache = ResultCache(self._tmpdir.name)
+        self._admission = AdmissionController(
+            budget=self.settings.max_inflight,
+            retry_after_ms=max(self.settings.batch_window_ms, 1.0) * 4,
+        )
+        self._retry = RetryPolicy(
+            max_retries=self.settings.max_retries,
+            base_ms=self.settings.retry_backoff_ms,
+            seed=self.settings.resilience_seed,
+        )
+        self._breaker = CircuitBreaker(
+            window=self.settings.breaker_window,
+            failures=self.settings.breaker_failures,
+            cooldown=self.settings.breaker_cooldown,
+        )
+        self._window = RollingWindow(horizon_s=self.settings.window_s)
         self._connections = 0
         self._started = time.monotonic()
         self._shutdown = asyncio.Event()
+        self._closing = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -154,12 +279,22 @@ class ImageService:
         await self.close()
 
     async def close(self) -> None:
-        """Drain and stop: no new connections, pending groups finish."""
+        """Drain and stop: every in-flight request still gets its
+        terminal response.
+
+        Order matters: mark closing (admission rejects new work with a
+        structured "draining" answer), stop listening, stop the
+        batcher, flush whatever it left on the queue into groups, then
+        settle dispatch/group tasks to quiescence -- a draining retry
+        re-enters through :meth:`_enqueue`, which runs it as its own
+        group once the batcher is gone, so no future is ever orphaned.
+        Only then close lingering idle connections (their handlers are
+        parked in ``read_frame``) and the pools.
+        """
+        self._closing = True
         self._shutdown.set()
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
-            self._server = None
         if self._batcher is not None:
             self._batcher.cancel()
             try:
@@ -167,8 +302,26 @@ class ImageService:
             except asyncio.CancelledError:
                 pass
             self._batcher = None
-        if self._group_tasks:
-            await asyncio.gather(*self._group_tasks, return_exceptions=True)
+        while True:
+            leftovers = []
+            while not self._queue.empty():
+                leftovers.append(self._queue.get_nowait())
+            for group in self._group(leftovers):
+                self._spawn_group(group)
+            tasks = [
+                t
+                for t in (*self._dispatch_tasks, *self._group_tasks)
+                if not t.done()
+            ]
+            if not leftovers and not tasks:
+                break
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
         self._pool.shutdown(wait=True)
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
@@ -178,7 +331,9 @@ class ImageService:
 
     async def _on_client(self, reader, writer) -> None:
         self._connections += 1
+        self._writers.add(writer)
         lock = asyncio.Lock()
+        conn_tasks: set[asyncio.Task] = set()
 
         async def send(obj: dict) -> None:
             async with lock:
@@ -192,7 +347,7 @@ class ImageService:
                         reader, self.settings.max_frame_bytes
                     )
                 except ProtocolError as exc:
-                    self.stats.errors += 1
+                    self._mark_error()
                     if not exc.recoverable:
                         break
                     await send(error_response(None, exc.code, exc.detail))
@@ -202,98 +357,284 @@ class ImageService:
                 try:
                     request = protocol.parse_request(frame)
                 except RequestError as exc:
-                    self.stats.errors += 1
+                    self._mark_error()
                     await send(
                         error_response(frame.get("id"), exc.code, exc.detail)
                     )
                     continue
-                await self._dispatch(request, send)
+                if isinstance(request, HealthRequest):
+                    await send(self._health(request.id))
+                    self._mark_served()
+                    continue
                 if isinstance(request, ShutdownRequest):
+                    await send(
+                        {"id": request.id, "type": "ok", "detail": "shutting down"}
+                    )
+                    self._mark_served()
+                    self._shutdown.set()
                     break
+                # Work request: chaos gate, then admission control.
+                if (
+                    isinstance(request, ProfileRequest)
+                    and request.fail_marker is not None
+                    and not self.settings.allow_chaos
+                ):
+                    self._mark_error()
+                    await send(
+                        error_response(
+                            request.id,
+                            "bad-request",
+                            "'fail_marker' requires a server started with "
+                            "allow_chaos (and group_jobs >= 2)",
+                        )
+                    )
+                    continue
+                if self._closing:
+                    await self._reject_overloaded(
+                        request.id,
+                        "server is draining for shutdown",
+                        self._admission.retry_after_ms,
+                        send,
+                    )
+                    continue
+                conn_tasks = {t for t in conn_tasks if not t.done()}
+                if len(conn_tasks) >= self.settings.max_connection_inflight:
+                    await self._reject_overloaded(
+                        request.id,
+                        f"connection exceeded its "
+                        f"{self.settings.max_connection_inflight} in-flight "
+                        f"request cap",
+                        self._admission.retry_after_ms,
+                        send,
+                    )
+                    continue
+                hint = self._admission.try_admit()
+                if hint is not None:
+                    await self._reject_overloaded(
+                        request.id,
+                        f"server is at its {self.settings.max_inflight} "
+                        f"in-flight request budget",
+                        hint,
+                        send,
+                    )
+                    continue
+                task = asyncio.create_task(self._run_admitted(request, send))
+                conn_tasks.add(task)
+                self._dispatch_tasks.add(task)
+                task.add_done_callback(self._dispatch_tasks.discard)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            # A closing connection still drains its in-flight work --
+            # the shutdown contract: one terminal response per request.
+            if conn_tasks:
+                await asyncio.gather(*conn_tasks, return_exceptions=True)
             self._connections -= 1
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _dispatch(self, request, send) -> None:
-        if isinstance(request, HealthRequest):
-            await send(self._health(request.id))
-            self.stats.served += 1
-            return
-        if isinstance(request, ShutdownRequest):
-            await send({"id": request.id, "type": "ok", "detail": "shutting down"})
-            self.stats.served += 1
-            self._shutdown.set()
-            return
-        if isinstance(request, ImageRequest) and request.stream:
-            await self._run_streaming(request, send)
-            return
-        await self._run_batched(request, send)
+    async def _run_admitted(self, request, send) -> None:
+        """One admitted work request, releasing its admission slot."""
+        try:
+            if isinstance(request, ImageRequest) and request.stream:
+                await self._run_streaming(request, send)
+            else:
+                await self._run_batched(request, send)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._admission.release()
+
+    async def _reject_overloaded(
+        self, req_id, detail: str, hint_ms: float, send
+    ) -> None:
+        self._mark_error()
+        self.stats.overloaded += 1
+        self._window.record("overloaded")
+        response = error_response(req_id, "overloaded", detail)
+        response["retry_after_ms"] = hint_ms
+        await send(response)
+
+    # -- stats plumbing ---------------------------------------------------
+
+    def _mark_served(self) -> None:
+        self.stats.served += 1
+        self._window.record("served")
+
+    def _mark_error(self) -> None:
+        self.stats.errors += 1
+        self._window.record("error")
 
     # -- request execution -----------------------------------------------
 
-    def _deadline_of(self, request) -> float | None:
+    def _effective_deadline_ms(self, request) -> float | None:
         if request.deadline_ms is not None:
-            return request.deadline_ms / 1e3
-        if self.settings.default_deadline_ms is not None:
-            return self.settings.default_deadline_ms / 1e3
-        return None
+            return request.deadline_ms
+        return self.settings.default_deadline_ms
+
+    def _deadline_of(self, request) -> float | None:
+        deadline_ms = self._effective_deadline_ms(request)
+        return None if deadline_ms is None else deadline_ms / 1e3
+
+    async def _enqueue(self, pending: _Pending) -> None:
+        """Hand a request to the batcher -- or, once the batcher is
+        gone (draining close), run it as its own group so its future
+        still resolves."""
+        if self._batcher is None:
+            self._spawn_group([pending])
+        else:
+            await self._queue.put(pending)
+
+    def _retry_delay_s(
+        self,
+        retryable: bool,
+        retries: int,
+        retry_key: str,
+        deadline: float | None,
+        t0: float,
+    ) -> float | None:
+        """Backoff before the next retry, or ``None`` to stop.
+
+        Stops when the failure class is terminal, the retry budget is
+        spent, the server is draining, or the backoff would not fit in
+        the request's remaining deadline."""
+        if not retryable or retries >= self._retry.max_retries or self._closing:
+            return None
+        delay = self._retry.backoff_ms(retry_key, retries + 1) / 1e3
+        if deadline is not None:
+            if (time.perf_counter() - t0) + delay >= deadline:
+                return None
+        return delay
+
+    def _breaker_record(self, spec: str | None, verdict: str, ok: bool) -> None:
+        """Feed the terminal outcome of a real-backend attempt."""
+        if spec is not None and verdict in ("pass", "probe"):
+            self._breaker.record(spec, ok)
 
     async def _run_batched(self, request, send) -> None:
-        pending = _Pending(request=request)
-        await self._queue.put(pending)
         t0 = time.perf_counter()
-        try:
-            value, cached = await asyncio.wait_for(
-                pending.future, timeout=self._deadline_of(request)
-            )
-        except asyncio.TimeoutError:
-            self.stats.errors += 1
-            self.stats.deadline_misses += 1
-            await send(
-                error_response(
+        deadline = self._deadline_of(request)
+        spec = request.backend if isinstance(request, ProfileRequest) else None
+        verdict, substitute = "pass", None
+        degraded = False
+        effective = request
+        if spec is not None:
+            verdict, substitute = self._breaker.decide(spec)
+            if verdict == "degrade":
+                effective = dataclasses.replace(request, backend=substitute)
+                degraded = True
+                self.stats.degraded += 1
+                self._window.record("degraded")
+        retry_key = stable_digest(effective.payload())
+        retries = 0
+        while True:
+            pending = _Pending(request=effective)
+            await self._enqueue(pending)
+            timeout = None
+            if deadline is not None:
+                timeout = max(deadline - (time.perf_counter() - t0), 0.0)
+            try:
+                outcome = await asyncio.wait_for(pending.future, timeout=timeout)
+            except asyncio.TimeoutError:
+                self._breaker_record(spec, verdict, ok=False)
+                self._mark_error()
+                self.stats.deadline_misses += 1
+                self._window.record("deadline_miss")
+                response = error_response(
                     request.id,
                     "deadline",
-                    f"request exceeded its {request.deadline_ms or self.settings.default_deadline_ms} ms deadline",
+                    f"request exceeded its "
+                    f"{self._effective_deadline_ms(request)} ms deadline",
                 )
+                response["retries"] = retries
+                await send(response)
+                return
+            except Exception as exc:  # structured, never a connection drop
+                self._mark_error()
+                await send(error_response(request.id, "internal", str(exc)))
+                return
+            if outcome[0] == "ok":
+                _, value, cached = outcome
+                err = value.get("error") if isinstance(value, dict) else None
+                if err is None:
+                    self._breaker_record(spec, verdict, ok=True)
+                    self._mark_served()
+                    response = dict(value)
+                    response.update(
+                        id=request.id,
+                        type="result",
+                        cached=bool(cached),
+                        elapsed_ms=round((time.perf_counter() - t0) * 1e3, 3),
+                        retries=retries,
+                    )
+                    if degraded:
+                        response.update(
+                            degraded=True, degraded_to=effective.backend
+                        )
+                    await send(response)
+                    return
+                # A contained fault (stall blame, injected fault) from
+                # the profile path: retryable -- the work is pure and
+                # the diagnosis structured.
+                retryable = err.get("code") in CONTAINED_CODES
+                delay = self._retry_delay_s(
+                    retryable, retries, retry_key, deadline, t0
+                )
+                if delay is not None:
+                    retries += 1
+                    self.stats.retries += 1
+                    self._window.record("retry")
+                    await asyncio.sleep(delay)
+                    continue
+                self._breaker_record(spec, verdict, ok=False)
+                await self._send_contained(
+                    request, err, retries, degraded, effective, send
+                )
+                return
+            # Runner-level failure: broken pool (retryable -- the pool
+            # heals and the work is uncached), timeout, or task error.
+            _, fkind, ftext = outcome
+            delay = self._retry_delay_s(
+                fkind == "broken-pool", retries, retry_key, deadline, t0
             )
-            return
-        except Exception as exc:  # structured, never a connection drop
-            self.stats.errors += 1
-            await send(error_response(request.id, "internal", str(exc)))
-            return
-        elapsed_ms = (time.perf_counter() - t0) * 1e3
-        if isinstance(value, dict) and "error" in value:
-            # A contained fault (stall blame, injected fault) from the
-            # profile path: structured error, counted in health.
-            err = value["error"]
-            self.stats.errors += 1
-            self.stats.contained_faults += 1
-            self.stats.last_fault = err.get("detail")
-            if err.get("code") == "stall":
-                self.stats.stalls += 1
-                self.stats.last_blame = err.get("blame")
-            response = error_response(
-                request.id, err.get("code", "fault"), err.get("detail", "")
-            )
-            response["outcome"] = err.get("outcome")
-            if err.get("blame"):
-                response["blame"] = err["blame"]
+            if delay is not None:
+                retries += 1
+                self.stats.retries += 1
+                self._window.record("retry")
+                await asyncio.sleep(delay)
+                continue
+            self._breaker_record(spec, verdict, ok=False)
+            self._mark_error()
+            code = fkind if fkind in ("broken-pool", "timeout") else "internal"
+            response = error_response(request.id, code, ftext)
+            response["retries"] = retries
             await send(response)
             return
-        self.stats.served += 1
-        response = dict(value)
-        response.update(
-            id=request.id,
-            type="result",
-            cached=bool(cached),
-            elapsed_ms=round(elapsed_ms, 3),
+
+    async def _send_contained(
+        self, request, err: dict, retries: int, degraded: bool, effective, send
+    ) -> None:
+        """Answer with a contained fault's structured diagnosis."""
+        self._mark_error()
+        self.stats.contained_faults += 1
+        self._window.record("contained_fault")
+        self.stats.last_fault = err.get("detail")
+        if err.get("code") == "stall":
+            self.stats.stalls += 1
+            self.stats.last_blame = err.get("blame")
+        response = error_response(
+            request.id, err.get("code", "fault"), err.get("detail", "")
         )
+        response["outcome"] = err.get("outcome")
+        if err.get("blame"):
+            response["blame"] = err["blame"]
+        response["retries"] = retries
+        if degraded:
+            response.update(degraded=True, degraded_to=effective.backend)
         await send(response)
 
     async def _run_streaming(self, request: ImageRequest, send) -> None:
@@ -331,20 +672,22 @@ class ImageService:
         try:
             value = await asyncio.wait_for(forward(), timeout=deadline)
         except asyncio.TimeoutError:
-            self.stats.errors += 1
+            self._mark_error()
             self.stats.deadline_misses += 1
+            self._window.record("deadline_miss")
             await send(
                 error_response(
                     request.id, "deadline",
-                    f"stream exceeded its {request.deadline_ms} ms deadline",
+                    f"stream exceeded its "
+                    f"{self._effective_deadline_ms(request)} ms deadline",
                 )
             )
             return
         except Exception as exc:
-            self.stats.errors += 1
+            self._mark_error()
             await send(error_response(request.id, "internal", str(exc)))
             return
-        self.stats.served += 1
+        self._mark_served()
         response = dict(value)
         response.update(
             id=request.id,
@@ -374,9 +717,12 @@ class ImageService:
                 except asyncio.TimeoutError:
                     break
             for group in self._group(batch):
-                task = asyncio.create_task(self._run_group(group))
-                self._group_tasks.add(task)
-                task.add_done_callback(self._group_tasks.discard)
+                self._spawn_group(group)
+
+    def _spawn_group(self, group: list[_Pending]) -> None:
+        task = asyncio.create_task(self._run_group(group))
+        self._group_tasks.add(task)
+        task.add_done_callback(self._group_tasks.discard)
 
     @staticmethod
     def _group(batch: list[_Pending]) -> list[list[_Pending]]:
@@ -401,8 +747,6 @@ class ImageService:
         self.stats.batches += 1
         # Coalesce identical payloads: one compute, fanned out to all.
         unique: dict[str, list[_Pending]] = {}
-        from repro.exec.cache import stable_digest
-
         for pending in group:
             unique.setdefault(
                 stable_digest(pending.request.payload()), []
@@ -410,12 +754,14 @@ class ImageService:
         self.stats.coalesced += len(group) - len(unique)
         order = list(unique.items())
         try:
-            outcomes = await loop.run_in_executor(
+            outcomes, rebuilds = await loop.run_in_executor(
                 self._pool,
                 _execute_group,
                 [waiters[0].request.payload() for _, waiters in order],
                 [digest for digest, _ in order],
                 self._cache,
+                self.settings.group_jobs,
+                self.settings.group_retries,
             )
         except Exception as exc:
             for _, waiters in order:
@@ -423,15 +769,19 @@ class ImageService:
                     if not pending.future.done():
                         pending.future.set_exception(exc)
             return
+        if rebuilds:
+            self.stats.pool_rebuilds += rebuilds
+            for _ in range(rebuilds):
+                self._window.record("pool_rebuild")
         for (_, waiters), outcome in zip(order, outcomes):
-            value, cached, failure = outcome
+            value, cached, fkind, ftext = outcome
             for pending in waiters:
                 if pending.future.done():
                     continue  # its client already timed out
-                if failure is not None:
-                    pending.future.set_exception(RuntimeError(failure))
+                if ftext is not None:
+                    pending.future.set_result(("fail", fkind, ftext))
                 else:
-                    pending.future.set_result((value, cached))
+                    pending.future.set_result(("ok", value, cached))
 
     # -- health ----------------------------------------------------------
 
@@ -465,6 +815,15 @@ class ImageService:
                 "last": s.last_fault,
                 "last_blame": s.last_blame,
             },
+            "window": self._window.snapshot(),
+            "resilience": {
+                "admission": self._admission.snapshot(),
+                "overloaded": s.overloaded,
+                "retries": s.retries,
+                "degraded": s.degraded,
+                "pool_rebuilds": s.pool_rebuilds,
+                "breaker": self._breaker.snapshot(),
+            },
         }
 
 
@@ -472,13 +831,20 @@ def _execute_group(
     payloads: list[dict],
     digests: list[str],
     cache: ResultCache | None,
-) -> list[tuple[Any, bool, str | None]]:
+    jobs: int = 1,
+    retries: int = 0,
+) -> tuple[list[tuple[Any, bool, str | None, str | None]], int]:
     """Run one compatible group through an :class:`ExperimentRunner`.
 
-    Runs in a worker thread.  Returns ``(value, cached, failure)`` per
-    payload, in order; a failure is the formatted ``TaskFailure`` text
-    (the task's own structured child traceback), never an exception,
-    so one bad request cannot poison its batch-mates.
+    Runs in a worker thread.  Returns ``(outcomes, pool_rebuilds)``
+    where each outcome is ``(value, cached, failure_kind,
+    failure_text)`` per payload, in order; a failure is the formatted
+    :class:`~repro.exec.runner.TaskFailure` text plus its kind (the
+    dispatch side retries ``broken-pool``), never an exception, so one
+    bad request cannot poison its batch-mates.  With ``jobs >= 2`` the
+    group fans out over a process pool; a worker death is contained by
+    the runner (pool rebuilt, survivors replayed up to ``retries``
+    times) and reported through ``pool_rebuilds``.
     """
     tasks = []
     for payload, digest in zip(payloads, digests):
@@ -490,12 +856,12 @@ def _execute_group(
         tasks.append(
             TaskSpec(key=f"serve/{payload.get('kind')}/{digest}", fn=fn, args=(payload,))
         )
-    runner = ExperimentRunner(jobs=1, cache=cache)
+    runner = ExperimentRunner(jobs=jobs, retries=retries, cache=cache)
     results = runner.run(tasks, strict=False)
-    out: list[tuple[Any, bool, str | None]] = []
+    out: list[tuple[Any, bool, str | None, str | None]] = []
     for res in results:
         if res.ok:
-            out.append((res.value, res.cached, None))
+            out.append((res.value, res.cached, None, None))
         else:
-            out.append((None, False, res.failure.format()))
-    return out
+            out.append((None, False, res.failure.kind, res.failure.format()))
+    return out, runner.stats.pool_rebuilds

@@ -130,6 +130,34 @@ def form_image_streaming(
     }
 
 
+def _maybe_chaos_kill(payload: dict) -> None:
+    """Chaos hook: the first ``fail_times`` claimants of a marker die.
+
+    Each kill claims one ``<marker>.<n>`` slot with ``O_CREAT|O_EXCL``
+    (atomic even across concurrent worker processes) and then SIGKILLs
+    itself -- the hardest worker death there is, indistinguishable from
+    a segfault to the pool.  Once every slot is claimed the payload
+    computes normally, so a retried/replayed request heals
+    deterministically.  The service only routes marker-carrying
+    requests here when booted with ``allow_chaos`` *and* a real
+    process pool (``group_jobs >= 2``); otherwise the kill would take
+    the server itself down.
+    """
+    marker = payload.get("fail_marker")
+    if not marker:
+        return
+    import os
+    import signal
+
+    for n in range(int(payload.get("fail_times", 1))):
+        try:
+            fd = os.open(f"{marker}.{n}", os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
 def profile_kernel(payload: dict) -> dict:
     """Run a kernel timing model on a registry backend spec.
 
@@ -142,6 +170,7 @@ def profile_kernel(payload: dict) -> dict:
     """
     from repro.machine.backends import get_machine
 
+    _maybe_chaos_kill(payload)
     t0 = time.perf_counter()
     machine = get_machine(payload["backend"])
     try:

@@ -29,6 +29,22 @@ plan + seed is a reproducer, not a flake.
 Plans are generated deterministically from ``(seed, case index)`` via
 :func:`~repro.exec.seeding.derive_seed` -- no RNG state, so the case
 set is identical across processes and ``--jobs`` levels.
+
+``python -m repro verify --chaos-serve N`` extends the contract to the
+serving tier (:func:`run_chaos_serve_case`): each case boots a real
+:class:`~repro.serve.service.ImageService` (real sockets, process-pool
+groups, chaos hooks armed) and drives a scripted adversarial scenario
+-- injected stalls on ``event:*`` specs, SIGKILLed workers via
+``fail_marker``, a guaranteed deadline miss, an admission-control
+burst, and an in-flight request at shutdown.  The gate asserts the
+containment contract end-to-end: every request gets exactly one
+terminal response and every terminal is structured (``result``, a
+contained-fault code, ``deadline``, ``overloaded`` or ``broken-pool``);
+cached and degraded responses are byte-flagged, never byte-wrong; the
+circuit breaker's trips and recoveries surface in ``health``; a clean
+shutdown drains in-flight work; and the whole scenario replays
+decision-identically from the same seed (fresh server, fresh cache,
+same admission/retry/degradation decisions).
 """
 
 from __future__ import annotations
@@ -52,8 +68,10 @@ from repro.verify.tolerance import Check
 __all__ = [
     "CHAOS_BACKENDS",
     "chaos_cell",
+    "chaos_serve_cell",
     "random_plan",
     "run_chaos_case",
+    "run_chaos_serve_case",
 ]
 
 CHAOS_BACKENDS = ("event", "analytic")
@@ -358,4 +376,459 @@ def chaos_cell(backend: str, cases: Sequence[int], seed: int) -> list[Check]:
     checks: list[Check] = []
     for case in cases:
         checks.extend(run_chaos_case(backend, case, seed))
+    return checks
+
+
+# -- serve-level chaos --------------------------------------------------------
+
+CHAOS_SERVE_STALL_PLAN = "link:(0,0)->(0,1)@p=1:stall=500000"
+"""The degradation pivot of the serve scenario: on ``event:*`` this
+plan stalls the autofocus pipeline's first channel (watchdog blame);
+on the ``analytic:*`` substitute the watchdog is never armed and the
+run completes -- so a tripped breaker has a real, deterministic
+degraded path to offer."""
+
+TERMINAL_TYPES = ("result", "error", "health", "ok")
+"""Frame types that terminate one request on the wire."""
+
+STRUCTURED_SERVE_CODES = ("fault", "stall", "deadlock", "deadline", "overloaded", "broken-pool")
+"""Every error code the serve containment contract permits."""
+
+
+def _serve_record(frame: dict, minimal: bool = False) -> dict:
+    """The decision-relevant projection of one terminal frame.
+
+    Everything nondeterministic (elapsed times, retry-after hints,
+    failure text carrying temp paths) is excluded; everything that
+    encodes a *decision* -- outcome type/code, cache/degraded flags,
+    retry count, result bytes (sha256) and model outputs (cycles) --
+    is kept, so two same-seed executions must match byte-for-byte.
+    ``minimal`` drops the cache flag for requests whose batching
+    window (and hence coalesce-vs-cache-hit) is timing-dependent.
+    """
+    rec: dict = {
+        "id": frame.get("id"),
+        "type": frame.get("type"),
+        "code": frame.get("code"),
+    }
+    if not minimal:
+        rec.update(
+            cached=bool(frame.get("cached", False)),
+            degraded=bool(frame.get("degraded", False)),
+            degraded_to=frame.get("degraded_to"),
+            retries=frame.get("retries"),
+            outcome=frame.get("outcome"),
+            cycles=frame.get("cycles"),
+        )
+    if frame.get("image"):
+        rec["sha256"] = frame["image"].get("sha256")
+    return rec
+
+
+class _ServeClient:
+    """One scripted client connection against the scenario service."""
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, port: int) -> "_ServeClient":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def send(self, obj: dict) -> None:
+        from repro.serve.protocol import encode_frame
+
+        self.writer.write(encode_frame(obj))
+        await self.writer.drain()
+
+    async def read_terminal(self) -> dict:
+        """Next terminal frame (``partial`` streaming frames skipped)."""
+        import asyncio
+
+        from repro.serve.protocol import read_frame
+
+        while True:
+            frame = await asyncio.wait_for(read_frame(self.reader), timeout=30.0)
+            if frame is None:
+                raise ConnectionError("connection closed before a terminal frame")
+            if frame.get("type") in TERMINAL_TYPES:
+                return frame
+
+    async def request(self, obj: dict) -> dict:
+        await self.send(obj)
+        return await self.read_terminal()
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _drive_chaos_serve(case: int, seed: int, tmpdir: str) -> dict:
+    """One scripted execution of the serve chaos scenario.
+
+    Returns ``{"records": [...], "health": {...}, "drained": ...,
+    "burst_overloaded": N}`` -- the canonical decision trace a
+    same-seed rerun must reproduce exactly.
+    """
+    import asyncio
+    import os
+
+    from repro.serve.service import ImageService, ServeSettings
+
+    settings = ServeSettings(
+        port=0,
+        workers=2,
+        batch_window_ms=1.0,
+        cache_dir=os.path.join(tmpdir, "cache"),
+        max_inflight=8,
+        max_connection_inflight=2,
+        max_retries=1,
+        retry_backoff_ms=2.0,
+        breaker_window=4,
+        breaker_failures=2,
+        breaker_cooldown=2,
+        group_jobs=2,
+        group_retries=1,
+        allow_chaos=True,
+        resilience_seed=seed,
+    )
+    service = ImageService(settings)
+    await service.start()
+    server_task = asyncio.create_task(service.serve_until_shutdown())
+    records: list[dict] = []
+
+    # Per-case variation, all pure in (seed, case).
+    img_seed = _draw(seed, case, "serve/img_seed", 1_000_000)
+    # FFBP needs a power-of-two aperture: 16 or 32 pulses per case.
+    pulses = 16 << _draw(seed, case, "serve/pulses", 2)
+    burst_extra = 2 + _draw(seed, case, "serve/burst", 3)
+    plan_seed = _draw(seed, case, "serve/plan_seed", 1_000_000)
+    stall_spec = (
+        f"faulty({CHAOS_SERVE_STALL_PLAN}; seed={plan_seed}):event:e16"
+    )
+    image = {
+        "kind": "image",
+        "pulses": pulses,
+        "ranges": pulses + 1,
+        "noise_seed": img_seed,
+    }
+    stall_profile = {
+        "kind": "profile",
+        "backend": stall_spec,
+        "kernel": "autofocus",
+        "watchdog": 5000,
+    }
+    ffbp_profile = {"kind": "profile", "kernel": "ffbp", "pulses": 16, "ranges": 17}
+
+    try:
+        main = await _ServeClient.connect(service.port)
+
+        # A. response cache: cold compute, then a byte-flagged repeat.
+        records.append(_serve_record(await main.request({**image, "id": "a0"})))
+        records.append(_serve_record(await main.request({**image, "id": "a1"})))
+
+        # B. guaranteed deadline miss (budget far below the batch window).
+        records.append(
+            _serve_record(
+                await main.request(
+                    {**image, "id": "a2", "noise_seed": img_seed + 1,
+                     "deadline_ms": 0.001}
+                )
+            )
+        )
+
+        # C. breaker trip on the stall spec: two contained stalls open
+        # it, two requests degrade onto the analytic substitute, the
+        # probe re-stalls and re-trips.
+        for rid in ("f0", "f1", "f2", "f3", "f4"):
+            records.append(
+                _serve_record(await main.request({**stall_profile, "id": rid}))
+            )
+
+        # D. pool self-healing: a worker SIGKILL healed inside the
+        # runner (h0), then one that exhausts the runner budget and
+        # heals on the serve-level retry (h1).
+        records.append(
+            _serve_record(
+                await main.request(
+                    {**ffbp_profile, "id": "h0", "backend": "analytic:e16",
+                     "fail_marker": os.path.join(tmpdir, "m0"),
+                     "fail_times": 1}
+                )
+            )
+        )
+        records.append(
+            _serve_record(
+                await main.request(
+                    {**ffbp_profile, "id": "h1", "backend": "analytic:e16",
+                     "fail_marker": os.path.join(tmpdir, "m1"),
+                     "fail_times": 2}
+                )
+            )
+        )
+
+        # E. breaker trip via repeated broken pools on event:e16 (kills
+        # outlast every retry), then cooldown degrades, then a clean
+        # probe recovers the breaker.
+        for rid, marker in (("t0", "m2"), ("t1", "m3")):
+            records.append(
+                _serve_record(
+                    await main.request(
+                        {**ffbp_profile, "id": rid, "backend": "event:e16",
+                         "fail_marker": os.path.join(tmpdir, marker),
+                         "fail_times": 4}
+                    )
+                )
+            )
+        for rid in ("r0", "r1", "r2", "r3"):
+            records.append(
+                _serve_record(
+                    await main.request(
+                        {**ffbp_profile, "id": rid, "backend": "event:e16"}
+                    )
+                )
+            )
+
+        # F. admission burst: one connection pipelines more work than
+        # its in-flight cap; the excess must be rejected *immediately*
+        # with structured overloaded answers while the admitted two
+        # compute to results.
+        burst = await _ServeClient.connect(service.port)
+        burst_n = 2 + burst_extra
+        for i in range(burst_n):
+            await burst.send(
+                {**image, "id": f"b{i}", "noise_seed": img_seed + 2}
+            )
+        burst_frames = [await burst.read_terminal() for _ in range(burst_n)]
+        by_id = {f.get("id"): f for f in burst_frames}
+        duplicate_free = len(by_id) == burst_n
+        burst_overloaded = sum(
+            1 for f in burst_frames if f.get("code") == "overloaded"
+        )
+        for bid in sorted(by_id):
+            records.append(_serve_record(by_id[bid], minimal=True))
+        # The next frame on this connection must answer *health* -- a
+        # duplicate terminal for b* would surface here as a wrong id.
+        probe = await burst.request({"id": "bh", "kind": "health"})
+        duplicate_free = duplicate_free and probe.get("id") == "bh"
+        await burst.close()
+
+        # G. health snapshot: the breaker/retry/admission decisions.
+        health = await main.request({"id": "hh", "kind": "health"})
+        res = health.get("resilience", {})
+        health_decisions = {
+            "served": health.get("served"),
+            "errors": health.get("errors"),
+            "deadline_misses": health.get("deadline_misses"),
+            "contained": (health.get("faults") or {}).get("contained"),
+            "stalls": (health.get("faults") or {}).get("stalls"),
+            "overloaded": res.get("overloaded"),
+            "retries": res.get("retries"),
+            "degraded": res.get("degraded"),
+            "pool_rebuilds": res.get("pool_rebuilds"),
+            "breaker_trips": (res.get("breaker") or {}).get("trips"),
+            "breaker_recoveries": (res.get("breaker") or {}).get("recoveries"),
+        }
+
+        # H. shutdown drain: an in-flight image must still get its
+        # terminal result, then the connection sees a clean EOF.
+        drainer = await _ServeClient.connect(service.port)
+        await drainer.send(
+            {**image, "id": "d0", "noise_seed": img_seed + 3}
+        )
+        await asyncio.sleep(0.05)  # let the server admit d0
+        shut = await main.request({"id": "sd", "kind": "shutdown"})
+        drained_frame = await drainer.read_terminal()
+        from repro.serve.protocol import read_frame
+
+        eof = await asyncio.wait_for(read_frame(drainer.reader), timeout=30.0)
+        records.append(_serve_record(drained_frame, minimal=True))
+        await drainer.close()
+        await main.close()
+        await asyncio.wait_for(server_task, timeout=30.0)
+        return {
+            "records": records,
+            "health": health_decisions,
+            "burst_overloaded": burst_overloaded,
+            "duplicate_free": duplicate_free,
+            "shutdown_ok": shut.get("type") == "ok",
+            "drained": drained_frame.get("type"),
+            "drain_eof": eof is None,
+        }
+    finally:
+        server_task.cancel()
+        await service.close()
+
+
+def run_chaos_serve_case(case: int, seed: int) -> list[Check]:
+    """Run one serve-level chaos case; return its contract checks.
+
+    The scripted scenario executes **twice** against fresh servers and
+    caches; beyond the per-execution containment checks, the two
+    decision traces must be byte-identical.
+    """
+    import asyncio
+    import tempfile
+
+    prefix = f"chaos-serve/{case}"
+    t0 = time.perf_counter()
+    outs = []
+    try:
+        for _ in range(2):
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-serve-") as tmp:
+                outs.append(asyncio.run(_drive_chaos_serve(case, seed, tmp)))
+    except Exception as exc:  # the forbidden outcome: an unstructured crash
+        return [
+            Check(
+                name=f"{prefix}.contained",
+                passed=False,
+                note=f"scenario escaped containment: {type(exc).__name__}: {exc}",
+            )
+        ]
+    elapsed = time.perf_counter() - t0
+    first, second = outs
+    checks: list[Check] = []
+
+    bad_terminals = [
+        r for r in first["records"]
+        if not (
+            r["type"] == "result"
+            or (r["type"] == "error" and r["code"] in STRUCTURED_SERVE_CODES)
+        )
+    ]
+    checks.append(
+        Check(
+            name=f"{prefix}.contained",
+            passed=not bad_terminals,
+            note=(
+                "every terminal is a result or a structured error; "
+                f"violations: {bad_terminals[:3]}"
+            ),
+        )
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.exactly-once",
+            passed=bool(first["duplicate_free"] and second["duplicate_free"]),
+            note="one terminal response per request id, even under burst",
+        )
+    )
+
+    by_id = {r["id"]: r for r in first["records"]}
+    a0, a1 = by_id.get("a0", {}), by_id.get("a1", {})
+    cache_ok = (
+        a0.get("type") == "result"
+        and a1.get("type") == "result"
+        and a1.get("cached") is True
+        and a0.get("sha256") == a1.get("sha256") is not None
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.cache-byte-identical",
+            passed=cache_ok,
+            note="repeat request served from cache with identical bytes",
+        )
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.deadline",
+            passed=by_id.get("a2", {}).get("code") == "deadline",
+            note="a sub-window deadline converts to a structured miss",
+        )
+    )
+    degraded_ok = all(
+        by_id.get(rid, {}).get("type") == "result"
+        and by_id.get(rid, {}).get("degraded") is True
+        and "analytic" in (by_id.get(rid, {}).get("degraded_to") or "")
+        for rid in ("f2", "f3", "r0", "r1")
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.degraded-flagged",
+            passed=degraded_ok,
+            note=(
+                "breaker-tripped requests answer on the analytic substitute "
+                "and are flagged degraded"
+            ),
+        )
+    )
+    heal_ok = (
+        by_id.get("h0", {}).get("type") == "result"
+        and by_id.get("h1", {}).get("type") == "result"
+        and by_id.get("h1", {}).get("retries") == 1
+        and by_id.get("r2", {}).get("type") == "result"
+        and by_id.get("r2", {}).get("degraded") is False
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.pool-heals",
+            passed=heal_ok,
+            note=(
+                "SIGKILLed workers heal (in-runner and via serve retry) and "
+                "the probe recovers the real backend"
+            ),
+        )
+    )
+    h = first["health"]
+    health_ok = (
+        (h.get("breaker_trips") or 0) >= 3
+        and (h.get("breaker_recoveries") or 0) >= 1
+        and (h.get("retries") or 0) >= 1
+        and (h.get("pool_rebuilds") or 0) >= 1
+        and h.get("overloaded") == first["burst_overloaded"] >= 1
+        and (h.get("degraded") or 0) >= 4
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.health-observability",
+            passed=health_ok,
+            note=f"breaker/retry/admission decisions surface in health: {h}",
+        )
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.shutdown-drains",
+            passed=bool(
+                first["shutdown_ok"]
+                and first["drained"] == "result"
+                and first["drain_eof"]
+            ),
+            note=(
+                "an in-flight request at shutdown still gets its result, "
+                "then a clean EOF"
+            ),
+        )
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.decision-identical",
+            passed=_canonical(first) == _canonical(second),
+            note=(
+                "same seed, fresh server: identical admission/retry/"
+                "degradation decisions and identical result bytes"
+            ),
+        )
+    )
+    checks.append(
+        Check(
+            name=f"{prefix}.bounded",
+            passed=elapsed < 60.0,
+            note=f"{elapsed:.2f}s wall for two executions",
+        )
+    )
+    return checks
+
+
+def chaos_serve_cell(cases: Sequence[int], seed: int) -> list[Check]:
+    """Gate cell: a chunk of serve-level chaos cases (picklable)."""
+    checks: list[Check] = []
+    for case in cases:
+        checks.extend(run_chaos_serve_case(case, seed))
     return checks

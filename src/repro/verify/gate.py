@@ -163,6 +163,12 @@ def _chaos_cell(backend: str, case_range: tuple[int, int], seed: int) -> list[Ch
     return chaos_cell(backend, range(*case_range), seed)
 
 
+def _chaos_serve_cell(case_range: tuple[int, int], seed: int) -> list[Check]:
+    from repro.verify.chaos import chaos_serve_cell
+
+    return chaos_serve_cell(range(*case_range), seed)
+
+
 def run_verify(
     quick: bool = True,
     update: bool = False,
@@ -176,6 +182,7 @@ def run_verify(
     verbose: bool = False,
     jobs: int = 1,
     chaos_cases: int = 0,
+    chaos_serve_cases: int = 0,
 ) -> int:
     """Run the conformance gate; returns a process exit status.
 
@@ -190,6 +197,11 @@ def run_verify(
     against the containment contract (:mod:`repro.verify.chaos`).
     Chaos plans derive from ``(seed, case)`` alone, so the case set --
     and every outcome record -- is identical at any jobs level too.
+    ``chaos_serve_cases > 0`` adds the serve-level chaos gate: each
+    case boots a real :class:`~repro.serve.service.ImageService` and
+    drives the scripted adversarial scenario of
+    :func:`~repro.verify.chaos.run_chaos_serve_case` twice, asserting
+    end-to-end containment and decision-identity.
     """
     from repro.machine.backends import available_backends, get_machine
 
@@ -291,6 +303,17 @@ def run_verify(
                     _chaos_cell,
                     (backend, (lo, hi), seed),
                 )
+
+    # -- 5. serve-level chaos gate (opt-in) -----------------------------
+    if chaos_serve_cases > 0:
+        for lo in range(0, chaos_serve_cases, CHAOS_CHUNK):
+            hi = min(lo + CHAOS_CHUNK, chaos_serve_cases)
+            cell(
+                f"chaos-serve/{seed}/{lo}-{hi}",
+                "chaos-serve",
+                _chaos_serve_cell,
+                ((lo, hi), seed),
+            )
 
     runner = ExperimentRunner(jobs=jobs, root_seed=seed)
     results = runner.run(tasks)

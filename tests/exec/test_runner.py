@@ -40,6 +40,24 @@ def _exit_hard():
     os._exit(13)  # simulate a segfaulting worker
 
 
+def _sigkill_self():
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)  # harder than os._exit: no cleanup
+
+
+def _sigkill_until_marked(marker, payload):
+    """SIGKILL the worker once (claiming ``marker``), then compute."""
+    import signal
+
+    try:
+        fd = os.open(f"{marker}", os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return payload * payload
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _flaky(counter_path, needed):
     """Fail until the attempt counter file reaches ``needed``."""
     n = int(counter_path.read_text()) if counter_path.exists() else 0
@@ -150,7 +168,28 @@ class TestFailures:
         )
         assert results[0].failure is not None
         assert results[0].failure.kind == "broken-pool"
-        # The pool is rebuilt / the sibling completes either way.
+        # With no retry budget the sibling either finished before the
+        # pool broke or was collateral damage -- but collateral damage
+        # must be the *structured* broken-pool kind, never a raw
+        # BrokenProcessPool escaping the runner.
+        if results[1].ok:
+            assert results[1].value == 16
+        else:
+            assert results[1].failure.kind == "broken-pool"
+
+    def test_dead_worker_sibling_recovers_with_retry_budget(self):
+        runner = ExperimentRunner(jobs=2, retries=1, cache=None)
+        results = runner.run(
+            [
+                TaskSpec(key="die", fn=_exit_hard),
+                TaskSpec(key="ok", fn=_square, args=(4,)),
+            ],
+            strict=False,
+        )
+        # The culprit dies every attempt; the innocent sibling must
+        # come back on the rebuilt pool even if the break caught it.
+        assert results[0].failure is not None
+        assert results[0].failure.kind == "broken-pool"
         assert results[1].ok and results[1].value == 16
 
     @pytest.mark.parametrize("jobs", [1, 2])
@@ -174,6 +213,55 @@ class TestFailures:
         assert not res.ok
         assert res.failure.attempts == 2
         assert "flaky attempt 2" in res.failure.message
+
+    def test_sigkill_is_structured_broken_pool_with_history(self):
+        """A SIGKILLed worker -- the closest stand-in for a segfault --
+        must surface as a structured broken-pool TaskFailure with its
+        attempt history, never as a raw BrokenProcessPool escape."""
+        runner = ExperimentRunner(jobs=2, cache=None)
+        (res,) = runner.run(
+            [TaskSpec(key="die", fn=_sigkill_self)], strict=False
+        )
+        assert not res.ok
+        failure = res.failure
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "broken-pool"
+        assert failure.history  # every attempt accounted for
+        assert all("broken-pool" in entry for entry in failure.history)
+        assert "die" in failure.format()
+        assert runner.stats.pool_rebuilds >= 1
+
+    def test_sigkill_retry_heals_pool_and_recovers(self, tmp_path):
+        """A retry after a worker SIGKILL must run on a *fresh* pool
+        and recover -- the self-healing contract the serving tier's
+        replay path builds on."""
+        marker = tmp_path / "kill-once"
+        runner = ExperimentRunner(jobs=2, retries=1, cache=None)
+        (res,) = runner.run(
+            [
+                TaskSpec(
+                    key="heal", fn=_sigkill_until_marked, args=(marker, 6)
+                )
+            ]
+        )
+        assert res.ok and res.value == 36
+        assert res.attempts == 2
+        assert runner.stats.pool_rebuilds == 1
+
+    def test_healed_runner_reruns_byte_identically(self, tmp_path):
+        """After a broken-pool failure, subsequent submissions on the
+        same runner succeed and match a never-broken runner exactly."""
+        clean = ExperimentRunner(jobs=2, cache=None).run(_tasks(4))
+        runner = ExperimentRunner(jobs=2, cache=None)
+        (dead,) = runner.run(
+            [TaskSpec(key="die", fn=_sigkill_self)], strict=False
+        )
+        assert dead.failure is not None
+        assert dead.failure.kind == "broken-pool"
+        healed = runner.run(_tasks(4))
+        assert all(r.ok for r in healed)
+        assert [r.value for r in healed] == [r.value for r in clean]
+        assert [r.key for r in healed] == [r.key for r in clean]
 
 
 # -- caching ----------------------------------------------------------------

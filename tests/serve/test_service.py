@@ -374,3 +374,214 @@ class TestLifecycle:
             ServeSettings(batch_window_ms=-1)
         with pytest.raises(ValueError):
             ServeSettings(max_frame_bytes=16)
+        with pytest.raises(ValueError):
+            ServeSettings(max_inflight=0)
+        with pytest.raises(ValueError):
+            ServeSettings(max_retries=-1)
+        with pytest.raises(ValueError):
+            # A chaos kill on an inline (jobs=1) group would take the
+            # server itself down -- rejected at construction.
+            ServeSettings(allow_chaos=True, group_jobs=1)
+
+
+STALL_SPEC = "faulty(link:(0,0)->(0,1)@p=1:stall=500000):event:e16"
+STALL_PROFILE = {
+    "kind": "profile",
+    "backend": STALL_SPEC,
+    "kernel": "autofocus",
+    "watchdog": 5000,
+}
+
+
+class TestResilience:
+    def test_budget_exhaustion_is_structured_overloaded(self):
+        async def scenario(service):
+            r1, w1 = await asyncio.open_connection("127.0.0.1", service.port)
+            r2, w2 = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                # First request parks in the long batch window holding
+                # the only admission slot ...
+                w1.write(encode_frame({**IMG, "id": "slow"}))
+                await w1.drain()
+                await asyncio.sleep(0.05)
+                # ... so the second is rejected immediately.
+                rejected, _ = await send_recv(r2, w2, {**IMG, "id": "rej"})
+                admitted = await read_until_terminal(r1)
+                health, _ = await one_shot(service, {"kind": "health", "id": "h"})
+                return rejected, admitted, health
+            finally:
+                for w in (w1, w2):
+                    w.close()
+                    await w.wait_closed()
+
+        rejected, admitted, health = service_test(
+            scenario, max_inflight=1, batch_window_ms=300.0
+        )
+        assert rejected["type"] == "error"
+        assert rejected["code"] == "overloaded"
+        assert rejected["retry_after_ms"] > 0
+        assert admitted["type"] == "result"  # the admitted one completes
+        assert health["resilience"]["overloaded"] == 1
+        assert health["resilience"]["admission"]["rejected"] == 1
+
+    def test_per_connection_cap_rejects_pipelined_excess(self):
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            try:
+                for rid in ("p0", "p1"):
+                    writer.write(encode_frame({**IMG, "id": rid}))
+                await writer.drain()
+                frames = [await read_until_terminal(reader) for _ in range(2)]
+                return {f["id"]: f for f in frames}
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        by_id = service_test(
+            scenario, max_connection_inflight=1, batch_window_ms=300.0
+        )
+        assert by_id["p0"]["type"] == "result"
+        assert by_id["p1"]["code"] == "overloaded"
+
+    def test_chaos_marker_requires_allow_chaos(self, tmp_path):
+        async def scenario(service):
+            frame, _ = await one_shot(
+                service,
+                {
+                    "kind": "profile",
+                    "id": "c",
+                    "backend": "analytic:e16",
+                    "fail_marker": str(tmp_path / "m"),
+                },
+            )
+            return frame
+
+        frame = service_test(scenario)  # allow_chaos defaults off
+        assert frame["type"] == "error"
+        assert frame["code"] == "bad-request"
+
+    def test_serve_retry_heals_a_broken_pool(self, tmp_path):
+        async def scenario(service):
+            frame, _ = await one_shot(
+                service,
+                {
+                    "kind": "profile",
+                    "id": "k",
+                    "backend": "analytic:e16",
+                    "pulses": 16,
+                    "ranges": 17,
+                    "fail_marker": str(tmp_path / "m"),
+                    "fail_times": 1,
+                },
+            )
+            health, _ = await one_shot(service, {"kind": "health", "id": "h"})
+            return frame, health
+
+        frame, health = service_test(
+            scenario,
+            allow_chaos=True,
+            group_jobs=2,
+            group_retries=0,
+            max_retries=1,
+            retry_backoff_ms=2.0,
+        )
+        assert frame["type"] == "result"
+        assert frame["cycles"] > 0
+        assert frame["retries"] == 1  # healed by the serve-level replay
+        assert health["resilience"]["retries"] == 1
+        assert health["resilience"]["pool_rebuilds"] >= 1
+
+    def test_exhausted_retries_surface_structured_broken_pool(self, tmp_path):
+        async def scenario(service):
+            frame, _ = await one_shot(
+                service,
+                {
+                    "kind": "profile",
+                    "id": "k",
+                    "backend": "analytic:e16",
+                    "pulses": 16,
+                    "ranges": 17,
+                    "fail_marker": str(tmp_path / "m"),
+                    "fail_times": 8,  # outlasts every retry layer
+                },
+            )
+            return frame
+
+        frame = service_test(
+            scenario,
+            allow_chaos=True,
+            group_jobs=2,
+            group_retries=0,
+            max_retries=1,
+            retry_backoff_ms=2.0,
+        )
+        assert frame["type"] == "error"
+        assert frame["code"] == "broken-pool"
+        assert frame["retries"] == 1
+
+    def test_breaker_degrades_event_requests_after_trip(self):
+        async def scenario(service):
+            tripping, _ = await one_shot(service, {**STALL_PROFILE, "id": "t"})
+            degraded, _ = await one_shot(service, {**STALL_PROFILE, "id": "d"})
+            health, _ = await one_shot(service, {"kind": "health", "id": "h"})
+            return tripping, degraded, health
+
+        tripping, degraded, health = service_test(
+            scenario, breaker_window=4, breaker_failures=1, breaker_cooldown=4
+        )
+        assert tripping["code"] == "stall"
+        # Post-trip the same spec answers on the analytic substitute.
+        assert degraded["type"] == "result"
+        assert degraded["degraded"] is True
+        assert degraded["degraded_to"].endswith(":analytic:e16")
+        breaker = health["resilience"]["breaker"]
+        assert breaker["trips"] == 1
+        assert health["resilience"]["degraded"] == 1
+        assert health["window"]["events"].get("degraded") == 1
+
+    def test_health_window_and_resilience_shape(self):
+        async def scenario(service):
+            await one_shot(service, {**IMG, "id": "w"})
+            frame, _ = await one_shot(service, {"kind": "health", "id": "h"})
+            return frame
+
+        frame = service_test(scenario)
+        window = frame["window"]
+        assert window["horizon_s"] > 0
+        assert window["events"].get("served") == 1
+        assert window["per_s"]["served"] > 0
+        res = frame["resilience"]
+        assert res["admission"]["budget"] >= 1
+        assert res["breaker"]["trips"] == 0
+        assert set(res) >= {
+            "admission",
+            "overloaded",
+            "retries",
+            "degraded",
+            "pool_rebuilds",
+            "breaker",
+        }
+
+    def test_streaming_deadline_message_uses_effective_deadline(self):
+        async def scenario(service):
+            frame, _ = await one_shot(
+                service, {**IMG, "id": "sd", "stream": True}
+            )
+            return frame
+
+        # Only the *settings-level* default applies; the message must
+        # report that value, never "None ms".
+        frame = service_test(scenario, default_deadline_ms=0.001)
+        assert frame["code"] == "deadline"
+        assert "0.001 ms" in frame["detail"]
+        assert "None" not in frame["detail"]
+
+
+async def read_until_terminal(reader):
+    while True:
+        frame = await read_frame(reader, 1 << 20)
+        assert frame is not None, "server closed mid-request"
+        if frame.get("type") != "partial":
+            return frame
