@@ -335,6 +335,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         backends=backends,
         repeats=args.repeats,
         fabric_backends=fabric_backends,
+        replay=args.replay,
     )
     text = json.dumps(doc, indent=2, sort_keys=True)
     if args.out:
@@ -733,6 +734,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="F1,F2",
         help="comma-separated fabric specs for the sharded-FFBP rows; "
         "empty string skips them (default: %(default)s)",
+    )
+    p.add_argument(
+        "--replay",
+        action="store_true",
+        help="add trace-compiled replay(event:e16) rows: one capture "
+        "warms the compiled-schedule cache, then cache hits are timed "
+        "(speedup_vs_cold is informational, not gated)",
     )
     p.set_defaults(fn=cmd_bench)
 

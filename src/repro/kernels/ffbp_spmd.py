@@ -55,6 +55,8 @@ def ffbp_spmd_kernel(plan: FfbpPlan, n_cores: int, interpolation: str = "nearest
     blocks are memoised and frozen, so per-row lookups reduce to list
     indexing on both backends.
     """
+    from repro.replay.fingerprint import UNCACHEABLE, fingerprint_value
+
     stage_rows = []
     for stage in plan.stages:
         row_bytes = stage.n_ranges * COMPLEX_BYTES
@@ -99,6 +101,16 @@ def ffbp_spmd_kernel(plan: FfbpPlan, n_cores: int, interpolation: str = "nearest
             # Merge iterations are bulk-synchronous: the next stage
             # reads this stage's output from external memory.
             yield from ctx.barrier()
+
+    # Everything the generator's behaviour depends on beyond source
+    # code (which the memo layer's code_version covers) is the plan,
+    # the core count and the interpolation mode: declare that as the
+    # replay fingerprint so the cache key walk is O(plan), not
+    # O(op-stream).  The verify gate's byte-identity oracles are the
+    # backstop should this declaration ever go stale.
+    plan_fp = fingerprint_value(plan)
+    if plan_fp is not UNCACHEABLE:
+        kernel.__replay_fp__ = ("ffbp-spmd", plan_fp, n_cores, interpolation)
 
     return kernel
 

@@ -38,6 +38,19 @@ given fault plan (see :mod:`repro.faults.plan` for the grammar)::
     get_machine("faulty(dma:3:corrupt-word; seed=7):analytic:e16")
     get_machine("faulty():e64")     # empty plan -> pure pass-through
 
+``replay(<inner-spec>)`` wraps the inner backend in a
+:class:`~repro.replay.machine.ReplayMachine`: the first run of an
+event-chip equivalence class is captured, later identical runs replay
+the compiled schedule byte-identically (see :mod:`repro.replay`)::
+
+    get_machine("replay(event:e16)")    # trace-compiled event chip
+    get_machine("replay:e16")           # bare form, same machine
+    get_machine("replay(analytic:e16)") # legal; pure pass-through
+
+Non-chip inners (analytic, fabrics, ``faulty(...)`` wrappers) pass
+through untouched, and fault plans anywhere in a program's closures
+make the run uncacheable -- chaos semantics never come from a cache.
+
 New backends register with :func:`register_backend`; the CLI and the
 eval drivers (`--backend`) pass user strings straight to
 :func:`get_machine`, so a registered backend is immediately usable
@@ -227,6 +240,33 @@ def _split_faulty(token: str) -> tuple[str, str]:
     )
 
 
+def _split_replay(token: str) -> str:
+    """Split ``replay(<inner-spec>)`` into the inner spec string.
+
+    The inner spec may itself contain parentheses (a fabric, a
+    ``faulty(...)`` wrapper), so the closing paren is matched by
+    depth.  Nothing may trail the wrapper.
+    """
+    depth = 0
+    for i, ch in enumerate(token):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                rest = token[i + 1 :]
+                if rest:
+                    raise ValueError(
+                        f"trailing {rest!r} after replay spec {token!r}; "
+                        f"expected 'replay(<backend>[:<spec>])'"
+                    )
+                return token[len("replay(") : i]
+    raise ValueError(
+        f"unbalanced parentheses in replay spec {token!r}; expected "
+        f"'replay(<backend>[:<spec>])'"
+    )
+
+
 def resolve_backend(name: str = "") -> tuple[BackendFactory, EpiphanySpec]:
     """Split a ``[backend][:spec]`` string into (factory, base spec).
 
@@ -252,6 +292,18 @@ def resolve_backend(name: str = "") -> tuple[BackendFactory, EpiphanySpec]:
             return FaultyMachine(_f(s), plan)
 
         return _faulty, spec
+    if token.startswith("replay("):
+        from repro.replay.machine import ReplayMachine
+
+        inner = _split_replay(token)
+        inner_factory, spec = resolve_backend(inner)
+
+        def _replay_wrap(
+            s: EpiphanySpec, _f: BackendFactory = inner_factory
+        ) -> Machine:
+            return ReplayMachine(_f(s))
+
+        return _replay_wrap, spec
     bare = False
     if ":" in token:
         backend_name, _, spec_token = token.partition(":")
@@ -328,8 +380,14 @@ def _register_builtins() -> None:
             return FabricMachine(spec, AnalyticMachine)
         return AnalyticMachine(spec)
 
+    def _replay(spec: MachineSpec) -> Machine:
+        from repro.replay.machine import ReplayMachine
+
+        return ReplayMachine(_event(spec))
+
     register_backend("event", _event)
     register_backend("analytic", _analytic)
+    register_backend("replay", _replay)
 
 
 _register_builtins()

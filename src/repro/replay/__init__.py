@@ -1,0 +1,40 @@
+"""Trace-compiled replay tier for the cycle-accurate event backend.
+
+``replay(event:e16)`` runs the event engine once per *(pre-run chip
+state, programs, max_cycles)* equivalence class, captures the resolved
+schedule into a :class:`~repro.replay.schedule.CompiledSchedule`, and
+replays it on later runs -- byte-identical cycles, traces, golden
+fingerprints and energy, at a fraction of the wall clock (see
+docs/architecture.md §16 and the ``replay`` section of the verify
+gate).
+"""
+
+from repro.replay.fingerprint import (
+    UNCACHEABLE,
+    fingerprint_programs,
+    fingerprint_value,
+)
+from repro.replay.machine import ReplayMachine
+from repro.replay.schedule import (
+    SCHEMA_VERSION,
+    ChipState,
+    CompiledSchedule,
+    apply_schedule,
+    compile_schedule,
+    restore_chip,
+    snapshot_chip,
+)
+
+__all__ = [
+    "UNCACHEABLE",
+    "fingerprint_programs",
+    "fingerprint_value",
+    "ReplayMachine",
+    "SCHEMA_VERSION",
+    "ChipState",
+    "CompiledSchedule",
+    "apply_schedule",
+    "compile_schedule",
+    "restore_chip",
+    "snapshot_chip",
+]

@@ -1,0 +1,431 @@
+"""Structural fingerprints of kernel programs for the replay cache.
+
+A replay hit stands in for a full event simulation, so its cache key
+must capture *everything the simulation's outcome depends on*: the
+machine state (snapshotted separately, see
+:mod:`repro.replay.schedule`) and the programs themselves.  Programs
+are plain generator functions, usually closures built per run by the
+kernel executives, so equality-by-identity is useless -- instead this
+module walks them structurally:
+
+- functions hash as (module, qualname, bytecode, consts, names,
+  defaults, closure cells), recursing into nested code objects and
+  captured values, so two closures built from the same source over the
+  same data fingerprint identically;
+- primitives, containers, numpy arrays and dataclasses hash by value
+  (the :func:`~repro.exec.cache.stable_digest` vocabulary);
+- machine-layer objects (chips, engines, contexts, meshes, meters,
+  DMA engines) reduce to type markers -- their mutable state is the
+  *pre-run snapshot's* job, and double-counting it here would be
+  harmless but slow;
+- flags hash as ``("flag", is_set, name)`` (a raised flag changes what
+  a waiting program does);
+- a :class:`~repro.faults.plan.FaultPlan` carrying clauses poisons the
+  walk: fault injection must never be served from the replay cache
+  (the chaos gate depends on cold-run semantics), so the walk returns
+  :data:`UNCACHEABLE`;
+- anything unrecognised with a ``__dict__``/``__slots__`` is walked
+  generically (sorted attributes, cycle- and depth-guarded); truly
+  opaque values return :data:`UNCACHEABLE`.
+
+:data:`UNCACHEABLE` is the conservative escape hatch: the replay
+machine runs such programs cold and caches nothing, trading speed for
+guaranteed correctness.
+
+Two provisions keep fingerprinting cheap enough to beat the event
+engine on paper-scale workloads:
+
+- **Shared-subtree collapse.**  One walk context memoises completed
+  (cycle-free) subtrees by object identity; a value reached twice --
+  the plan every SPMD core's closure captures, or the single kernel
+  closure mapped onto all 16 cores -- is walked once, and later
+  occurrences collapse to a ``("shared", digest)`` leaf, so neither
+  the walk nor the downstream :func:`~repro.exec.cache.stable_digest`
+  pass ever re-traverses it.
+- **Declared fingerprints.**  A kernel *builder* knows exactly what
+  its generator's behaviour depends on (a plan, a core count, an
+  interpolation mode); it may attach that key as a ``__replay_fp__``
+  attribute on the program function, and the walker trusts it instead
+  of traversing the closure.  The declaration must be digest-stable
+  and complete -- everything else the program does is source code,
+  which the memo layer's :func:`~repro.exec.cache.code_version`
+  already invalidates on.  The verify gate's byte-identity oracles
+  are the backstop for an incomplete declaration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import types
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+__all__ = ["UNCACHEABLE", "fingerprint_programs", "fingerprint_value"]
+
+
+class _Uncacheable:
+    """Sentinel: this program cannot be soundly fingerprinted."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "UNCACHEABLE"
+
+
+UNCACHEABLE = _Uncacheable()
+
+_MAX_DEPTH = 24
+
+_PRIMITIVES = (bool, int, float, complex, str, bytes, type(None))
+_PRIM_EXACT = frozenset(_PRIMITIVES)
+
+
+def _machine_types() -> tuple[type, ...]:
+    """Machine-layer types that reduce to markers (lazy import)."""
+    from repro.machine.chip import EpiphanyChip, EpiphanyContext
+    from repro.machine.dma import DmaEngine
+    from repro.machine.energy import EnergyMeter
+    from repro.machine.event import Barrier, Engine, Process, Resource
+    from repro.machine.memory import ExternalMemory, LocalMemory
+    from repro.machine.noc import Mesh
+    from repro.machine.tracing import ActivityRecorder
+
+    return (
+        EpiphanyChip,
+        EpiphanyContext,
+        DmaEngine,
+        EnergyMeter,
+        Barrier,
+        Engine,
+        Process,
+        Resource,
+        ExternalMemory,
+        LocalMemory,
+        Mesh,
+        ActivityRecorder,
+    )
+
+
+_MACHINE_TYPES: tuple[type, ...] | None = None
+_FAULT_TYPES: tuple[type, type] | None = None
+_FLAG_TYPE: type | None = None
+
+_DC_FIELDS: dict[type, tuple[str, ...]] = {}
+
+
+def _dc_field_names(cls: type) -> tuple[str, ...]:
+    names = _DC_FIELDS.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        _DC_FIELDS[cls] = names
+    return names
+
+
+class _Ctx:
+    """One fingerprint traversal: cycle stack + shared-subtree memo.
+
+    ``memo`` maps ``id(obj)`` of completed, cycle-free subtrees to
+    their fingerprint; ``keep`` pins those objects so ids cannot be
+    recycled mid-walk; ``shared`` caches the collapsed digest leaf of
+    a memoised subtree the first time it is reached again.
+    """
+
+    __slots__ = ("stack", "memo", "shared", "keep", "ncycles")
+
+    def __init__(self) -> None:
+        self.stack: dict[int, int] = {}
+        self.memo: dict[int, Any] = {}
+        self.shared: dict[int, Any] = {}
+        self.keep: list[Any] = []
+        self.ncycles = 0
+
+
+def _collapse(ctx: _Ctx, oid: int) -> Any:
+    leaf = ctx.shared.get(oid)
+    if leaf is None:
+        from repro.exec.cache import stable_digest
+
+        leaf = ("shared", stable_digest(ctx.memo[oid]))
+        ctx.shared[oid] = leaf
+    return leaf
+
+
+def _code_fp(code: types.CodeType, ctx: _Ctx, depth: int) -> Any:
+    consts = []
+    for c in code.co_consts:
+        fp = (
+            _code_fp(c, ctx, depth + 1)
+            if isinstance(c, types.CodeType)
+            else _walk(c, ctx, depth + 1)
+        )
+        if fp is UNCACHEABLE:
+            return UNCACHEABLE
+        consts.append(fp)
+    return (
+        "code",
+        code.co_name,
+        code.co_code,
+        tuple(consts),
+        code.co_names,
+        code.co_freevars,
+    )
+
+
+def _function_fp(fn: types.FunctionType, ctx: _Ctx, depth: int) -> Any:
+    declared = fn.__dict__.get("__replay_fp__")
+    if declared is not None:
+        # The builder vouches for this key (see module docstring);
+        # everything else is source, covered by code_version.
+        return ("declared", declared)
+    cells = []
+    for c in fn.__closure__ or ():
+        fp = _walk(_cell_value(c), ctx, depth + 1)
+        if fp is UNCACHEABLE:
+            return UNCACHEABLE
+        cells.append(fp)
+    defaults = []
+    for d in fn.__defaults__ or ():
+        fp = _walk(d, ctx, depth + 1)
+        if fp is UNCACHEABLE:
+            return UNCACHEABLE
+        defaults.append(fp)
+    kwdefaults = []
+    for k, v in sorted((fn.__kwdefaults__ or {}).items()):
+        fp = _walk(v, ctx, depth + 1)
+        if fp is UNCACHEABLE:
+            return UNCACHEABLE
+        kwdefaults.append((k, fp))
+    code = _code_fp(fn.__code__, ctx, depth)
+    if code is UNCACHEABLE:
+        return UNCACHEABLE
+    return (
+        "function",
+        fn.__module__,
+        fn.__qualname__,
+        code,
+        tuple(defaults),
+        tuple(kwdefaults),
+        tuple(cells),
+    )
+
+
+def _cell_value(cell: Any) -> Any:
+    try:
+        return cell.cell_contents
+    except ValueError:  # empty cell (recursive def not yet bound)
+        return "<empty-cell>"
+
+
+def _walk_items(items: Any, ctx: _Ctx, depth: int) -> Any:
+    """Walk a flat iterable; UNCACHEABLE in any element poisons it."""
+    out = []
+    for v in items:
+        fp = _walk(v, ctx, depth)
+        if fp is UNCACHEABLE:
+            return UNCACHEABLE
+        out.append(fp)
+    return tuple(out)
+
+
+def _walk(obj: Any, ctx: _Ctx, depth: int) -> Any:
+    global _MACHINE_TYPES, _FAULT_TYPES, _FLAG_TYPE
+
+    if depth > _MAX_DEPTH:
+        return UNCACHEABLE
+    if isinstance(obj, _PRIMITIVES):
+        return obj
+    if isinstance(obj, (np.ndarray, np.generic)):
+        return obj  # stable_digest hashes arrays structurally
+    oid = id(obj)
+    stack = ctx.stack
+    pos = stack.get(oid)
+    if pos is not None:
+        ctx.ncycles += 1
+        return ("cycle", pos)
+    if oid in ctx.memo:
+        return _collapse(ctx, oid)
+    stack[oid] = len(stack)
+    cycles_before = ctx.ncycles
+    try:
+        fp = _walk_inner(obj, ctx, depth)
+    finally:
+        del stack[oid]
+    if fp is not UNCACHEABLE and ctx.ncycles == cycles_before:
+        # Self-contained subtree: later occurrences (the plan each
+        # core's closure captures, the kernel mapped onto 16 cores)
+        # collapse to a digest leaf instead of being re-walked.
+        ctx.memo[oid] = fp
+        ctx.keep.append(obj)
+    return fp
+
+
+def _walk_inner(obj: Any, ctx: _Ctx, depth: int) -> Any:
+    global _MACHINE_TYPES, _FAULT_TYPES, _FLAG_TYPE
+
+    if isinstance(obj, types.FunctionType):
+        return _function_fp(obj, ctx, depth)
+    if isinstance(obj, types.MethodType):
+        fn = _function_fp(obj.__func__, ctx, depth)
+        if fn is UNCACHEABLE:
+            return UNCACHEABLE
+        owner = _walk(obj.__self__, ctx, depth + 1)
+        if owner is UNCACHEABLE:
+            return UNCACHEABLE
+        return ("method", fn, owner)
+    if isinstance(obj, functools.partial):
+        parts = _walk_items(
+            (obj.func, *obj.args, *(v for _k, v in sorted(obj.keywords.items()))),
+            ctx,
+            depth + 1,
+        )
+        if parts is UNCACHEABLE:
+            return UNCACHEABLE
+        return ("partial", parts, tuple(sorted(obj.keywords)))
+    if isinstance(obj, (list, tuple)):
+        prims = True
+        for v in obj:
+            if type(v) not in _PRIM_EXACT:
+                prims = False
+                break
+        if prims:
+            return (type(obj).__name__, tuple(obj))
+        items = _walk_items(obj, ctx, depth + 1)
+        if items is UNCACHEABLE:
+            return UNCACHEABLE
+        return (type(obj).__name__, items)
+    if isinstance(obj, (set, frozenset)):
+        walked = _walk_items(obj, ctx, depth + 1)
+        if walked is UNCACHEABLE:
+            return UNCACHEABLE
+        try:
+            walked = tuple(sorted(walked, key=repr))
+        except Exception:
+            return UNCACHEABLE
+        return (type(obj).__name__, walked)
+    if isinstance(obj, dict):
+        try:
+            items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        except Exception:
+            return UNCACHEABLE
+        out = []
+        for k, v in items:
+            kf = _walk(k, ctx, depth + 1)
+            if kf is UNCACHEABLE:
+                return UNCACHEABLE
+            vf = _walk(v, ctx, depth + 1)
+            if vf is UNCACHEABLE:
+                return UNCACHEABLE
+            out.append((kf, vf))
+        return ("dict", tuple(out))
+    if isinstance(obj, deque):
+        items = _walk_items(obj, ctx, depth + 1)
+        if items is UNCACHEABLE:
+            return UNCACHEABLE
+        return ("deque", items)
+
+    # -- fault layer: injected plans must never be cached --------------
+    if _FAULT_TYPES is None:
+        from repro.faults.plan import FaultPlan, FaultSchedule
+
+        _FAULT_TYPES = (FaultPlan, FaultSchedule)
+    if isinstance(obj, _FAULT_TYPES[0]):
+        if obj.faults:
+            return UNCACHEABLE
+        return ("faultplan-empty", obj.text)
+    if isinstance(obj, _FAULT_TYPES[1]):
+        plan = _walk(obj.plan, ctx, depth + 1)
+        if plan is UNCACHEABLE:
+            return UNCACHEABLE
+        return ("faultschedule", plan)
+
+    # -- machine layer: state lives in the pre-run snapshot ------------
+    if _FLAG_TYPE is None:
+        from repro.machine.event import Flag
+
+        _FLAG_TYPE = Flag
+    if isinstance(obj, _FLAG_TYPE):
+        return ("flag", bool(obj.is_set), obj.name)
+    if _MACHINE_TYPES is None:
+        _MACHINE_TYPES = _machine_types()
+    if isinstance(obj, _MACHINE_TYPES):
+        return ("machine", type(obj).__qualname__)
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        names = _dc_field_names(type(obj))
+        values = [getattr(obj, name) for name in names]
+        prims = True
+        for v in values:
+            if type(v) not in _PRIM_EXACT:
+                prims = False
+                break
+        if prims:
+            fields = tuple(zip(names, values))
+        else:
+            out = []
+            for name, v in zip(names, values):
+                fp = _walk(v, ctx, depth + 1)
+                if fp is UNCACHEABLE:
+                    return UNCACHEABLE
+                out.append((name, fp))
+            fields = tuple(out)
+        return ("dataclass", type(obj).__qualname__, fields)
+    if isinstance(obj, types.GeneratorType):
+        # A live generator's suspended frame is not capturable.
+        return UNCACHEABLE
+
+    # -- generic objects: sorted attribute walk ------------------------
+    state = getattr(obj, "__dict__", None)
+    if state is None and hasattr(type(obj), "__slots__"):
+        state = {
+            name: getattr(obj, name)
+            for name in _all_slots(type(obj))
+            if hasattr(obj, name)
+        }
+    if isinstance(state, dict):
+        walked = _walk(state, ctx, depth + 1)
+        if walked is UNCACHEABLE:
+            return UNCACHEABLE
+        return (
+            "object",
+            type(obj).__module__,
+            type(obj).__qualname__,
+            walked,
+        )
+    return UNCACHEABLE
+
+
+def _all_slots(cls: type) -> tuple[str, ...]:
+    names: list[str] = []
+    for klass in cls.__mro__:
+        slots = getattr(klass, "__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(s for s in slots if not s.startswith("__"))
+    return tuple(dict.fromkeys(names))
+
+
+def fingerprint_value(value: Any) -> Any:
+    """Structural fingerprint of one value, or :data:`UNCACHEABLE`."""
+    return _walk(value, _Ctx(), 0)
+
+
+def fingerprint_programs(programs: dict[int, Any]) -> Any:
+    """Fingerprint a core->program mapping, or :data:`UNCACHEABLE`.
+
+    The result is a digest-stable structure (tuples, primitives,
+    ndarrays) suitable as part of a
+    :func:`repro.perf.memo.memoize` payload.  All cores share one walk
+    context: an SPMD kernel mapped onto every core is traversed once
+    and collapses to a digest leaf for the other fifteen.
+    """
+    ctx = _Ctx()
+    out = []
+    for core in sorted(programs):
+        fp = _walk(programs[core], ctx, 0)
+        if fp is UNCACHEABLE:
+            return UNCACHEABLE
+        out.append((core, fp))
+    return ("programs", tuple(out))

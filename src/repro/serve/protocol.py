@@ -40,8 +40,9 @@ only keys they ignore):
 - ``retries`` on batched terminal responses -- how many seeded-backoff
   retries the server spent before this answer,
 - ``degraded: true`` plus ``degraded_to`` -- the circuit breaker
-  tripped on the requested ``event:*`` backend and the answer was
-  computed on the named ``analytic:*`` substitute spec,
+  tripped on the requested backend and the answer was computed on the
+  named substitute spec one rung down the degradation ladder
+  (``replay(event:*)`` for bare event specs, ``analytic:*`` below),
 - profile requests accept ``fail_marker``/``fail_times`` (a filesystem
   token that makes the first N executions kill their worker process) --
   the chaos gate's hook for exercising pool self-healing end-to-end;

@@ -21,11 +21,14 @@ gate makes identical admission/retry/degradation decisions:
   and every rerun, so retry schedules are reproducible evidence, not
   flakes.
 - :class:`CircuitBreaker` -- a rolling per-backend-spec outcome
-  window.  Enough failures trip the breaker; while open, ``event:*``
-  profile requests transparently degrade to the equivalent
-  ``analytic:*`` spec (:func:`degrade_spec`) -- a degraded-but-bounded
-  answer, flagged ``degraded: true``, beats a timeout (the always-on
-  argument of the automotive SAR paper, PAPERS.md).  The window is
+  window.  Enough failures trip the breaker; while open, profile
+  requests transparently degrade one rung down the
+  :func:`degrade_spec` ladder -- bare ``event:*`` onto the
+  byte-identical trace-compiled ``replay(event:*)`` tier,
+  ``replay(event:*)`` and fault-wrapped specs onto the banded
+  ``analytic:*`` model -- a degraded-but-bounded answer, flagged
+  ``degraded: true``, beats a timeout (the always-on argument of the
+  automotive SAR paper, PAPERS.md).  The window is
   **count-based**, not time-based, precisely so breaker decisions
   replay identically under the chaos gate.
 - :class:`RollingWindow` -- last-N-seconds event rates for ``health``
@@ -84,11 +87,22 @@ class AdmissionController:
         """Admit (``None``) or reject (the retry-after hint in ms)."""
         if self.inflight >= self.budget:
             self.rejected += 1
-            overload = 1 + (self.inflight - self.budget) / self.budget
-            return round(self.retry_after_ms * overload, 3)
+            return self.retry_hint()
         self.inflight += 1
         self.admitted += 1
         return None
+
+    def retry_hint(self) -> float:
+        """The current pressure-scaled retry-after hint, in ms.
+
+        The same linear-in-overload formula :meth:`try_admit` attaches
+        to a budget rejection, but without counting one -- for
+        rejection paths that never consult the budget (shutdown
+        drain, per-connection caps): their hints should track actual
+        server pressure too, not a static constant.
+        """
+        overload = 1 + max(0, self.inflight - self.budget) / self.budget
+        return round(self.retry_after_ms * overload, 3)
 
     def release(self) -> None:
         if self.inflight <= 0:
@@ -146,18 +160,31 @@ class RetryPolicy:
 
 
 # ---------------------------------------------------------------------------
-# Circuit breaker with analytic degradation
+# Circuit breaker with ladder degradation (event -> replay -> analytic)
 # ---------------------------------------------------------------------------
 
 def degrade_spec(spec: str) -> str | None:
-    """The ``analytic:*`` substitute of an ``event:*`` backend spec.
+    """The next-cheaper substitute of an ``event``-engined backend spec.
 
-    Peels ``faulty(<plan>):`` wrappers (keeping them -- the injected
-    environment is part of the request, only the engine degrades) and
-    swaps the innermost ``event`` backend token for ``analytic``.
-    Returns ``None`` when the spec has no event engine to degrade
-    (already analytic, unknown token): the breaker then has no
-    substitute to offer and stays advisory.
+    Two-step degradation ladder (each breaker trip descends one rung):
+
+    - a bare ``event:*`` degrades onto ``replay(event:*)`` -- the
+      trace-compiled tier, byte-identical to the cycle-accurate run
+      (see :mod:`repro.replay`) but served from the compiled-schedule
+      cache when the class has been seen before;
+    - ``replay(event:*)`` degrades onto ``analytic:*`` -- the modeled
+      engine, banded rather than exact, but immune to whatever made
+      the event engine slow or wedged.
+
+    ``faulty(<plan>):``-wrapped specs skip the replay rung: the replay
+    machine refuses to cache fault-injected runs (the chaos gate
+    depends on cold-run semantics), so a substitute that re-runs the
+    event engine cold buys nothing.  Wrappers are peeled and kept --
+    the injected environment is part of the request, only the engine
+    degrades -- and the innermost ``event`` token swaps straight to
+    ``analytic``.  Returns ``None`` when the spec has no rung left
+    below it (already analytic, unknown token): the breaker then has
+    no substitute to offer and stays advisory.
     """
     head = spec.strip()
     prefix = ""
@@ -174,10 +201,22 @@ def degrade_spec(spec: str) -> str | None:
             return None
         prefix += head[:i + 2]
         head = head[i + 2:]
-    if head == "event":
-        return prefix + "analytic"
-    if head.startswith("event:"):
-        return prefix + "analytic" + head[len("event"):]
+    if head.startswith("replay(") and head.endswith(")"):
+        head = head[len("replay("):-1].strip()
+        # replay(event:*) -> analytic:* (the rung below replay).
+        if head == "event":
+            return prefix + "analytic"
+        if head.startswith("event:"):
+            return prefix + "analytic" + head[len("event"):]
+        return None
+    if head == "replay" or head.startswith("replay:"):
+        # Bare-token spelling: replay:e16 == replay(event:e16).
+        return prefix + "analytic" + head[len("replay"):]
+    if head == "event" or head.startswith("event:"):
+        if prefix:
+            # Fault-wrapped: replay would bypass its cache anyway.
+            return prefix + "analytic" + head[len("event"):]
+        return f"replay({head})"
     return None
 
 

@@ -21,8 +21,9 @@ answer it produces comes from the layers below --
   control bounds in-flight work (structured ``overloaded`` + retry
   hint instead of queue growth), contained faults and broken pools are
   retried with seeded deterministic backoff, and a per-backend-spec
-  circuit breaker degrades ``event:*`` profile requests onto the
-  ``analytic:*`` substitute when the real backend keeps failing.
+  circuit breaker degrades profile requests one rung down the
+  ladder (``event:*`` onto byte-identical ``replay(event:*)``, then
+  ``analytic:*``) when the real backend keeps failing.
 
 Scheduling: requests land on one queue; a batcher drains it, waits
 ``batch_window_ms`` for compatible company, groups by cache payload
@@ -393,7 +394,7 @@ class ImageService:
                     await self._reject_overloaded(
                         request.id,
                         "server is draining for shutdown",
-                        self._admission.retry_after_ms,
+                        self._admission.retry_hint(),
                         send,
                     )
                     continue
@@ -404,7 +405,7 @@ class ImageService:
                         f"connection exceeded its "
                         f"{self.settings.max_connection_inflight} in-flight "
                         f"request cap",
-                        self._admission.retry_after_ms,
+                        self._admission.retry_hint(),
                         send,
                     )
                     continue

@@ -74,8 +74,15 @@ __all__ = [
     "run_chaos_serve_case",
 ]
 
-CHAOS_BACKENDS = ("event", "analytic")
-"""Backends every chaos case runs against."""
+CHAOS_BACKENDS = ("event", "analytic", "replay")
+"""Backends every chaos case runs against.
+
+``replay`` rides the same cases as ``event``: the fault wrapper's
+closures carry the plan, so the replay fingerprint refuses to cache
+them and every injected run executes cold -- chaos coverage here is
+the end-to-end proof of that must-miss contract (the fault-free
+parity runs may legitimately replay: they are byte-identical by the
+gate's own replay section)."""
 
 CHAOS_SPEC = "e16"
 
@@ -743,19 +750,29 @@ def run_chaos_serve_case(case: int, seed: int) -> list[Check]:
             note="a sub-window deadline converts to a structured miss",
         )
     )
+    # Degradation ladder: fault-wrapped specs (f2/f3) skip the replay
+    # rung and land on the analytic substitute; bare event specs
+    # (r0/r1) descend one rung onto the byte-identical replay tier.
+    degraded_expect = {
+        "f2": lambda to: "analytic" in to,
+        "f3": lambda to: "analytic" in to,
+        "r0": lambda to: to == "replay(event:e16)",
+        "r1": lambda to: to == "replay(event:e16)",
+    }
     degraded_ok = all(
         by_id.get(rid, {}).get("type") == "result"
         and by_id.get(rid, {}).get("degraded") is True
-        and "analytic" in (by_id.get(rid, {}).get("degraded_to") or "")
-        for rid in ("f2", "f3", "r0", "r1")
+        and want(by_id.get(rid, {}).get("degraded_to") or "")
+        for rid, want in degraded_expect.items()
     )
     checks.append(
         Check(
             name=f"{prefix}.degraded-flagged",
             passed=degraded_ok,
             note=(
-                "breaker-tripped requests answer on the analytic substitute "
-                "and are flagged degraded"
+                "breaker-tripped requests answer on the substitute one "
+                "rung down (replay for bare event, analytic for "
+                "fault-wrapped) and are flagged degraded"
             ),
         )
     )

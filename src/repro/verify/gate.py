@@ -10,6 +10,11 @@ Composes the three verification layers into a single pass/fail run:
    images byte-identical to serial) and :func:`~repro.verify.oracles.
    fabric_timing_oracle` (the fabric FFBP executive keeps the
    single-chip analytic banding).
+1c. **Replay conformance** -- the byte-identity contract of the
+   trace-compiled tier (:mod:`repro.verify.replay`): a
+   ``replay(event:*)`` hit must be bit-for-bit indistinguishable from
+   the cold event run, down to trace counters, recorder intervals and
+   golden fingerprints.
 2. **Golden snapshots** -- rebuild every registered fingerprint and
    compare it against ``tests/golden/*.json`` (or regenerate the
    snapshots with ``update_golden=True``).
@@ -144,6 +149,20 @@ def _fabric_timing_cell(spec: str) -> list[Check]:
     return fabric_timing_oracle(spec)
 
 
+def _replay_identity_cell(workload: str, spec: str) -> list[Check]:
+    """Cold-vs-capture-vs-hit byte identity of the replay tier."""
+    from repro.verify.replay import replay_identity_oracle
+
+    return replay_identity_oracle(workload, spec)
+
+
+def _replay_golden_cell(name: str, spec: str) -> list[Check]:
+    """One golden fingerprint rebuilt under ``replay(event:<spec>)``."""
+    from repro.verify.replay import replay_golden_oracle
+
+    return replay_golden_oracle(name, spec)
+
+
 def _golden_verify_cell(name: str, root: str | None) -> list[Check]:
     return verify_golden(name, root)
 
@@ -258,6 +277,30 @@ def run_verify(
         _fabric_timing_cell,
         ("2x(e16)",),
     )
+
+    # -- 1c. replay conformance (trace-compiled == cold event) ----------
+    replay_workloads = ("ffbp_spmd16",) if quick else (
+        "ffbp_spmd16",
+        "autofocus_mpmd",
+    )
+    for wl_name in replay_workloads:
+        cell(
+            f"replay/identity/{wl_name}",
+            "replay",
+            _replay_identity_cell,
+            (wl_name, "e16"),
+        )
+    for name in ("traffic_counters",) if quick else (
+        "table1_small",
+        "profile_ffbp_spmd16",
+        "traffic_counters",
+    ):
+        cell(
+            f"replay/golden/{name}",
+            "replay",
+            _replay_golden_cell,
+            (name, "e16"),
+        )
 
     # -- 2. golden snapshots (file-backed: never cached) ----------------
     for name, fp in FINGERPRINTS.items():

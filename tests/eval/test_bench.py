@@ -129,6 +129,31 @@ class TestRssDelta:
         text = format_summary(doc)
         assert "rss=12345 KiB" in text
 
+    def test_format_summary_legacy_zero_watermark_is_printed(self):
+        # A genuine (if odd) recorded zero must stay a number ...
+        doc = {
+            "schema": BENCH_SCHEMA,
+            "results": {
+                "quick/old/host": {
+                    "wall_s": 0.01, "cycles": None, "peak_rss_kb": 0
+                }
+            },
+        }
+        assert "rss=0 KiB" in format_summary(doc)
+
+    def test_format_summary_missing_rss_prints_na(self):
+        # ... but a row with no memory accounting at all must say so,
+        # not fabricate "rss=0 KiB".
+        doc = {
+            "schema": BENCH_SCHEMA,
+            "results": {
+                "quick/bare/host": {"wall_s": 0.01, "cycles": 123}
+            },
+        }
+        text = format_summary(doc)
+        assert "rss=n/a" in text
+        assert "rss=0 KiB" not in text
+
 
 class TestCompareBench:
     def test_self_comparison_is_clean(self, quick_doc):

@@ -418,6 +418,103 @@ class TestFastPath:
         assert hits == []
         assert v.cancelled
 
+    def test_cancel_unexpired_watchdog_keeps_merge_order(self):
+        # The channel-watchdog pattern: a timer armed far in the
+        # future is cancelled when the guarded wait completes on time.
+        # Its tombstone stays in the heap; the run loop must (a) drop
+        # it without advancing the clock to the deadline and (b) keep
+        # the (when, seq) merge order of everything else -- same-cycle
+        # FIFO wakeups included -- exactly as if the timer had never
+        # been armed.
+        eng = Engine()
+        flag = eng.flag()
+        order = []
+
+        def watchdog():
+            yield Delay(100)
+            order.append("watchdog-fired")  # must never happen
+
+        def canceller(proc):
+            yield Delay(5)
+            eng.cancel(proc)
+            order.append(("cancel", eng.now))
+
+        def setter():
+            yield Delay(5)
+            flag.set()
+            order.append(("setter", eng.now))
+
+        def waiter(i):
+            yield Wait(flag)
+            order.append((f"waiter{i}", eng.now))
+
+        def late():
+            yield Delay(9)
+            order.append(("late", eng.now))
+
+        wd = eng.spawn(watchdog())
+        eng.spawn(canceller(wd))
+        eng.spawn(setter())
+        eng.spawn(waiter(0))
+        eng.spawn(waiter(1))
+        eng.spawn(late())
+        eng.run()
+        # Cycle 5: canceller (heap, earliest seq), then setter (heap),
+        # then the same-cycle flag wakeups from the ready FIFO in seq
+        # order; cycle 9: the late heap event.  The watchdog's (100,
+        # seq=0) tombstone is drained silently.
+        assert order == [
+            ("cancel", 5),
+            ("setter", 5),
+            ("waiter0", 5),
+            ("waiter1", 5),
+            ("late", 9),
+        ]
+        assert eng.now == 9  # never advanced to the cancelled deadline
+        assert wd.cancelled and wd.done
+        assert wd.finish_cycle == 5
+        assert not eng._heap and not eng._ready  # tombstone drained
+
+    def test_cancel_same_cycle_heap_tombstone_preserves_fifo(self):
+        # Cancel a timer whose heap event is due *this same cycle*:
+        # the tombstone sits at (now, small seq) ahead of live FIFO
+        # entries, and must be skipped without perturbing their order.
+        eng = Engine()
+        order = []
+
+        def timer():
+            yield Delay(4)
+            order.append("timer-fired")  # must never happen
+
+        def chain(i):
+            yield Delay(4)
+            order.append(f"chain{i}")
+            yield Delay(0)  # re-queues into the ready FIFO at cycle 4
+            order.append(f"chain{i}-again")
+
+        t = eng.spawn(timer())  # heap entry (4, seq=0): the tombstone
+
+        def early_cancel(proc):
+            # Cancels from cycle 3: the timer's heap event is still
+            # unexpired (due next cycle) when it becomes a tombstone.
+            yield Delay(3)
+            eng.cancel(proc)
+            order.append("cancel")
+
+        eng.spawn(early_cancel(t))
+        eng.spawn(chain(0))
+        eng.spawn(chain(1))
+        eng.run()
+        assert order == [
+            "cancel",
+            "chain0",
+            "chain1",
+            "chain0-again",
+            "chain1-again",
+        ]
+        assert eng.now == 4
+        assert t.cancelled and t.finish_cycle == 3
+
     def test_interleaved_ready_and_heap_timeline_deterministic(self):
         def build():
             eng = Engine()

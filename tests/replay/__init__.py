@@ -1,0 +1,1 @@
+"""Replay-tier test package (packaged to keep module names unique)."""

@@ -1,0 +1,65 @@
+"""Registry grammar tests for the ``replay(...)`` backend spelling."""
+
+import pytest
+
+from repro.machine.backends import get_machine, resolve_backend
+from repro.replay.machine import ReplayMachine
+
+
+class TestGrammar:
+    def test_composed_spelling(self):
+        m = get_machine("replay(event:e16)")
+        assert isinstance(m, ReplayMachine)
+        assert m._cacheable
+        assert m.n_cores == 16
+
+    def test_bare_token_defaults_to_event(self):
+        from repro.machine.chip import EpiphanyChip
+
+        m = get_machine("replay:e16")
+        assert isinstance(m, ReplayMachine)
+        assert type(m.inner) is EpiphanyChip
+        assert m.spec == get_machine("replay(event:e16)").spec
+
+    def test_bare_name_defaults_spec(self):
+        m = get_machine("replay")
+        assert isinstance(m, ReplayMachine)
+        assert m.n_cores == 16
+
+    def test_mesh_spec_inner(self):
+        m = get_machine("replay(event:8x8@700e6)")
+        assert m.n_cores == 64
+        assert m.spec.clock_hz == 700e6
+
+    def test_composes_with_faulty_outside(self):
+        from repro.faults.inject import FaultyMachine
+
+        m = get_machine("faulty(link:(0,0)->(0,1)@p=1:stall=5; seed=1):replay(event:e16)")
+        assert isinstance(m, FaultyMachine)
+        assert isinstance(m.inner, ReplayMachine)
+
+    def test_composes_with_faulty_inside(self):
+        m = get_machine("replay(faulty(link:(0,0)->(0,1)@p=1:stall=5; seed=1):event:e16)")
+        assert isinstance(m, ReplayMachine)
+        assert not m._cacheable  # fault-wrapped inner: pass-through
+
+    def test_resolve_returns_spec(self):
+        factory, spec = resolve_backend("replay(event:e16)")
+        assert spec.mesh_rows == spec.mesh_cols == 4
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ValueError):
+            get_machine("replay(event:e16")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            get_machine("replay(event:e16)x")
+
+    def test_unknown_inner_rejected(self):
+        with pytest.raises(ValueError):
+            get_machine("replay(nosuch:e16)")
+
+    def test_listed_in_available_backends(self):
+        from repro.machine.backends import available_backends
+
+        assert "replay" in available_backends()

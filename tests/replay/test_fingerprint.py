@@ -1,0 +1,185 @@
+"""Unit tests for the replay cache's structural program fingerprints.
+
+The fingerprint walker is what makes the replay cache *sound*: two
+closures built from the same source over the same data must hash
+identically (otherwise every run is a miss and replay buys nothing),
+while anything whose behaviour cannot be captured by value -- live
+generators, fault plans carrying clauses, opaque objects -- must
+poison the walk so the run stays cold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.replay.fingerprint import (
+    UNCACHEABLE,
+    fingerprint_programs,
+    fingerprint_value,
+)
+
+
+def _make_closure(data, scale):
+    def body():
+        yield data * scale
+
+    return body
+
+
+class TestIdentity:
+    def test_rebuilt_closures_fingerprint_identically(self):
+        a = _make_closure(3, 7)
+        b = _make_closure(3, 7)
+        assert a is not b
+        assert fingerprint_value(a) == fingerprint_value(b)
+
+    def test_different_captured_values_differ(self):
+        assert fingerprint_value(_make_closure(3, 7)) != fingerprint_value(
+            _make_closure(3, 8)
+        )
+
+    def test_array_captures_pass_through_for_digesting(self):
+        arr = np.arange(8, dtype=np.float64)
+        fp = fingerprint_value(_make_closure(arr, 2))
+        assert fp is not UNCACHEABLE
+
+    def test_primitives_and_containers(self):
+        v = {"a": [1, 2.5, "x"], "b": (None, True, frozenset({1, 2}))}
+        assert fingerprint_value(v) == fingerprint_value(
+            {"b": (None, True, frozenset({2, 1})), "a": [1, 2.5, "x"]}
+        )
+
+    def test_default_args_participate(self):
+        def f(x=1):
+            yield x
+
+        def g(x=2):
+            yield x
+
+        assert fingerprint_value(f) != fingerprint_value(g)
+
+
+class TestUncacheable:
+    def test_live_generator_is_uncacheable(self):
+        def gen():
+            yield 1
+
+        assert fingerprint_value(gen()) is UNCACHEABLE
+
+    def test_fault_plan_with_clauses_is_uncacheable(self):
+        from repro.faults.plan import parse_plan
+
+        plan = parse_plan("link:(0,0)->(0,1)@p=1:stall=5; seed=1")
+        assert plan.faults
+        assert fingerprint_value(plan) is UNCACHEABLE
+
+    def test_empty_fault_plan_is_cacheable(self):
+        from repro.faults.plan import parse_plan
+
+        plan = parse_plan("")
+        assert not plan.faults
+        assert fingerprint_value(plan) is not UNCACHEABLE
+
+    def test_uncacheable_capture_poisons_the_closure(self):
+        def gen():
+            yield 1
+
+        live = gen()
+        assert fingerprint_value(_make_closure(live, 1)) is UNCACHEABLE
+
+    def test_opaque_object_is_uncacheable(self):
+        import threading
+
+        # A lock has neither __dict__ nor walkable slots: truly opaque.
+        assert fingerprint_value(threading.Lock()) is UNCACHEABLE
+
+    def test_depth_bomb_is_uncacheable(self):
+        v = "leaf"
+        for _ in range(64):
+            v = [v]
+        assert fingerprint_value(v) is UNCACHEABLE
+
+
+class TestMachineMarkers:
+    def test_machine_objects_reduce_to_type_markers(self):
+        from repro.machine.backends import get_machine
+
+        chip = get_machine("event:e16")
+        fp = fingerprint_value(chip)
+        assert fp == ("machine", "EpiphanyChip")
+
+    def test_flags_hash_by_state_and_name(self):
+        from repro.machine.event import Engine
+
+        eng = Engine()
+        a, b = eng.flag("f"), eng.flag("f")
+        assert fingerprint_value(a) == fingerprint_value(b)
+        a.set()
+        assert fingerprint_value(a) != fingerprint_value(b)
+
+
+class TestDeclaredFingerprints:
+    def test_declaration_overrides_the_closure_walk(self):
+        def gen():
+            yield 1
+
+        fn = _make_closure(gen(), 1)  # live generator: normally poison
+        assert fingerprint_value(fn) is UNCACHEABLE
+        fn.__replay_fp__ = ("my-kernel", 3)
+        assert fingerprint_value(fn) == ("declared", ("my-kernel", 3))
+
+    def test_ffbp_spmd_kernel_declares_its_key(self):
+        from repro.kernels.ffbp_common import plan_ffbp
+        from repro.kernels.ffbp_spmd import ffbp_spmd_kernel
+        from repro.sar.config import RadarConfig
+
+        plan = plan_ffbp(RadarConfig.small(n_pulses=64, n_ranges=65))
+        k = ffbp_spmd_kernel(plan, 16)
+        assert k.__replay_fp__[0] == "ffbp-spmd"
+        # Rebuilds agree; core count and interpolation split the key.
+        assert fingerprint_value(k) == fingerprint_value(
+            ffbp_spmd_kernel(plan, 16)
+        )
+        assert fingerprint_value(k) != fingerprint_value(
+            ffbp_spmd_kernel(plan, 8)
+        )
+        assert fingerprint_value(k) != fingerprint_value(
+            ffbp_spmd_kernel(plan, 16, interpolation="bilinear")
+        )
+        other = plan_ffbp(RadarConfig.small(n_pulses=128, n_ranges=65))
+        assert fingerprint_value(k) != fingerprint_value(
+            ffbp_spmd_kernel(other, 16)
+        )
+
+
+class TestSharedCollapse:
+    def test_shared_program_collapses_to_a_digest_leaf(self):
+        p = _make_closure([1, 2, 3], 2)
+        fp = fingerprint_programs({0: p, 1: p})
+        cores = dict(fp[1])
+        assert cores[0][0] == "function"
+        assert cores[1][0] == "shared"
+
+    def test_collapse_is_deterministic_across_rebuilds(self):
+        def build():
+            p = _make_closure([1, 2, 3], 2)
+            return fingerprint_programs({0: p, 1: p})
+
+        assert build() == build()
+
+
+class TestPrograms:
+    def test_program_map_fingerprints_by_core(self):
+        progs_a = {0: _make_closure(1, 2), 1: _make_closure(3, 4)}
+        progs_b = {1: _make_closure(3, 4), 0: _make_closure(1, 2)}
+        assert fingerprint_programs(progs_a) == fingerprint_programs(progs_b)
+
+    def test_one_bad_program_poisons_the_map(self):
+        def gen():
+            yield 1
+
+        progs = {0: _make_closure(1, 2), 1: gen()}
+        assert fingerprint_programs(progs) is UNCACHEABLE
+
+    def test_core_assignment_is_part_of_the_key(self):
+        p = _make_closure(1, 2)
+        assert fingerprint_programs({0: p}) != fingerprint_programs({1: p})

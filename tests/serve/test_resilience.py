@@ -59,6 +59,21 @@ class TestAdmissionController:
         with pytest.raises(ValueError):
             AdmissionController(budget=0)
 
+    def test_retry_hint_tracks_pressure_without_counting(self):
+        adm = AdmissionController(budget=2, retry_after_ms=10.0)
+        assert adm.retry_hint() == 10.0  # idle: the base hint
+        adm.try_admit()
+        adm.try_admit()
+        adm.inflight += 2  # simulate overload beyond the budget
+        assert adm.retry_hint() == 20.0  # 10 * (1 + 2/2)
+        assert adm.rejected == 0  # a hint read is not a rejection
+
+    def test_retry_hint_matches_budget_rejection_hint(self):
+        adm = AdmissionController(budget=2, retry_after_ms=10.0)
+        adm.try_admit()
+        adm.try_admit()
+        assert adm.try_admit() == adm.retry_hint()
+
 
 class TestRetryPolicy:
     def test_backoff_is_deterministic_in_seed_and_key(self):
@@ -85,15 +100,39 @@ class TestRetryPolicy:
 
 
 class TestDegradeSpec:
-    def test_event_degrades_to_analytic(self):
-        assert degrade_spec("event:e16") == "analytic:e16"
-        assert degrade_spec("event") == "analytic"
+    def test_event_degrades_to_replay(self):
+        # First rung: the byte-identical trace-compiled tier.
+        assert degrade_spec("event:e16") == "replay(event:e16)"
+        assert degrade_spec("event") == "replay(event)"
+        assert degrade_spec("event:8x8@700e6") == "replay(event:8x8@700e6)"
 
-    def test_faulty_wrapper_is_preserved(self):
+    def test_replay_degrades_to_analytic(self):
+        # Second rung: the banded analytic model.
+        assert degrade_spec("replay(event:e16)") == "analytic:e16"
+        assert degrade_spec("replay(event)") == "analytic"
+        assert degrade_spec("replay:e16") == "analytic:e16"
+        assert degrade_spec("replay") == "analytic"
+
+    def test_ladder_bottoms_out(self):
+        first = degrade_spec("event:e16")
+        second = degrade_spec(first)
+        assert (first, second) == ("replay(event:e16)", "analytic:e16")
+        assert degrade_spec(second) is None
+
+    def test_faulty_wrapper_skips_the_replay_rung(self):
+        # Replay refuses to cache fault-injected runs, so the ladder
+        # goes straight to analytic while keeping the wrapper.
         spec = "faulty(link:(0,0)->(0,1)@p=1:stall=5; seed=3):event:e16"
         assert (
             degrade_spec(spec)
             == "faulty(link:(0,0)->(0,1)@p=1:stall=5; seed=3):analytic:e16"
+        )
+
+    def test_faulty_wrapped_replay_degrades_to_analytic(self):
+        spec = "faulty(core:(0,0)@i=1; seed=2):replay(event:e16)"
+        assert (
+            degrade_spec(spec)
+            == "faulty(core:(0,0)@i=1; seed=2):analytic:e16"
         )
 
     def test_nested_wrappers_peel_to_the_engine(self):
@@ -105,6 +144,7 @@ class TestDegradeSpec:
     def test_analytic_has_no_substitute(self):
         assert degrade_spec("analytic:e16") is None
         assert degrade_spec("faulty(core:(0,0)@i=1):analytic:e16") is None
+        assert degrade_spec("replay(analytic:e16)") is None
 
 
 class TestCircuitBreaker:
@@ -120,8 +160,16 @@ class TestCircuitBreaker:
             br.record("event:e16", ok=False)
         verdict, substitute = br.decide("event:e16")
         assert verdict == "degrade"
-        assert substitute == "analytic:e16"
+        assert substitute == "replay(event:e16)"
         assert br.snapshot()["trips"] == 1
+
+    def test_replay_spec_degrades_to_analytic(self):
+        br = CircuitBreaker(window=4, failures=2, cooldown=2)
+        for _ in range(2):
+            br.record("replay(event:e16)", ok=False)
+        verdict, substitute = br.decide("replay(event:e16)")
+        assert verdict == "degrade"
+        assert substitute == "analytic:e16"
 
     def test_probe_after_cooldown_then_recovery(self):
         br = CircuitBreaker(window=4, failures=2, cooldown=1)
@@ -182,3 +230,22 @@ class TestRollingWindow:
         now[0] = 6.0
         win.record("error")
         assert win.snapshot()["events"] == {"error": 1}
+
+    def test_idle_window_prunes_on_read(self):
+        # Regression: expiry must happen on snapshot() itself, not
+        # only as a side effect of the next record() -- an idle server
+        # whose last event is past the horizon must report empty, and
+        # repeated reads must stay empty (and actually drop the
+        # stale entries, not just hide them).
+        now = [0.0]
+        win = RollingWindow(horizon_s=5.0, clock=lambda: now[0])
+        win.record("served")
+        win.record("served")
+        assert win.snapshot()["events"] == {"served": 2}
+        now[0] = 100.0  # idle far past the horizon; no record() since
+        snap = win.snapshot()
+        assert snap["events"] == {}
+        assert snap["per_s"] == {}
+        assert len(win._events) == 0  # pruned, not merely filtered
+        now[0] = 101.0
+        assert win.snapshot()["events"] == {}

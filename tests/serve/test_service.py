@@ -445,6 +445,31 @@ class TestResilience:
         assert by_id["p0"]["type"] == "result"
         assert by_id["p1"]["code"] == "overloaded"
 
+    def test_cap_rejection_hint_routes_through_admission(self):
+        # Regression: the connection-cap (and drain) rejections must
+        # carry the controller's pressure-scaled retry_hint(), not a
+        # static constant snapshotted at boot.
+        async def scenario(service):
+            service._admission.retry_hint = lambda: 777.25
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            try:
+                for rid in ("p0", "p1"):
+                    writer.write(encode_frame({**IMG, "id": rid}))
+                await writer.drain()
+                frames = [await read_until_terminal(reader) for _ in range(2)]
+                return {f["id"]: f for f in frames}
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        by_id = service_test(
+            scenario, max_connection_inflight=1, batch_window_ms=300.0
+        )
+        assert by_id["p1"]["code"] == "overloaded"
+        assert by_id["p1"]["retry_after_ms"] == 777.25
+
     def test_chaos_marker_requires_allow_chaos(self, tmp_path):
         async def scenario(service):
             frame, _ = await one_shot(

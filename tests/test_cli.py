@@ -210,6 +210,20 @@ class TestBenchCommand:
         assert rc == 1
         assert "REGRESSION" in capsys.readouterr().err
 
+    def test_bench_replay_adds_replay_rows(self, capsys):
+        import json
+
+        rc = main(
+            ["bench", "--quick", "--repeats", "1",
+             "--fabric-backends", "", "--replay"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        row = doc["results"]["quick/ffbp_spmd16/replay(event:e16)"]
+        assert row["cycles"] == doc["results"]["quick/ffbp_spmd16/event:e16"]["cycles"]
+        assert row["speedup_vs_cold"] > 0
+        assert "fixed/autofocus_mpmd/replay(event:e16)" in doc["results"]
+
     def test_bench_unknown_backend_is_usage_error(self, capsys):
         rc = main(["bench", "--quick", "--repeats", "1",
                    "--backends", "warpdrive:e16"])
